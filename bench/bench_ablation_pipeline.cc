@@ -1,0 +1,80 @@
+// Ablation A5 (ours): timing-model robustness. The simulator charges a
+// serial in-order timeline per core; real DaVinci pipes (Vector+Scalar,
+// MTE, SCU, Cube) overlap between synchronization points. This bench
+// reports both the serial device time and the optimistic perfect-overlap
+// bound (busiest pipe + barriers) for the paper's key comparisons, and
+// shows the winners are the same under either model -- i.e. the
+// reproduction's conclusions do not rest on the serialization
+// simplification.
+#include <cstdio>
+
+#include "harness.h"
+#include "kernels/pooling.h"
+#include "nets/cnn_tables.h"
+#include "ref/pooling_ref.h"
+
+using namespace davinci;
+
+int main() {
+  bench::print_preamble(
+      "Serial vs perfect-pipe-overlap device time for the key comparisons",
+      "Ablation A5 (this reproduction; see DESIGN.md section 5)");
+  Device dev;
+  bench::Table table(
+      "speedups under both timing models",
+      {"experiment", "serial base", "serial fast", "serial speedup",
+       "pipelined speedup", "winner stable"});
+
+  auto add = [&](const char* name, const Device::RunResult& base,
+                 const Device::RunResult& fast) {
+    const double s = static_cast<double>(base.device_cycles) /
+                     static_cast<double>(fast.device_cycles);
+    const double p = static_cast<double>(base.device_cycles_pipelined) /
+                     static_cast<double>(fast.device_cycles_pipelined);
+    table.add_row({name, bench::fmt_int(base.device_cycles),
+                   bench::fmt_int(fast.device_cycles), bench::fmt_ratio(s),
+                   bench::fmt_ratio(p),
+                   (s > 1.0) == (p > 1.0) ? "yes" : "NO"});
+  };
+
+  {  // Figure 7a, middle input.
+    const Window2d w = Window2d::pool(3, 2);
+    const TensorF16 in = bench::make_input(1, 12, 71, 71);
+    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
+    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    add("fwd 71x71x192 (fig 7a)", d.run, i.run);
+  }
+  {  // Figure 7c, middle input.
+    const Window2d w = Window2d::pool(3, 2);
+    const TensorF16 in = bench::make_input(1, 12, 71, 71);
+    const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+    TensorF16 grad(Shape{1, 12, 35, 35, kC0});
+    grad.fill_random_ints(5, 0, 5);
+    auto v = kernels::maxpool_backward(dev, mask, grad, w, 71, 71,
+                                       kernels::MergeImpl::kVadd);
+    auto c = kernels::maxpool_backward(dev, mask, grad, w, 71, 71,
+                                       kernels::MergeImpl::kCol2im);
+    add("bwd 71x71x192 (fig 7c)", v.run, c.run);
+  }
+  {  // Figure 8b point: im2col must beat direct at stride 2.
+    const Window2d w = Window2d::pool(3, 2);
+    const TensorF16 in = bench::make_input(1, 1, 33, 33);
+    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
+    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    add("fwd 33x33 s=2 (fig 8b)", d.run, i.run);
+  }
+  {  // Figure 8a crossover: direct must beat im2col at stride 1.
+    const Window2d w = Window2d::pool(3, 1);
+    const TensorF16 in = bench::make_input(1, 1, 27, 27);
+    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
+    add("fwd 27x27 s=1 (fig 8a, direct wins)", i.run, d.run);
+  }
+
+  table.print();
+  std::printf(
+      "\nReading: under perfect overlap the accelerated kernels become\n"
+      "MTE/SCU-bound and the baselines stay Vector-bound, so every\n"
+      "ordering survives; the serial model is the conservative choice.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 7a: MaxPool forward, standard TVM lowering vs Im2Col-based, on
+// the three InceptionV3 input sizes (147,147,64), (71,71,192), (35,35,288)
+// with K(3,3), S(2,2), no padding, NC1HWC0, 32-core device.
+#include <cstdio>
+
+#include "harness.h"
+#include "kernels/pooling.h"
+#include "nets/cnn_tables.h"
+#include "ref/pooling_ref.h"
+
+using namespace davinci;
+
+int main() {
+  bench::print_preamble("MaxPool forward: standard vs Im2col-based",
+                        "Figure 7a (IPDPSW 2021)");
+  Device dev;
+  bench::Table table("Figure 7a -- cycle count by input size",
+                     {"input (HWC)", "Maxpool", "Maxpool with Im2col",
+                      "speedup", "verified"});
+  for (const auto& layer : nets::inception_v3_fig7_layers()) {
+    const std::int64_t c1 = c1_of(layer.c);
+    const TensorF16 in = bench::make_input(1, c1, layer.h, layer.w);
+    auto direct =
+        kernels::maxpool_forward(dev, in, layer.window, akg::PoolImpl::kDirect);
+    auto im2col =
+        kernels::maxpool_forward(dev, in, layer.window, akg::PoolImpl::kIm2col);
+    const TensorF16 want = ref::maxpool_fwd(in, layer.window);
+    bool ok = true;
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ok &= direct.out.flat(i) == want.flat(i);
+      ok &= im2col.out.flat(i) == want.flat(i);
+    }
+    char shape[48];
+    std::snprintf(shape, sizeof(shape), "%lld,%lld,%lld",
+                  static_cast<long long>(layer.h),
+                  static_cast<long long>(layer.w),
+                  static_cast<long long>(layer.c));
+    table.add_row({shape, bench::fmt_int(direct.cycles()),
+                   bench::fmt_int(im2col.cycles()),
+                   bench::fmt_ratio(static_cast<double>(direct.cycles()) /
+                                    static_cast<double>(im2col.cycles())),
+                   ok ? "bit-exact" : "MISMATCH"});
+  }
+  table.print();
+  std::printf(
+      "\nPaper reports a 3.2x speedup at the largest input (Section VI-A).\n");
+  return 0;
+}

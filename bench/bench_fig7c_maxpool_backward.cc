@@ -1,0 +1,54 @@
+// Figure 7c: MaxPool backward, vadd-merge baseline vs Col2Im-based merge,
+// on the InceptionV3 inputs of Figure 7. The backward operator is where
+// the paper measures its largest speedup (5.8x) because the merge step is
+// exactly the Col2im operation.
+#include <cstdio>
+
+#include "harness.h"
+#include "kernels/pooling.h"
+#include "nets/cnn_tables.h"
+#include "ref/pooling_ref.h"
+
+using namespace davinci;
+
+int main() {
+  bench::print_preamble("MaxPool backward: vadd merge vs Col2Im merge",
+                        "Figure 7c (IPDPSW 2021)");
+  Device dev;
+  bench::Table table("Figure 7c -- cycle count by input size",
+                     {"input (HWC)", "Maxpool backward", "with Col2im",
+                      "speedup", "verified"});
+  for (const auto& layer : nets::inception_v3_fig7_layers()) {
+    const std::int64_t c1 = c1_of(layer.c);
+    const Window2d w = layer.window;
+    const TensorF16 in = bench::make_input(1, c1, layer.h, layer.w);
+    const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+    TensorF16 grad(Shape{1, c1, w.out_h(layer.h), w.out_w(layer.w), kC0});
+    grad.fill_random_ints(7, 0, 5);
+
+    auto vadd = kernels::maxpool_backward(dev, mask, grad, w, layer.h,
+                                          layer.w, kernels::MergeImpl::kVadd);
+    auto col2im = kernels::maxpool_backward(
+        dev, mask, grad, w, layer.h, layer.w, kernels::MergeImpl::kCol2im);
+    const TensorF16 want = ref::maxpool_bwd(mask, grad, w, layer.h, layer.w);
+    bool ok = true;
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ok &= vadd.grad_in.flat(i) == want.flat(i);
+      ok &= col2im.grad_in.flat(i) == want.flat(i);
+    }
+    char shape[48];
+    std::snprintf(shape, sizeof(shape), "%lld,%lld,%lld",
+                  static_cast<long long>(layer.h),
+                  static_cast<long long>(layer.w),
+                  static_cast<long long>(layer.c));
+    table.add_row({shape, bench::fmt_int(vadd.cycles()),
+                   bench::fmt_int(col2im.cycles()),
+                   bench::fmt_ratio(static_cast<double>(vadd.cycles()) /
+                                    static_cast<double>(col2im.cycles())),
+                   ok ? "bit-exact" : "MISMATCH"});
+  }
+  table.print();
+  std::printf(
+      "\nPaper reports a 5.8x speedup at the largest input (Section VI-A).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "harness.h"
+
+#include <cstdio>
+
+namespace davinci::bench {
+
+TensorF16 make_input(std::int64_t n, std::int64_t c1, std::int64_t h,
+                     std::int64_t w, std::uint64_t seed) {
+  TensorF16 t(Shape{n, c1, h, w, kC0});
+  t.fill_random_ints(seed);
+  return t;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s  ", static_cast<int>(widths[i]), columns_[i].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%s  ", std::string(widths[i], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+std::string fmt_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return buf;
+}
+
+void print_preamble(const std::string& what, const std::string& paper_ref) {
+  std::printf("%s\n", std::string(72, '=').c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf(
+      "Metric: simulated AI-Core cycle counts (deterministic; the paper's\n"
+      "hardware counters averaged 10 runs -- see EXPERIMENTS.md for the\n"
+      "paper-vs-simulator comparison).\n");
+  std::printf("%s\n", std::string(72, '=').c_str());
+}
+
+}  // namespace davinci::bench

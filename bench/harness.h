@@ -1,0 +1,45 @@
+// Common harness for the paper-reproduction benches. Each bench binary
+// regenerates one table or figure of the paper: it runs the relevant
+// kernels on the simulated Ascend-910-like device and prints the cycle
+// counts the paper plots. The simulator is deterministic, so a single run
+// per configuration is exact (the paper averaged 10 hardware runs; here
+// the variance is zero by construction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "tensor/fractal.h"
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::bench {
+
+// Random integer-valued NC1HWC0 input (values do not affect cycle counts;
+// integers keep any verification exact).
+TensorF16 make_input(std::int64_t n, std::int64_t c1, std::int64_t h,
+                     std::int64_t w, std::uint64_t seed = 1);
+
+// Simple fixed-width text table.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_int(std::int64_t v);
+std::string fmt_ratio(double v);
+
+// Shared banner explaining the metric.
+void print_preamble(const std::string& what, const std::string& paper_ref);
+
+}  // namespace davinci::bench

@@ -1,0 +1,67 @@
+// The Im2Col instruction at its original job: mapping convolution onto
+// the Cube Unit's matrix multiplier (Figure 1 / Section III of the
+// paper). Runs a convolution layer both ways of producing the unrolled
+// layout and validates against the reference convolution -- the same
+// machinery the pooling kernels borrow for the Vector Unit.
+//
+//   $ ./examples/conv_im2col_cube
+#include <cstdio>
+
+#include "kernels/conv2d.h"
+#include "ref/conv_ref.h"
+#include "tensor/fractal.h"
+
+using namespace davinci;
+
+int main() {
+  const std::int64_t cin = 32, cout = 32, h = 28;
+  const Window2d window = Window2d::pool(/*k=*/3, /*s=*/1);
+
+  TensorF32 image(Shape{1, cin, h, h});
+  image.fill_random_ints(21, -2, 2);
+  TensorF32 weights(Shape{cout, cin, 3, 3});
+  weights.fill_random_ints(22, -2, 2);
+
+  Device dev;
+  const TensorF16 input = nchw_to_nc1hwc0(image);
+
+  auto with_instr = kernels::conv2d_cube(dev, input, weights, window,
+                                         /*use_im2col_instruction=*/true);
+  auto with_expansion = kernels::conv2d_cube(dev, input, weights, window,
+                                             /*use_im2col_instruction=*/false);
+
+  // Verify against the direct reference convolution.
+  const TensorF32 want = ref::conv2d_nchw(image, weights, window);
+  const TensorF32 got = nc1hwc0_to_nchw(with_instr.out, cout);
+  for (std::int64_t i = 0; i < want.size(); ++i) {
+    if (got.flat(i) != Float16(want.flat(i)).to_float()) {
+      std::fprintf(stderr, "conv verification FAILED at %lld\n",
+                   static_cast<long long>(i));
+      return 1;
+    }
+    if (!(with_instr.out.flat(i) == with_expansion.out.flat(i))) {
+      std::fprintf(stderr, "path equivalence FAILED at %lld\n",
+                   static_cast<long long>(i));
+      return 1;
+    }
+  }
+
+  std::printf("conv2d %lldx%lldx%lld -> %lld filters, K(3,3) S(1,1)\n\n",
+              static_cast<long long>(h), static_cast<long long>(h),
+              static_cast<long long>(cin), static_cast<long long>(cout));
+  std::printf("Im2Col-load path   : %8lld cycles (%lld fractal MACs)\n",
+              static_cast<long long>(with_instr.cycles()),
+              static_cast<long long>(
+                  with_instr.run.aggregate.cube_fractal_macs));
+  std::printf("expansion path     : %8lld cycles\n",
+              static_cast<long long>(with_expansion.cycles()));
+  std::printf("instruction benefit: %.2fx\n",
+              static_cast<double>(with_expansion.cycles()) /
+                  static_cast<double>(with_instr.cycles()));
+  std::printf(
+      "\nThe Im2Col instruction transforms the tile while it is loaded\n"
+      "L1 -> L0A, so the duplicated elements of overlapping patches only\n"
+      "ever exist in the Cube Unit's input buffer. Output verified against\n"
+      "the reference convolution (bit-exact after the fp16 store).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The full Section-IV path in one file: define MaxPool in the TVM-style
+// compute DSL (the paper's Listing 1, verbatim structure), let the
+// lowering pass pattern-match it, pick the winning implementation for the
+// target (the Figure-8 decision), and execute it on the simulated device
+// -- then cross-check against the DSL interpreter.
+//
+//   $ ./examples/dsl_to_device
+#include <cstdio>
+
+#include "kernels/lower.h"
+#include "tensor/fractal.h"
+
+using namespace davinci;
+using akg::dsl::IndexExpr;
+
+int main() {
+  const std::int64_t N = 1, C1 = 4, Ih = 35, Iw = 35;
+  Device dev;
+
+  for (const std::int64_t stride : {2, 1}) {
+    const std::int64_t Kh = 3, Kw = 3, Sh = stride, Sw = stride;
+    const std::int64_t Oh = (Ih - Kh) / Sh + 1, Ow = (Iw - Kw) / Sw + 1;
+
+    // Listing 1 of the paper, in this library's DSL:
+    //   input  = placeholder((N, C1, Ih, Iw, C0), name="input")
+    //   red_h  = reduce_axis((0, Kh), "red_h")
+    //   red_w  = reduce_axis((0, Kw), "red_w")
+    //   output = compute((N, C1, Oh, Ow, C0),
+    //       lambda n, c1, h, w, c0:
+    //           max(input[n, c1, h*Sh + red_h, w*Sw + red_w, c0],
+    //               axis=[red_h, red_w]))
+    const auto input =
+        akg::dsl::placeholder(Shape{N, C1, Ih, Iw, kC0}, "input", 0);
+    const auto red_h = akg::dsl::reduce_axis(Kh, "red_h");
+    const auto red_w = akg::dsl::reduce_axis(Kw, "red_w");
+    const akg::dsl::Compute output = akg::dsl::compute(
+        Shape{N, C1, Oh, Ow, kC0},
+        [&](const std::vector<IndexExpr>& i) {
+          return akg::dsl::max(
+              input(i[0], i[1], i[2] * Sh + red_h, i[3] * Sw + red_w, i[4]),
+              {red_h, red_w});
+        });
+
+    TensorF16 data(Shape{N, C1, Ih, Iw, kC0});
+    data.fill_random_ints(stride);
+
+    // Lower + run on the device, and interpret the same definition.
+    auto lowered = akg::lower_and_run(dev, output, data);
+    const TensorF16 interpreted = akg::dsl::evaluate(output, {&data});
+    for (std::int64_t i = 0; i < interpreted.size(); ++i) {
+      if (!(lowered.out.flat(i) == interpreted.flat(i))) {
+        std::fprintf(stderr, "lowering mismatch at %lld\n",
+                     static_cast<long long>(i));
+        return 1;
+      }
+    }
+
+    std::printf(
+        "stride (%lld,%lld): matched window K(3,3) S(%lld,%lld); the\n"
+        "scheduler picked '%s' (%lld device cycles, verified against the\n"
+        "DSL interpreter).\n\n",
+        static_cast<long long>(stride), static_cast<long long>(stride),
+        static_cast<long long>(stride), static_cast<long long>(stride),
+        akg::to_string(lowered.impl),
+        static_cast<long long>(lowered.run.device_cycles));
+  }
+  std::printf(
+      "Same definition, different schedules: the Im2col-based lowering at\n"
+      "stride (2,2), the direct lowering at stride (1,1) -- the paper's\n"
+      "Figure 8 conclusion, applied automatically.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Runs every pooling layer of the four CNNs in the paper's Table I
+// (InceptionV3, Xception, ResNet50, VGG16) through the simulator with both
+// forward implementations, reporting per-layer and per-network cycles --
+// what adopting the Im2col-based pooling would save across real networks.
+//
+//   $ ./examples/inception_pooling
+#include <cstdio>
+#include <map>
+
+#include "kernels/pooling.h"
+#include "nets/cnn_tables.h"
+#include "ref/pooling_ref.h"
+#include "tensor/fractal.h"
+
+using namespace davinci;
+
+int main() {
+  Device dev;
+  std::printf("%-12s %-14s %-12s %12s %12s %8s\n", "network", "input (HWC)",
+              "kernel/stride", "standard", "im2col", "speedup");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> totals;
+  for (const auto& layer : nets::table1_layers()) {
+    const std::int64_t c1 = c1_of(layer.c);
+    TensorF16 in(Shape{1, c1, layer.h, layer.w, kC0});
+    in.fill_random(7);
+
+    auto direct = kernels::maxpool_forward(dev, in, layer.window,
+                                           akg::PoolImpl::kDirect);
+    auto im2col = kernels::maxpool_forward(dev, in, layer.window,
+                                           akg::PoolImpl::kIm2col);
+    // Sanity: both agree (max is exact in fp16).
+    const TensorF16 want = ref::maxpool_fwd(in, layer.window);
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      if (!(im2col.out.flat(i) == want.flat(i))) {
+        std::fprintf(stderr, "verification failed: %s input %d\n",
+                     layer.network.c_str(), layer.index);
+        return 1;
+      }
+    }
+    totals[layer.network].first += direct.cycles();
+    totals[layer.network].second += im2col.cycles();
+
+    char shape[32], ks[32];
+    std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld",
+                  static_cast<long long>(layer.h),
+                  static_cast<long long>(layer.w),
+                  static_cast<long long>(layer.c));
+    std::snprintf(ks, sizeof(ks), "(%lld,%lld)/(%lld,%lld)",
+                  static_cast<long long>(layer.window.kh),
+                  static_cast<long long>(layer.window.kw),
+                  static_cast<long long>(layer.window.sh),
+                  static_cast<long long>(layer.window.sw));
+    std::printf("%-12s %-14s %-12s %12lld %12lld %7.2fx\n",
+                layer.network.c_str(), shape, ks,
+                static_cast<long long>(direct.cycles()),
+                static_cast<long long>(im2col.cycles()),
+                static_cast<double>(direct.cycles()) /
+                    static_cast<double>(im2col.cycles()));
+  }
+
+  std::printf("\nPer-network pooling totals:\n");
+  for (const auto& [net, t] : totals) {
+    std::printf("  %-12s %12lld -> %12lld cycles (%.2fx)\n", net.c_str(),
+                static_cast<long long>(t.first),
+                static_cast<long long>(t.second),
+                static_cast<double>(t.first) / static_cast<double>(t.second));
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Training-step walkthrough: forward MaxPool with Argmax mask, a loss
+// gradient, and the backward pass -- comparing the standard stack (direct
+// forward + vadd merge) with the accelerated stack (Im2Col forward +
+// Col2Im merge). The two stacks produce identical numerics; only the
+// cycle counts differ. Gradients are validated against the NCHW fp32
+// reference pipeline.
+//
+//   $ ./examples/train_pooling_layer
+#include <cstdio>
+
+#include "kernels/pooling.h"
+#include "ref/pooling_ref.h"
+#include "tensor/fractal.h"
+
+using namespace davinci;
+
+int main() {
+  const std::int64_t channels = 192, h = 71, w_ = 71;
+  const Window2d window = Window2d::pool(3, 2);
+  const std::int64_t oh = window.out_h(h), ow = window.out_w(w_);
+
+  TensorF32 activations(Shape{1, channels, h, w_});
+  activations.fill_random_ints(11);
+  // Pretend the loss produced this gradient at the pooling output.
+  TensorF32 loss_grad(Shape{1, channels, oh, ow});
+  loss_grad.fill_random_ints(12, 0, 5);
+
+  Device dev;
+  const TensorF16 input = nchw_to_nc1hwc0(activations);
+  const TensorF16 grad = nchw_to_nc1hwc0(loss_grad);
+
+  std::printf("MaxPool training step, input %lldx%lldx%lld, K(3,3) S(2,2)\n\n",
+              static_cast<long long>(h), static_cast<long long>(w_),
+              static_cast<long long>(channels));
+
+  // --- Standard stack ---
+  auto fwd_base = kernels::maxpool_forward_with_mask(dev, input, window,
+                                                     akg::PoolImpl::kDirect);
+  auto bwd_base =
+      kernels::maxpool_backward(dev, fwd_base.mask, grad, window, h, w_,
+                                kernels::MergeImpl::kVadd);
+
+  // --- Accelerated stack (the paper's contribution) ---
+  auto fwd_fast = kernels::maxpool_forward_with_mask(dev, input, window,
+                                                     akg::PoolImpl::kIm2col);
+  auto bwd_fast =
+      kernels::maxpool_backward(dev, fwd_fast.mask, grad, window, h, w_,
+                                kernels::MergeImpl::kCol2im);
+
+  // --- Validate against the fp32 NCHW reference ---
+  const TensorF32 want_out = ref::maxpool_fwd_nchw(activations, window);
+  const TensorF32 want_gin =
+      ref::maxpool_bwd_nchw(activations, loss_grad, window);
+  const TensorF32 got_out = nc1hwc0_to_nchw(fwd_fast.out, channels);
+  const TensorF32 got_gin = nc1hwc0_to_nchw(bwd_fast.grad_in, channels);
+  for (std::int64_t i = 0; i < want_out.size(); ++i) {
+    if (got_out.flat(i) != want_out.flat(i)) {
+      std::fprintf(stderr, "forward verification FAILED\n");
+      return 1;
+    }
+  }
+  for (std::int64_t i = 0; i < want_gin.size(); ++i) {
+    if (got_gin.flat(i) != want_gin.flat(i)) {
+      std::fprintf(stderr, "backward verification FAILED\n");
+      return 1;
+    }
+  }
+  for (std::int64_t i = 0; i < bwd_fast.grad_in.size(); ++i) {
+    if (!(bwd_fast.grad_in.flat(i) == bwd_base.grad_in.flat(i))) {
+      std::fprintf(stderr, "stack equivalence FAILED\n");
+      return 1;
+    }
+  }
+
+  std::printf("%-28s %14s %14s\n", "", "standard", "accelerated");
+  std::printf("%-28s %14lld %14lld\n", "forward + mask (cycles)",
+              static_cast<long long>(fwd_base.cycles()),
+              static_cast<long long>(fwd_fast.cycles()));
+  std::printf("%-28s %14lld %14lld\n", "backward (cycles)",
+              static_cast<long long>(bwd_base.cycles()),
+              static_cast<long long>(bwd_fast.cycles()));
+  std::printf("%-28s %14s %13.2fx\n", "forward speedup", "",
+              static_cast<double>(fwd_base.cycles()) /
+                  static_cast<double>(fwd_fast.cycles()));
+  std::printf("%-28s %14s %13.2fx\n", "backward speedup", "",
+              static_cast<double>(bwd_base.cycles()) /
+                  static_cast<double>(bwd_fast.cycles()));
+  std::printf(
+      "\nGradients verified against the NCHW fp32 reference; both stacks\n"
+      "are bit-identical -- the acceleration changes the schedule, never\n"
+      "the numerics.\n");
+  return 0;
+}

@@ -1,0 +1,370 @@
+#include "akg/dsl.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace davinci::akg::dsl {
+
+namespace {
+
+// Output-axis variables use ids [0, kFirstReduceId); reduce axes draw
+// from a process-wide counter above that.
+constexpr int kFirstReduceId = 256;
+std::atomic<int> g_next_reduce_id{kFirstReduceId};
+
+}  // namespace
+
+ReduceAxis reduce_axis(std::int64_t extent, std::string name) {
+  DV_CHECK_GE(extent, 1);
+  return ReduceAxis{g_next_reduce_id++, extent, std::move(name)};
+}
+
+IndexExpr::IndexExpr(const ReduceAxis& axis) {
+  terms_.push_back(Term{axis.id, 1});
+}
+
+IndexExpr IndexExpr::output_var(int axis_id) {
+  IndexExpr e;
+  e.terms_.push_back(Term{axis_id, 1});
+  return e;
+}
+
+IndexExpr operator+(IndexExpr a, const IndexExpr& b) {
+  for (const auto& t : b.terms_) a.terms_.push_back(t);
+  a.constant_ += b.constant_;
+  return a;
+}
+
+IndexExpr operator-(IndexExpr a, const IndexExpr& b) {
+  for (const auto& t : b.terms_) {
+    a.terms_.push_back(IndexExpr::Term{t.axis_id, -t.coeff});
+  }
+  a.constant_ -= b.constant_;
+  return a;
+}
+
+IndexExpr operator*(IndexExpr a, std::int64_t k) {
+  for (auto& t : a.terms_) t.coeff *= k;
+  a.constant_ *= k;
+  return a;
+}
+
+std::int64_t IndexExpr::eval(const std::vector<std::int64_t>& bindings) const {
+  std::int64_t v = constant_;
+  for (const auto& t : terms_) {
+    DV_CHECK_LT(static_cast<std::size_t>(t.axis_id), bindings.size())
+        << "unbound axis in index expression";
+    v += t.coeff * bindings[static_cast<std::size_t>(t.axis_id)];
+  }
+  return v;
+}
+
+// Expression tree node. Reductions are a distinct node kind wrapping a
+// body (TVM permits them only at the top of a compute body; evaluate()
+// enforces that).
+class ExprNode {
+ public:
+  ExprKind kind = ExprKind::kConst;
+
+  // kLoad
+  int input_index = -1;
+  Shape in_shape;
+  std::string in_name;
+  std::vector<IndexExpr> indices;
+
+  // kConst
+  Float16 value;
+
+  // binary ops
+  Expr lhs, rhs;
+
+  // reduction (is_reduce true; `kind` unused)
+  bool is_reduce = false;
+  ReduceKind rkind = ReduceKind::kSum;
+  std::vector<ReduceAxis> axes;
+  Expr body;
+};
+
+Placeholder placeholder(Shape shape, std::string name, int input_index) {
+  DV_CHECK_GE(input_index, 0);
+  return Placeholder(shape, std::move(name), input_index);
+}
+
+Expr Placeholder::load(std::vector<IndexExpr> indices) const {
+  DV_CHECK_EQ(static_cast<int>(indices.size()), shape_.rank())
+      << "index rank mismatch on placeholder '" << name_ << "'";
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kLoad;
+  n->input_index = input_index_;
+  n->in_shape = shape_;
+  n->in_name = name_;
+  n->indices = std::move(indices);
+  return n;
+}
+
+Expr constant(float value) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kConst;
+  n->value = Float16(value);
+  return n;
+}
+
+namespace {
+
+Expr binary(ExprKind kind, Expr a, Expr b) {
+  DV_CHECK(a && b) << "null operand";
+  DV_CHECK(!a->is_reduce && !b->is_reduce)
+      << "reductions are only allowed at the top of a compute body";
+  auto n = std::make_shared<ExprNode>();
+  n->kind = kind;
+  n->lhs = std::move(a);
+  n->rhs = std::move(b);
+  return n;
+}
+
+Expr reduction(ReduceKind rkind, Expr body, std::vector<ReduceAxis> axes) {
+  DV_CHECK(body) << "null reduction body";
+  DV_CHECK(!body->is_reduce) << "nested reductions are not supported";
+  DV_CHECK(!axes.empty()) << "reduction needs at least one axis";
+  auto n = std::make_shared<ExprNode>();
+  n->is_reduce = true;
+  n->rkind = rkind;
+  n->axes = std::move(axes);
+  n->body = std::move(body);
+  return n;
+}
+
+}  // namespace
+
+Expr operator+(Expr a, Expr b) {
+  return binary(ExprKind::kAdd, std::move(a), std::move(b));
+}
+Expr operator-(Expr a, Expr b) {
+  return binary(ExprKind::kSub, std::move(a), std::move(b));
+}
+Expr operator*(Expr a, Expr b) {
+  return binary(ExprKind::kMul, std::move(a), std::move(b));
+}
+Expr operator/(Expr a, Expr b) {
+  return binary(ExprKind::kDiv, std::move(a), std::move(b));
+}
+Expr max2(Expr a, Expr b) {
+  return binary(ExprKind::kMax, std::move(a), std::move(b));
+}
+Expr min2(Expr a, Expr b) {
+  return binary(ExprKind::kMin, std::move(a), std::move(b));
+}
+
+Expr max(Expr body, std::vector<ReduceAxis> axes) {
+  return reduction(ReduceKind::kMax, std::move(body), std::move(axes));
+}
+Expr min(Expr body, std::vector<ReduceAxis> axes) {
+  return reduction(ReduceKind::kMin, std::move(body), std::move(axes));
+}
+Expr sum(Expr body, std::vector<ReduceAxis> axes) {
+  return reduction(ReduceKind::kSum, std::move(body), std::move(axes));
+}
+
+Compute compute(Shape out_shape,
+                const std::function<Expr(const std::vector<IndexExpr>&)>&
+                    builder) {
+  DV_CHECK_GE(out_shape.rank(), 1);
+  DV_CHECK_LE(out_shape.rank(), kFirstReduceId);
+  std::vector<IndexExpr> vars;
+  vars.reserve(static_cast<std::size_t>(out_shape.rank()));
+  for (int i = 0; i < out_shape.rank(); ++i) {
+    vars.push_back(IndexExpr::output_var(i));
+  }
+  Compute c;
+  c.out_shape = out_shape;
+  c.body = builder(vars);
+  DV_CHECK(c.body) << "compute body is null";
+  return c;
+}
+
+namespace {
+
+struct EvalContext {
+  const std::vector<const TensorF16*>* inputs;
+  std::vector<std::int64_t> bindings;
+};
+
+int max_axis_id(const Expr& e) {
+  if (!e) return -1;
+  int m = -1;
+  if (e->is_reduce) {
+    for (const auto& a : e->axes) m = std::max(m, a.id);
+    m = std::max(m, max_axis_id(e->body));
+    return m;
+  }
+  m = std::max(m, max_axis_id(e->lhs));
+  m = std::max(m, max_axis_id(e->rhs));
+  return m;
+}
+
+Float16 eval_scalar(const Expr& e, EvalContext& ctx) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value;
+    case ExprKind::kLoad: {
+      DV_CHECK_LT(static_cast<std::size_t>(e->input_index),
+                  ctx.inputs->size())
+          << "missing input for placeholder '" << e->in_name << "'";
+      const TensorF16& t = *(*ctx.inputs)[
+          static_cast<std::size_t>(e->input_index)];
+      DV_CHECK(t.shape() == e->in_shape)
+          << "input shape " << t.shape().to_string()
+          << " does not match placeholder '" << e->in_name << "' "
+          << e->in_shape.to_string();
+      std::int64_t off = 0;
+      for (std::size_t i = 0; i < e->indices.size(); ++i) {
+        const std::int64_t ix = e->indices[i].eval(ctx.bindings);
+        DV_CHECK(ix >= 0 && ix < e->in_shape.dim(static_cast<int>(i)))
+            << "index " << ix << " out of bounds for dim " << i << " of '"
+            << e->in_name << "' " << e->in_shape.to_string();
+        off = off * e->in_shape.dim(static_cast<int>(i)) + ix;
+      }
+      return t.flat(off);
+    }
+    case ExprKind::kAdd:
+      return eval_scalar(e->lhs, ctx) + eval_scalar(e->rhs, ctx);
+    case ExprKind::kSub:
+      return eval_scalar(e->lhs, ctx) - eval_scalar(e->rhs, ctx);
+    case ExprKind::kMul:
+      return eval_scalar(e->lhs, ctx) * eval_scalar(e->rhs, ctx);
+    case ExprKind::kDiv:
+      return eval_scalar(e->lhs, ctx) / eval_scalar(e->rhs, ctx);
+    case ExprKind::kMax:
+      return fmax16(eval_scalar(e->lhs, ctx), eval_scalar(e->rhs, ctx));
+    case ExprKind::kMin:
+      return fmin16(eval_scalar(e->lhs, ctx), eval_scalar(e->rhs, ctx));
+  }
+  return Float16();
+}
+
+Float16 eval_reduce(const Expr& e, EvalContext& ctx, std::size_t depth,
+                    Float16 acc) {
+  if (depth == e->axes.size()) {
+    const Float16 v = eval_scalar(e->body, ctx);
+    switch (e->rkind) {
+      case ReduceKind::kMax: return fmax16(acc, v);
+      case ReduceKind::kMin: return fmin16(acc, v);
+      case ReduceKind::kSum: return acc + v;
+    }
+    return acc;
+  }
+  const ReduceAxis& axis = e->axes[depth];
+  for (std::int64_t v = 0; v < axis.extent; ++v) {
+    ctx.bindings[static_cast<std::size_t>(axis.id)] = v;
+    acc = eval_reduce(e, ctx, depth + 1, acc);
+  }
+  return acc;
+}
+
+}  // namespace
+
+TensorF16 evaluate(const Compute& c,
+                   const std::vector<const TensorF16*>& inputs) {
+  EvalContext ctx;
+  ctx.inputs = &inputs;
+  const int rank = c.out_shape.rank();
+  const int maxid = std::max(max_axis_id(c.body), rank - 1);
+  ctx.bindings.assign(static_cast<std::size_t>(maxid) + 1, 0);
+
+  TensorF16 out(c.out_shape);
+  const std::int64_t n = out.size();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(rank), 0);
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    // Decode the row-major output index into the axis bindings.
+    std::int64_t rem = flat;
+    for (int i = rank - 1; i >= 0; --i) {
+      ctx.bindings[static_cast<std::size_t>(i)] = rem % c.out_shape.dim(i);
+      rem /= c.out_shape.dim(i);
+    }
+    if (c.body->is_reduce) {
+      Float16 init;
+      switch (c.body->rkind) {
+        case ReduceKind::kMax: init = Float16::lowest(); break;
+        case ReduceKind::kMin: init = Float16::max_finite(); break;
+        case ReduceKind::kSum: init = Float16(); break;
+      }
+      out.flat(flat) = eval_reduce(c.body, ctx, 0, init);
+    } else {
+      out.flat(flat) = eval_scalar(c.body, ctx);
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci::akg::dsl
+
+namespace davinci::akg::dsl {
+
+bool is_reduce(const Expr& e) {
+  DV_CHECK(e) << "null expression";
+  return e->is_reduce;
+}
+
+ReduceKind reduce_kind(const Expr& e) {
+  DV_CHECK(is_reduce(e)) << "not a reduction";
+  return e->rkind;
+}
+
+const std::vector<ReduceAxis>& reduce_axes(const Expr& e) {
+  DV_CHECK(is_reduce(e)) << "not a reduction";
+  return e->axes;
+}
+
+const Expr& reduce_body(const Expr& e) {
+  DV_CHECK(is_reduce(e)) << "not a reduction";
+  return e->body;
+}
+
+ExprKind kind_of(const Expr& e) {
+  DV_CHECK(e && !e->is_reduce) << "kind_of on a reduction";
+  return e->kind;
+}
+
+bool is_load(const Expr& e) {
+  return e && !e->is_reduce && e->kind == ExprKind::kLoad;
+}
+
+int load_input_index(const Expr& e) {
+  DV_CHECK(is_load(e)) << "not a load";
+  return e->input_index;
+}
+
+const Shape& load_shape(const Expr& e) {
+  DV_CHECK(is_load(e)) << "not a load";
+  return e->in_shape;
+}
+
+const std::vector<IndexExpr>& load_indices(const Expr& e) {
+  DV_CHECK(is_load(e)) << "not a load";
+  return e->indices;
+}
+
+std::int64_t index_coefficient(const IndexExpr& e, int axis_id) {
+  std::int64_t c = 0;
+  for (const auto& t : e.terms_) {
+    if (t.axis_id == axis_id) c += t.coeff;
+  }
+  return c;
+}
+
+std::int64_t index_constant(const IndexExpr& e) { return e.constant_; }
+
+std::vector<int> index_axes(const IndexExpr& e) {
+  std::vector<int> ids;
+  for (const auto& t : e.terms_) {
+    if (t.coeff == 0) continue;
+    bool seen = false;
+    for (int id : ids) seen |= id == t.axis_id;
+    if (!seen) ids.push_back(t.axis_id);
+  }
+  return ids;
+}
+
+}  // namespace davinci::akg::dsl

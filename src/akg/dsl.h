@@ -1,0 +1,174 @@
+// A miniature TVM-style tensor-expression DSL (Section IV of the paper).
+//
+// AKG defines operators in TVM's compute language -- placeholders, index
+// expressions, and reductions over reduce_axis variables -- and lowers
+// them to CCE-C. This module implements the *definition* language and an
+// interpreter with hardware-faithful fp16 semantics (one rounding per
+// arithmetic operation, reduction axes iterated in declaration order), so
+// the paper's Listings 1-3 can be written literally and validated against
+// both the reference implementations and the simulator kernels:
+//
+//   auto in  = dsl::placeholder({N, C1, Ih, Iw, C0}, "input");
+//   auto rh  = dsl::reduce_axis(Kh, "red_h");
+//   auto rw  = dsl::reduce_axis(Kw, "red_w");
+//   auto out = dsl::compute({N, C1, Oh, Ow, C0},
+//       [&](const std::vector<dsl::IndexExpr>& i) {
+//         return dsl::max(in(i[0], i[1], i[2] * Sh + rh, i[3] * Sw + rw,
+//                            i[4]),
+//                         {rh, rw});
+//       });
+//   TensorF16 result = dsl::evaluate(out, {&input_tensor});
+//
+// The *scheduling* half of TVM/AKG (tiling, buffer scopes, vectorization)
+// lives in akg::tiling and in the hand-written kernel programs -- the
+// lowered forms the paper describes; this module covers the algorithm
+// side of the algorithm/schedule separation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/float16.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace davinci::akg::dsl {
+
+// A reduction axis with a fixed extent ("reduce_axis((0, Kh), 'red_h')").
+struct ReduceAxis {
+  int id;
+  std::int64_t extent;
+  std::string name;
+};
+
+ReduceAxis reduce_axis(std::int64_t extent, std::string name);
+
+// An affine index expression over output-axis and reduce-axis variables:
+// sum of coeff * axis + constant.
+class IndexExpr {
+ public:
+  IndexExpr() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): literals index tensors.
+  IndexExpr(std::int64_t constant) : constant_(constant) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  IndexExpr(const ReduceAxis& axis);
+
+  static IndexExpr output_var(int axis_id);
+
+  friend IndexExpr operator+(IndexExpr a, const IndexExpr& b);
+  friend IndexExpr operator-(IndexExpr a, const IndexExpr& b);
+  friend IndexExpr operator*(IndexExpr a, std::int64_t k);
+  friend IndexExpr operator*(std::int64_t k, IndexExpr a) {
+    return std::move(a) * k;
+  }
+
+  std::int64_t eval(const std::vector<std::int64_t>& bindings) const;
+
+ private:
+  friend std::int64_t index_coefficient(const IndexExpr&, int);
+  friend std::int64_t index_constant(const IndexExpr&);
+  friend std::vector<int> index_axes(const IndexExpr&);
+
+  struct Term {
+    int axis_id;
+    std::int64_t coeff;
+  };
+  std::vector<Term> terms_;
+  std::int64_t constant_ = 0;
+};
+
+// Scalar expression tree node kinds.
+enum class ExprKind : std::uint8_t {
+  kLoad,    // placeholder element
+  kConst,   // fp16 immediate
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMax,
+  kMin,
+};
+
+class ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+// A placeholder input tensor; operator() builds a load expression.
+class Placeholder {
+ public:
+  Placeholder(Shape shape, std::string name, int input_index)
+      : shape_(shape), name_(std::move(name)), input_index_(input_index) {}
+
+  const Shape& shape() const { return shape_; }
+  const std::string& name() const { return name_; }
+  int input_index() const { return input_index_; }
+
+  template <typename... Ix>
+  Expr operator()(Ix&&... indices) const {
+    return load({IndexExpr(std::forward<Ix>(indices))...});
+  }
+  Expr load(std::vector<IndexExpr> indices) const;
+
+ private:
+  Shape shape_;
+  std::string name_;
+  int input_index_;
+};
+
+// Creates the i-th input placeholder (inputs are passed to evaluate() in
+// placeholder order).
+Placeholder placeholder(Shape shape, std::string name, int input_index);
+
+// Scalar constants and arithmetic.
+Expr constant(float value);
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+Expr max2(Expr a, Expr b);
+Expr min2(Expr a, Expr b);
+
+// Reductions over one or more reduce axes, iterated in declaration order
+// of the `axes` list (outer to inner) with one fp16 rounding per step --
+// matching the lowered vector code.
+enum class ReduceKind : std::uint8_t { kMax, kMin, kSum };
+Expr max(Expr body, std::vector<ReduceAxis> axes);
+Expr min(Expr body, std::vector<ReduceAxis> axes);
+Expr sum(Expr body, std::vector<ReduceAxis> axes);
+
+// A compute definition: output shape + body built from output-axis index
+// expressions (Listing 1's `compute((N, C1, Oh, Ow, C0), lambda ...)`).
+struct Compute {
+  Shape out_shape;
+  Expr body;
+};
+
+Compute compute(Shape out_shape,
+                const std::function<Expr(const std::vector<IndexExpr>&)>&
+                    builder);
+
+// Interprets the definition over fp16 inputs (in placeholder order).
+TensorF16 evaluate(const Compute& c,
+                   const std::vector<const TensorF16*>& inputs);
+
+// --- Introspection (used by the lowering pass in akg/lower.h) ---
+
+bool is_reduce(const Expr& e);
+ReduceKind reduce_kind(const Expr& e);              // reduce nodes only
+const std::vector<ReduceAxis>& reduce_axes(const Expr& e);
+const Expr& reduce_body(const Expr& e);
+ExprKind kind_of(const Expr& e);                    // non-reduce nodes
+bool is_load(const Expr& e);
+int load_input_index(const Expr& e);
+const Shape& load_shape(const Expr& e);
+const std::vector<IndexExpr>& load_indices(const Expr& e);
+
+// IndexExpr introspection: the coefficient of one axis variable, the
+// constant term, and the ids of all referenced axes.
+std::int64_t index_coefficient(const IndexExpr& e, int axis_id);
+std::int64_t index_constant(const IndexExpr& e);
+std::vector<int> index_axes(const IndexExpr& e);
+
+}  // namespace davinci::akg::dsl

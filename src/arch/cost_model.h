@@ -1,0 +1,96 @@
+// Cycle-cost model of the simulated AI Core.
+//
+// The paper explains every measured result in terms of (a) how many vector
+// instructions are issued, (b) how saturated the 128-lane vector mask is,
+// (c) whether the hardware repeat parameter replaces scalar loops, and
+// (d) the cost of moving/transforming data between buffers (MTE and SCU).
+// This model charges cycles for exactly those quantities:
+//
+//   * a vector instruction costs `vec_issue_overhead + repeat` cycles --
+//     one cycle per repeat iteration regardless of how many mask lanes are
+//     active, which is why 16-of-128-lane code wastes 7/8 of the unit;
+//   * every iteration of a scalar loop wrapped around instructions costs
+//     `scalar_loop_cycles` (address computation, compare, branch,
+//     instruction fetch pressure -- what the repeat parameter eliminates);
+//   * MTE transfers pay a startup plus a bandwidth term;
+//   * the SCU processes one 16xC0 fractal per `scu_*_cycles_per_fractal`
+//     cycles; Col2Im is costlier per fractal than Im2Col because it
+//     performs a load + add + store round trip (Figure 6);
+//   * the Cube Unit multiplies one pair of fractals per cycle
+//     (Section III-A).
+//
+// Absolute constants are calibrated so relative results (who wins, by what
+// factor, where the stride-(1,1) crossover sits) reproduce the paper's
+// Figures 7 and 8; see EXPERIMENTS.md. The ablation bench
+// `bench_ablation_costmodel` sweeps the most influential constants and
+// shows the orderings are stable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/align.h"
+
+namespace davinci {
+
+struct CostModel {
+  // Vector Unit.
+  std::int64_t vec_issue_overhead = 2;   // decode/issue/drain per instruction
+  std::int64_t vec_cycles_per_repeat = 1;
+
+  // Scalar Unit overhead per loop iteration surrounding instructions.
+  std::int64_t scalar_loop_cycles = 2;
+
+  // Memory Transfer Engine (global memory <-> L1/UB).
+  std::int64_t mte_startup_cycles = 64;
+  std::int64_t mte_bytes_per_cycle = 128;   // 1024-bit path to GM
+  std::int64_t mte_burst_cycles = 1;        // per discontiguous burst (row)
+
+  // Storage Conversion Unit. Per-fractal costs below make the SCU move
+  // ~40-50 fp16 elements per cycle -- slower than the MTE's straight-line
+  // 64 elements per cycle, because every fractal is gathered from strided
+  // patch positions. This throughput gap (together with the Kh*Kw/ (Sh*Sw)
+  // data duplication) is what lets the direct kernel win at stride (1,1)
+  // in Figure 8a while losing everywhere else.
+  std::int64_t scu_issue_overhead = 8;            // per Im2Col/Col2Im instr
+  std::int64_t scu_im2col_cycles_per_fractal = 6; // gather-transform-store
+  std::int64_t scu_col2im_cycles_per_fractal = 7; // load + add + store
+
+  // Cube Unit.
+  std::int64_t cube_issue_overhead = 8;
+  std::int64_t cube_cycles_per_fractal_mac = 1;   // 16x16x16 MAC per cycle
+
+  // Synchronization between dependent instructions on different pipes.
+  std::int64_t pipe_barrier_cycles = 16;
+
+  // Device-level: per-core kernel-launch overhead (block dispatch).
+  std::int64_t core_launch_cycles = 256;
+
+  static CostModel calibrated() { return CostModel{}; }
+
+  // --- Derived helper formulas ---
+
+  std::int64_t vector_instr(std::int64_t repeat) const {
+    return vec_issue_overhead + repeat * vec_cycles_per_repeat;
+  }
+
+  std::int64_t mte_copy(std::int64_t bytes, std::int64_t bursts = 1) const {
+    return mte_startup_cycles + ceil_div(bytes, mte_bytes_per_cycle) +
+           bursts * mte_burst_cycles;
+  }
+
+  std::int64_t im2col(std::int64_t instructions, std::int64_t fractals) const {
+    return instructions * scu_issue_overhead +
+           fractals * scu_im2col_cycles_per_fractal;
+  }
+
+  std::int64_t col2im(std::int64_t instructions, std::int64_t fractals) const {
+    return instructions * scu_issue_overhead +
+           fractals * scu_col2im_cycles_per_fractal;
+  }
+
+  std::int64_t cube_mmad(std::int64_t fractal_macs) const {
+    return cube_issue_overhead + fractal_macs * cube_cycles_per_fractal_mac;
+  }
+};
+
+}  // namespace davinci

@@ -1,0 +1,28 @@
+// Small integer helpers used pervasively by the layout and tiling code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace davinci {
+
+// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Rounds `a` up to the next multiple of `b`.
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+// Rounds `a` down to a multiple of `b`.
+constexpr std::int64_t round_down(std::int64_t a, std::int64_t b) {
+  return (a / b) * b;
+}
+
+inline bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace davinci

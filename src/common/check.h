@@ -1,0 +1,73 @@
+// Error handling for the simulator.
+//
+// The simulator is a *checking* model: programming errors in a kernel
+// (scratch-pad overflow, out-of-bounds vector access, invalid instruction
+// parameters) must fail loudly rather than silently corrupt results, the
+// way they would brick a real CCE-C kernel. All checks throw
+// davinci::Error so tests can assert on misuse.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace davinci {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << ": check failed: " << expr;
+  }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace davinci
+
+// DV_CHECK(cond) << "extra context";  -- throws davinci::Error on failure.
+#define DV_CHECK(cond)                                                 \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::davinci::detail::CheckRaiser{} &                                 \
+        ::davinci::detail::CheckMessage(__FILE__, __LINE__, #cond)     \
+            << " "
+
+#define DV_CHECK_EQ(a, b) \
+  DV_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DV_CHECK_NE(a, b) \
+  DV_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DV_CHECK_LT(a, b) \
+  DV_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DV_CHECK_LE(a, b) \
+  DV_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DV_CHECK_GT(a, b) \
+  DV_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DV_CHECK_GE(a, b) \
+  DV_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+namespace davinci::detail {
+
+// Consumes the streamed CheckMessage and throws. The operator& has lower
+// precedence than operator<< so the message builds first.
+struct CheckRaiser {
+  [[noreturn]] void operator&(const CheckMessage& m) const { m.raise(); }
+};
+
+}  // namespace davinci::detail

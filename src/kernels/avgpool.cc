@@ -1,0 +1,134 @@
+// AvgPool kernels (Section V-C).
+//
+// Forward mirrors MaxPool with vadd instead of vmax plus an element-wise
+// multiplication by 1/(Kh*Kw) before the store; the access pattern -- and
+// therefore the benefit of the Im2Col load -- is unchanged.
+//
+// Backward needs no Argmax mask ("the equivalent mask for Avgpool contains
+// 1 in all its positions"): the incoming gradients are scaled by
+// 1/(Kh*Kw) and merged back with Col2im semantics. The kVadd baseline
+// scatters the scaled gradient per patch; the kCol2im version materializes
+// the scaled plane per kernel position (vector copies) and issues Col2Im.
+#include "akg/tiling.h"
+#include "kernels/detail.h"
+#include "kernels/pool_fwd_driver.h"
+#include "kernels/pooling.h"
+#include "sim/scu.h"
+
+namespace davinci::kernels {
+
+namespace {
+
+using akg::HTile;
+using detail::gm_view;
+
+}  // namespace
+
+PoolFwdResult avgpool_forward(Device& dev, const TensorF16& in,
+                              const Window2d& w, akg::PoolImpl impl) {
+  DV_CHECK(impl == akg::PoolImpl::kDirect || impl == akg::PoolImpl::kIm2col)
+      << "AvgPool forward supports kDirect and kIm2col";
+  const Float16 inv(1.0f / static_cast<float>(w.kh * w.kw));
+  return pooling_forward_impl(dev, in, w, impl, VecOp::kAdd, Float16(), inv);
+}
+
+PoolBwdResult avgpool_backward(Device& dev, const TensorF16& grad,
+                               const Window2d& w, std::int64_t ih,
+                               std::int64_t iw, MergeImpl merge) {
+  w.validate();
+  DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
+  const std::int64_t n = grad.shape()[0], c1 = grad.shape()[1];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  DV_CHECK_EQ(grad.shape()[2], oh);
+  DV_CHECK_EQ(grad.shape()[3], ow);
+  const Float16 inv(1.0f / static_cast<float>(w.kh * w.kw));
+
+  const akg::PoolPlan plan = akg::plan_bwd(dev.arch(), w, ih, iw);
+  const std::int64_t seam = w.kh > w.sh ? w.kh - w.sh : 0;
+
+  TensorF16 grad_in(Shape{n, c1, ih, iw, kC0});
+
+  auto run = dev.run(n * c1, [&](AiCore& core, std::int64_t b) {
+    const std::int64_t q = b % c1;
+    const std::int64_t bn = b / c1;
+
+    for (std::int64_t t = 0; t < plan.num_h_tiles; ++t) {
+      core.reset_scratch();
+      const HTile ht = akg::h_tile(w, ih, oh, plan.oh_tile, t);
+
+      Window2d wt = w;
+      wt.pt = ht.pt_eff;
+      wt.pb = ht.pb_eff;
+      const std::int64_t in_rows = ht.in_rows();
+      const std::int64_t oh_t = ht.out_rows();
+      const std::int64_t tp = oh_t * ow;
+      const std::int64_t pp = round_up(tp, kFractalRows);
+      const std::int64_t plane = pp * kC0;
+
+      auto gm_grad = gm_view(grad).sub(
+          ((bn * c1 + q) * oh + ht.o0) * ow * kC0, tp * kC0);
+      auto gm_out_tile = gm_view(grad_in).sub(
+          ((bn * c1 + q) * ih + ht.y0) * iw * kC0, in_rows * iw * kC0);
+
+      // Scale the gradient tile once: sg = grad * 1/(Kh*Kw).
+      auto sg = core.ub().alloc<Float16>(tp * kC0);
+      core.mte().copy(sg, gm_grad, tp * kC0);
+      core.pipe_barrier();
+      core.vmuls_flat(sg, sg, inv, tp * kC0);
+
+      auto out = core.ub().alloc<Float16>(in_rows * iw * kC0);
+      core.vdup_flat(out, Float16(), in_rows * iw * kC0);
+      core.pipe_barrier();
+
+      if (merge == MergeImpl::kCol2im) {
+        // Materialize the scaled plane per kernel position (all-ones mask
+        // times gradient), then let Col2Im do the whole merge.
+        auto cols = core.ub().alloc<Float16>(w.kh * w.kw * plane);
+        for (std::int64_t k = 0; k < w.kh * w.kw; ++k) {
+          core.vadds_flat(cols.sub(k * plane, tp * kC0), sg, Float16(),
+                          tp * kC0);
+          core.scalar_loop(1);
+        }
+        core.pipe_barrier();
+        Im2colArgs args;
+        args.window = wt;
+        args.ih = in_rows;
+        args.iw = iw;
+        DV_CHECK_EQ(args.patches(), tp);
+        core.scu().col2im(out, cols, args);
+      } else {
+        for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+          for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+            for (std::int64_t p = 0; p < tp; ++p) {
+              const std::int64_t y = (p / ow) * w.sh + kh - wt.pt;
+              const std::int64_t x = (p % ow) * w.sw + kw - wt.pl;
+              if (y < 0 || y >= in_rows || x < 0 || x >= iw) continue;
+              VecConfig cfg;
+              cfg.mask = VecMask::first_n(static_cast<int>(kC0));
+              auto dst = out.sub((y * iw + x) * kC0, kC0);
+              core.vec().binary(VecOp::kAdd, dst, dst, sg.sub(p * kC0, kC0),
+                                cfg);
+              core.scalar_loop(1);
+            }
+          }
+        }
+      }
+
+      const std::int64_t seam_rows =
+          t > 0 ? (seam < in_rows ? seam : in_rows) : 0;
+      if (seam_rows > 0) {
+        const std::int64_t n_seam = seam_rows * iw * kC0;
+        auto prev = core.ub().alloc<Float16>(n_seam);
+        core.mte().copy(prev, gm_out_tile, n_seam);
+        core.pipe_barrier();
+        core.vbin_flat(VecOp::kAdd, out, out, prev, n_seam);
+      }
+      core.pipe_barrier();
+      core.mte().copy(gm_out_tile, out, in_rows * iw * kC0);
+    }
+  });
+
+  return PoolBwdResult{std::move(grad_in), run};
+}
+
+}  // namespace davinci::kernels

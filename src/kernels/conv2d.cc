@@ -1,0 +1,207 @@
+#include "kernels/conv2d.h"
+
+#include "akg/tiling.h"
+#include "common/align.h"
+#include "kernels/detail.h"
+#include "sim/scu.h"
+
+namespace davinci::kernels {
+
+namespace {
+using detail::gm_view;
+}  // namespace
+
+TensorF16 pack_conv_weights(const TensorF32& weights, const Window2d& w,
+                            std::int64_t c1) {
+  DV_CHECK_EQ(weights.shape().rank(), 4) << "(Cout, C, Kh, Kw)";
+  const std::int64_t cout = weights.shape()[0];
+  const std::int64_t c = weights.shape()[1];
+  DV_CHECK_EQ(weights.shape()[2], w.kh);
+  DV_CHECK_EQ(weights.shape()[3], w.kw);
+  DV_CHECK_EQ(c1_of(c), c1);
+  const std::int64_t k16 = c1 * w.kh * w.kw;
+  const std::int64_t n16 = ceil_div(cout, kFractalRows);
+
+  TensorF16 packed(Shape{k16 * n16 * kFractalElems});
+  for (std::int64_t kb = 0; kb < k16; ++kb) {
+    const std::int64_t q = kb / (w.kh * w.kw);
+    const std::int64_t kh = (kb / w.kw) % w.kh;
+    const std::int64_t kw = kb % w.kw;
+    for (std::int64_t nb = 0; nb < n16; ++nb) {
+      const std::int64_t base = (kb * n16 + nb) * kFractalElems;
+      for (std::int64_t r = 0; r < kFractalRows; ++r) {    // k element
+        const std::int64_t ch = q * kC0 + r;
+        for (std::int64_t j = 0; j < kC0; ++j) {           // out channel
+          const std::int64_t f = nb * kC0 + j;
+          const float v = (ch < c && f < cout)
+                              ? weights.at(f, ch, kh, kw)
+                              : 0.0f;
+          packed.flat(base + r * kC0 + j) = Float16(v);
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+Conv2dResult conv2d_cube(Device& dev, const TensorF16& in,
+                         const TensorF32& weights, const Window2d& w,
+                         bool use_im2col_instruction) {
+  DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
+  DV_CHECK_EQ(in.shape()[0], 1) << "single image";
+  DV_CHECK_EQ(in.shape()[4], kC0);
+  w.validate();
+  const std::int64_t c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  const std::int64_t cout = weights.shape()[0];
+  const std::int64_t n16 = ceil_div(cout, kFractalRows);
+  const std::int64_t k16 = c1 * w.kh * w.kw;
+
+  const ArchConfig& arch = dev.arch();
+  const std::int64_t frac_bytes = kFractalElems * 2;
+  DV_CHECK_LE(k16 * n16 * frac_bytes, arch.l0b_bytes)
+      << "weight set exceeds L0B; K-tiling is out of scope for this kernel";
+
+  // Choose the largest output-row tile whose L0A / L0C / UB footprints fit.
+  const std::int64_t l0a_fracs = arch.l0a_bytes / frac_bytes;
+  const std::int64_t l0c_fracs = arch.l0c_bytes / (kFractalElems * 4);
+  auto fits = [&](std::int64_t oh_tile) {
+    const std::int64_t tp = oh_tile * ow;
+    const std::int64_t m_frac = ceil_div(tp, kFractalRows);
+    if (k16 * m_frac > l0a_fracs) return false;
+    if (m_frac * n16 > l0c_fracs) return false;
+    // UB: the drained fp16 result, plus the expansion staging if used.
+    std::int64_t ub = m_frac * n16 * kFractalElems * 2;
+    if (!use_im2col_instruction) {
+      const std::int64_t in_rows = (oh_tile - 1) * w.sh + w.kh;
+      ub += in_rows * iw * kC0 * 2;                          // input tile
+      ub += w.kh * w.kw * m_frac * kFractalElems * 2;        // per-c1 cols
+    }
+    return ub <= arch.ub_bytes;
+  };
+  DV_CHECK(fits(1)) << "a single output row does not fit the Cube buffers";
+  std::int64_t oh_tile = 1;
+  while (oh_tile < oh && fits(oh_tile + 1)) ++oh_tile;
+  const std::int64_t num_tiles = ceil_div(oh, oh_tile);
+
+  const TensorF16 packed = pack_conv_weights(weights, w, c1);
+  TensorF16 out(Shape{std::int64_t{1}, n16, oh, ow, kC0});
+
+  auto run = dev.run(num_tiles, [&](AiCore& core, std::int64_t t) {
+    const akg::HTile ht = akg::h_tile(w, ih, oh, oh_tile, t);
+    Window2d wt = w;
+    wt.pt = ht.pt_eff;
+    wt.pb = ht.pb_eff;
+    const std::int64_t in_rows = ht.in_rows();
+    const std::int64_t tp = ht.out_rows() * ow;
+    const std::int64_t m_frac = ceil_div(tp, kFractalRows);
+    const std::int64_t pp_t = m_frac * kFractalRows;
+    const std::int64_t p0 = ht.o0 * ow;
+    const std::int64_t plane = pp_t * kC0;
+
+    // Stage the packed weights GM -> L1 -> L0B.
+    auto l1b = core.l1().alloc<Float16>(k16 * n16 * kFractalElems);
+    core.mte().copy(l1b, gm_view(packed), k16 * n16 * kFractalElems);
+    auto b = core.l0b().alloc<Float16>(k16 * n16 * kFractalElems);
+    core.mte().copy(b, l1b, k16 * n16 * kFractalElems);
+
+    // Build A (k-major fractals) in L0A, one C1 slice at a time.
+    auto a = core.l0a().alloc<Float16>(k16 * m_frac * kFractalElems);
+    Im2colArgs args;
+    args.window = wt;
+    args.ih = in_rows;
+    args.iw = iw;
+    DV_CHECK_EQ(args.patches(), tp);
+    DV_CHECK_EQ(args.padded_patches(), pp_t);
+
+    if (use_im2col_instruction) {
+      auto l1t = core.l1().alloc<Float16>(in_rows * iw * kC0);
+      for (std::int64_t q = 0; q < c1; ++q) {
+        auto gm_in = gm_view(in).sub((q * ih + ht.y0) * iw * kC0,
+                                     in_rows * iw * kC0);
+        core.mte().copy(l1t, gm_in, in_rows * iw * kC0);
+        core.scu().im2col_load(
+            a.sub(q * w.kh * w.kw * plane, w.kh * w.kw * plane), l1t, args);
+      }
+    } else {
+      // Expansion path: build the layout with vector copies in UB, then
+      // stage UB -> L1 -> L0A.
+      auto ubin = core.ub().alloc<Float16>(in_rows * iw * kC0);
+      auto ubcols = core.ub().alloc<Float16>(w.kh * w.kw * plane);
+      auto l1t = core.l1().alloc<Float16>(w.kh * w.kw * plane);
+      for (std::int64_t q = 0; q < c1; ++q) {
+        auto gm_in = gm_view(in).sub((q * ih + ht.y0) * iw * kC0,
+                                     in_rows * iw * kC0);
+        core.mte().copy(ubin, gm_in, in_rows * iw * kC0);
+        core.pipe_barrier();
+        for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+          for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+            const std::int64_t pbase = (kh * w.kw + kw) * plane;
+            for (std::int64_t i = 0; i < ht.out_rows(); ++i) {
+              auto dst = ubcols.sub(pbase + i * ow * kC0, ow * kC0);
+              const std::int64_t y = i * w.sh + kh - wt.pt;
+              if (y < 0 || y >= in_rows) {  // virtual padding rows
+                core.vdup_flat(dst, Float16(), ow * kC0);
+                core.scalar_loop(1);
+                continue;
+              }
+              if (w.sw == 1 && !w.pl && !w.pr) {
+                auto src = ubin.sub((y * iw + kw) * kC0, ow * kC0);
+                core.vadds_flat(dst, src, Float16(), ow * kC0);
+              } else {
+                DV_CHECK(!w.pl && !w.pr)
+                    << "expansion path supports H-padding only";
+                auto src = ubin.sub((y * iw + kw) * kC0,
+                                    ((ow - 1) * w.sw + 1) * kC0);
+                detail::strided16_copy(core, dst, kC0, src, w.sw * kC0, ow);
+              }
+              core.scalar_loop(1);
+            }
+            if (pp_t > tp) {
+              core.vdup_flat(ubcols.sub(pbase + tp * kC0, (pp_t - tp) * kC0),
+                             Float16(), (pp_t - tp) * kC0);
+            }
+          }
+        }
+        core.pipe_barrier();
+        core.mte().copy(l1t, ubcols, w.kh * w.kw * plane);
+        core.mte().copy(a.sub(q * w.kh * w.kw * plane, w.kh * w.kw * plane),
+                        l1t, w.kh * w.kw * plane);
+      }
+    }
+
+    core.pipe_barrier();
+    auto cbuf = core.l0c().alloc<float>(m_frac * n16 * kFractalElems);
+    core.cube().mmad(cbuf, a, b, m_frac, k16, n16, /*accumulate=*/false,
+                     /*a_k_major=*/true);
+    core.pipe_barrier();
+
+    auto ubout = core.ub().alloc<Float16>(m_frac * n16 * kFractalElems);
+    core.mte().copy_convert(ubout, cbuf, m_frac * n16 * kFractalElems);
+    core.pipe_barrier();
+
+    // Store per output-channel block: full fractal rows, then the tail.
+    const std::int64_t full = tp / kFractalRows;
+    const std::int64_t rem = tp % kFractalRows;
+    for (std::int64_t nb = 0; nb < n16; ++nb) {
+      auto gm_plane = gm_view(out).sub((nb * oh * ow + p0) * kC0, tp * kC0);
+      if (full > 0) {
+        core.mte().copy_2d(gm_plane, kFractalElems,
+                           ubout.sub(nb * kFractalElems,
+                                     ((full - 1) * n16 + 1) * kFractalElems),
+                           n16 * kFractalElems, full, kFractalElems);
+      }
+      if (rem > 0) {
+        core.mte().copy(gm_plane.drop_front(full * kFractalElems),
+                        ubout.sub((full * n16 + nb) * kFractalElems,
+                                  rem * kC0),
+                        rem * kC0);
+      }
+    }
+  });
+
+  return Conv2dResult{std::move(out), run};
+}
+
+}  // namespace davinci::kernels

@@ -1,0 +1,47 @@
+// Convolution on the Cube Unit via Im2Col (Sections II-A and III) -- the
+// substrate the Im2Col/Col2Im instructions were designed for, implemented
+// to demonstrate and test their original role. The pooling work of the
+// paper reuses exactly this machinery on the Vector Unit instead.
+//
+// in:      (1, C1, Ih, Iw, C0) fp16 fractal layout.
+// weights: (Cout, C, Kh, Kw) fp32 (packed host-side into the (K16, N16)
+//          fractal layout the Cube Unit consumes).
+// out:     (1, C1out, Oh, Ow, C0) fp16, C1out = ceil(Cout / 16).
+//
+// `use_im2col_instruction` selects how the unrolled layout is produced:
+//  * true  -- the Im2Col load transforms the tile on its way L1 -> L0A
+//             (no temporaries outside the target buffer);
+//  * false -- "expansion": regular vector copies build the layout inside
+//             the Unified Buffer, which is then staged UB -> L1 -> L0A.
+// The A3 ablation bench compares the two, isolating the instruction's
+// benefit for its original purpose the same way Figure 8 does for pooling.
+//
+// Scope: the weight set must fit L0B (C1 * Kh * Kw * ceil(Cout/16)
+// fractals <= 128) -- the usual single-layer regime; the patch dimension
+// is H-tiled against the L0A capacity.
+#pragma once
+
+#include "sim/device.h"
+#include "tensor/fractal.h"
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::kernels {
+
+struct Conv2dResult {
+  TensorF16 out;  // (1, C1out, Oh, Ow, C0)
+  Device::RunResult run;
+  std::int64_t cycles() const { return run.device_cycles; }
+};
+
+Conv2dResult conv2d_cube(Device& dev, const TensorF16& in,
+                         const TensorF32& weights, const Window2d& w,
+                         bool use_im2col_instruction = true);
+
+// Host-side weight packing: (Cout, C, Kh, Kw) fp32 -> fractal operand
+// (K16 * N16 fractals, k-block-major), K16 = C1 * Kh * Kw,
+// N16 = ceil(Cout / 16). Exposed for tests.
+TensorF16 pack_conv_weights(const TensorF32& weights, const Window2d& w,
+                            std::int64_t c1);
+
+}  // namespace davinci::kernels

@@ -1,0 +1,50 @@
+// Convolution backward-input on the Cube Unit + Col2Im -- the Col2Im
+// instruction at its *original* job (Section II-B of the paper: "Col2im
+// is used in the backward propagation pass of convolutional layers
+// implemented with Im2col").
+//
+// Forward conv (im2col form):   out = W x im2col(x)
+// Backward input:               dX  = col2im(W^T x dOut)
+//
+// The kernel computes the unrolled gradient dCols = dOut x W^T on the
+// Cube Unit (one fractal-matmul per output-channel reduction) and merges
+// it back to the NC1HWC0 input gradient either with the Col2Im
+// instruction or with the baseline per-patch vadd scatter -- the same
+// merge alternatives Figure 7c compares for pooling, here on the
+// instruction's original workload (ablation A7).
+//
+// grad_out: (1, C1out, Oh, Ow, C0) fp16; weights: (Cout, C, Kh, Kw) fp32
+// (packed host-side); result: (1, C1, Ih, Iw, C0) fp16.
+//
+// Scope: like conv2d_cube, the weight set must fit L0B per C1 slice and
+// padding is supported through the window's virtual borders (gradient
+// falling into padding is dropped by the merge).
+#pragma once
+
+#include "kernels/pooling.h"
+#include "sim/device.h"
+#include "tensor/fractal.h"
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::kernels {
+
+struct Conv2dBwdResult {
+  TensorF16 grad_in;  // (1, C1, Ih, Iw, C0)
+  Device::RunResult run;
+  std::int64_t cycles() const { return run.device_cycles; }
+};
+
+Conv2dBwdResult conv2d_backward_input(Device& dev, const TensorF16& grad_out,
+                                      const TensorF32& weights,
+                                      const Window2d& w, std::int64_t ih,
+                                      std::int64_t iw, MergeImpl merge);
+
+// Host-side transposed weight packing: (Cout, C, Kh, Kw) fp32 -> fractal
+// operand of shape (N16f x K16) fractals, fractal (fb, kb) holding
+// rows = output channels of block fb, cols = the 16 input channels of
+// k-block kb = (c1, kh, kw). Exposed for tests.
+TensorF16 pack_conv_weights_transposed(const TensorF32& weights,
+                                       const Window2d& w, std::int64_t c1);
+
+}  // namespace davinci::kernels

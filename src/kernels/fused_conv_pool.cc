@@ -1,0 +1,73 @@
+#include "kernels/fused_conv_pool.h"
+
+#include "common/check.h"
+
+namespace davinci::kernels {
+
+Window2d fused_window(const Window2d& conv, const Window2d& pool) {
+  conv.validate();
+  pool.validate();
+  DV_CHECK(!conv.has_padding() && !pool.has_padding())
+      << "fusion supports unpadded stages";
+  Window2d w;
+  w.kh = (pool.kh - 1) * conv.sh + conv.kh;
+  w.kw = (pool.kw - 1) * conv.sw + conv.kw;
+  w.sh = conv.sh * pool.sh;
+  w.sw = conv.sw * pool.sw;
+  return w;
+}
+
+TensorF32 compose_conv_avgpool_weights(const TensorF32& weights,
+                                       const Window2d& conv,
+                                       const Window2d& pool) {
+  DV_CHECK_EQ(weights.shape().rank(), 4) << "(Cout, C, Kh, Kw)";
+  DV_CHECK_EQ(weights.shape()[2], conv.kh);
+  DV_CHECK_EQ(weights.shape()[3], conv.kw);
+  const std::int64_t cout = weights.shape()[0];
+  const std::int64_t c = weights.shape()[1];
+  const Window2d fw = fused_window(conv, pool);
+  const float inv = 1.0f / static_cast<float>(pool.kh * pool.kw);
+
+  TensorF32 out(Shape{cout, c, fw.kh, fw.kw});
+  for (std::int64_t f = 0; f < cout; ++f) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t th = 0; th < pool.kh; ++th) {
+        for (std::int64_t tw = 0; tw < pool.kw; ++tw) {
+          for (std::int64_t u = 0; u < conv.kh; ++u) {
+            for (std::int64_t v = 0; v < conv.kw; ++v) {
+              out.at(f, ch, th * conv.sh + u, tw * conv.sw + v) +=
+                  inv * weights.at(f, ch, u, v);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2dResult conv2d_avgpool_fused(Device& dev, const TensorF16& in,
+                                  const TensorF32& weights,
+                                  const Window2d& conv, const Window2d& pool) {
+  DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  // The pool grid must tile the conv output exactly so the fused floor
+  // divisions agree with the two-stage pipeline.
+  DV_CHECK_EQ((ih - conv.kh) % conv.sh, 0)
+      << "conv stride must tile the input height";
+  DV_CHECK_EQ((iw - conv.kw) % conv.sw, 0)
+      << "conv stride must tile the input width";
+  const std::int64_t conv_oh = conv.out_h(ih);
+  const std::int64_t conv_ow = conv.out_w(iw);
+  DV_CHECK_EQ((conv_oh - pool.kh) % pool.sh, 0)
+      << "pool stride must tile the conv output height";
+  DV_CHECK_EQ((conv_ow - pool.kw) % pool.sw, 0)
+      << "pool stride must tile the conv output width";
+
+  const TensorF32 composite =
+      compose_conv_avgpool_weights(weights, conv, pool);
+  return conv2d_cube(dev, in, composite, fused_window(conv, pool),
+                     /*use_im2col_instruction=*/true);
+}
+
+}  // namespace davinci::kernels

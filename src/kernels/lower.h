@@ -1,0 +1,49 @@
+// The AKG lowering step for pooling computes: pattern-match a TVM-style
+// compute definition (akg/dsl.h) against the windowed-reduction form of
+// Listing 1,
+//
+//   compute((N, C1, Oh, Ow, C0),
+//       lambda n, c1, h, w, c0:
+//           reduce(input[n, c1, h*Sh + red_h, w*Sw + red_w, c0],
+//                  axis=[red_h, red_w]))
+//
+// extract the window geometry and reduction kind, pick the winning
+// implementation (akg::select_fwd_impl -- the Figure 8 decision), and
+// dispatch to the simulator kernels. This is the compilation path the
+// paper's Section IV describes: operator *definitions* in the DSL,
+// *schedules* decided per target, lowered code running on the device.
+#pragma once
+
+#include "akg/dsl.h"
+#include "akg/tiling.h"
+#include "kernels/pooling.h"
+#include "sim/device.h"
+#include "sim/vector_unit.h"
+
+namespace davinci::akg {
+
+// A recognized windowed-pooling compute.
+struct PoolingPattern {
+  dsl::ReduceKind reduce;
+  Window2d window;  // strides and kernel extracted; no padding (the DSL
+                    // cannot express out-of-bounds reads)
+};
+
+// Matches the Listing-1 form; throws davinci::Error with a diagnostic if
+// the compute is not a recognizable pooling.
+PoolingPattern match_pooling(const dsl::Compute& c);
+
+struct LoweredPoolResult {
+  TensorF16 out;
+  Device::RunResult run;
+  PoolImpl impl;  // the implementation the scheduler selected
+};
+
+// Matches, schedules and runs the compute on the device. kMax/kMin lower
+// to the max/min pooling kernels; kSum lowers to the sum-pooling kernel
+// (AvgPool without its final scale -- in TVM the division is a separate
+// elementwise compute, see Listing 1 vs Section V-C).
+LoweredPoolResult lower_and_run(Device& dev, const dsl::Compute& c,
+                                const TensorF16& input);
+
+}  // namespace davinci::akg

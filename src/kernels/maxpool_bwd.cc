@@ -1,0 +1,170 @@
+// MaxPool backward kernels (Section V-B / Figure 7c).
+//
+// Inputs: the Argmax mask in the Im2Col shape (N, C1, Kh, Kw, PP, C0) and
+// the incoming gradients (N, C1, Oh, Ow, C0). Both implementations share
+// the multiplication step -- one full-mask vmul per (kh, kw) plane, which
+// "works well" per the paper -- and differ only in the merge step, which
+// is exactly the Col2im operation:
+//
+//  * kVadd: per-patch scatter adds into the (Ih, Iw, C0) output, 16 of 128
+//    mask lanes, no repetition -- the baseline's "very poor usage of the
+//    Vector Unit".
+//  * kCol2im: the Col2Im instruction loads, accumulates and stores one
+//    16xC0 fractal at a time and repeats over all patch fractals of a
+//    (kh, kw) plane, so only Kh*Kw instruction sequences are issued.
+//
+// Scheduling: one block per (N, C1) slice ("tiling the computation on
+// C1"); slices larger than the Unified Buffer are processed in H-tiles
+// sequentially on the same core, with the seam rows (Kh - Sh rows shared
+// between adjacent tiles when windows overlap) accumulated through a
+// read-modify-write of global memory.
+#include "akg/tiling.h"
+#include "kernels/detail.h"
+#include "kernels/pooling.h"
+#include "sim/scu.h"
+
+namespace davinci::kernels {
+
+namespace {
+
+using akg::HTile;
+using detail::gm_view;
+
+struct BwdTileCtx {
+  Window2d wt;  // per-tile window (effective paddings)
+  std::int64_t in_rows, iw, oh_t, ow, tp, pp, plane;
+};
+
+// Shared prologue: load the gradient tile and the mask planes, multiply.
+// Returns the (in-place multiplied) mask-gradient buffer.
+Span<Float16> load_and_multiply(AiCore& core, Span<Float16> gm_grad,
+                                Span<Float16> gm_mask_slice,
+                                std::int64_t ppg, const BwdTileCtx& c) {
+  auto grad = core.ub().alloc<Float16>(c.tp * kC0);
+  core.mte().copy(grad, gm_grad, c.tp * kC0);
+  auto mg = core.ub().alloc<Float16>(c.wt.kh * c.wt.kw * c.plane);
+  core.mte().copy_2d(mg, c.plane, gm_mask_slice, ppg * kC0,
+                     c.wt.kh * c.wt.kw, c.tp * kC0);
+  core.pipe_barrier();
+  // vmul: mask plane x gradient tile, full mask (Listing 3's computation).
+  for (std::int64_t k = 0; k < c.wt.kh * c.wt.kw; ++k) {
+    core.vbin_flat(VecOp::kMul, mg.sub(k * c.plane, c.tp * kC0),
+                   mg.sub(k * c.plane, c.tp * kC0), grad, c.tp * kC0);
+    core.scalar_loop(1);
+  }
+  return mg;
+}
+
+// Shared epilogue: store the output tile, accumulating the seam rows this
+// tile shares with the previous one (read-modify-write through UB; tiles
+// of one slice run sequentially on one core, so this is race-free).
+void store_with_seam(AiCore& core, Span<Float16> gm_out_tile,
+                     Span<Float16> out, const BwdTileCtx& c,
+                     std::int64_t seam_rows) {
+  if (seam_rows > 0) {
+    const std::int64_t n_seam = seam_rows * c.iw * kC0;
+    auto prev = core.ub().alloc<Float16>(n_seam);
+    core.mte().copy(prev, gm_out_tile, n_seam);
+    core.pipe_barrier();
+    core.vbin_flat(VecOp::kAdd, out, out, prev, n_seam);
+  }
+  core.pipe_barrier();
+  core.mte().copy(gm_out_tile, out, c.in_rows * c.iw * kC0);
+}
+
+}  // namespace
+
+PoolBwdResult maxpool_backward(Device& dev, const TensorF16& mask,
+                               const TensorF16& grad, const Window2d& w,
+                               std::int64_t ih, std::int64_t iw,
+                               MergeImpl merge) {
+  w.validate();
+  DV_CHECK_EQ(mask.shape().rank(), 6) << "mask is (N,C1,Kh,Kw,PP,C0)";
+  DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
+  const std::int64_t n = mask.shape()[0], c1 = mask.shape()[1];
+  DV_CHECK_EQ(mask.shape()[2], w.kh);
+  DV_CHECK_EQ(mask.shape()[3], w.kw);
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  DV_CHECK_EQ(grad.shape()[2], oh);
+  DV_CHECK_EQ(grad.shape()[3], ow);
+  const std::int64_t ppg = round_up(oh * ow, kFractalRows);
+  DV_CHECK_EQ(mask.shape()[4], ppg);
+
+  const akg::PoolPlan plan = akg::plan_bwd(dev.arch(), w, ih, iw);
+  const std::int64_t seam = w.kh > w.sh ? w.kh - w.sh : 0;
+
+  TensorF16 grad_in(Shape{n, c1, ih, iw, kC0});
+
+  auto run = dev.run(n * c1, [&](AiCore& core, std::int64_t b) {
+    const std::int64_t q = b % c1;
+    const std::int64_t bn = b / c1;
+
+    for (std::int64_t t = 0; t < plan.num_h_tiles; ++t) {
+      core.reset_scratch();
+      const HTile ht = akg::h_tile(w, ih, oh, plan.oh_tile, t);
+
+      BwdTileCtx c;
+      c.wt = w;
+      c.wt.pt = ht.pt_eff;
+      c.wt.pb = ht.pb_eff;
+      c.in_rows = ht.in_rows();
+      c.iw = iw;
+      c.oh_t = ht.out_rows();
+      c.ow = ow;
+      c.tp = c.oh_t * ow;
+      c.pp = round_up(c.tp, kFractalRows);
+      c.plane = c.pp * kC0;
+      const std::int64_t p0 = ht.o0 * ow;
+
+      auto gm_grad = gm_view(grad).sub(
+          ((bn * c1 + q) * oh + ht.o0) * ow * kC0, c.tp * kC0);
+      auto gm_mask_slice = gm_view(mask).sub(
+          (bn * c1 + q) * w.kh * w.kw * ppg * kC0 + p0 * kC0,
+          ((w.kh * w.kw - 1) * ppg + c.tp) * kC0);
+      auto gm_out_tile = gm_view(grad_in).sub(
+          ((bn * c1 + q) * ih + ht.y0) * iw * kC0, c.in_rows * iw * kC0);
+
+      auto mg = load_and_multiply(core, gm_grad, gm_mask_slice, ppg, c);
+
+      auto out = core.ub().alloc<Float16>(c.in_rows * iw * kC0);
+      core.vdup_flat(out, Float16(), c.in_rows * iw * kC0);
+      core.pipe_barrier();
+
+      if (merge == MergeImpl::kCol2im) {
+        Im2colArgs args;
+        args.window = c.wt;
+        args.ih = c.in_rows;
+        args.iw = iw;
+        DV_CHECK_EQ(args.patches(), c.tp);
+        core.scu().col2im(out, mg, args);
+      } else {
+        // Baseline merge: one 16-lane vadd per (kh, kw, patch), no
+        // repetition (Section V-B).
+        for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+          for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+            const std::int64_t pbase = (kh * w.kw + kw) * c.plane;
+            for (std::int64_t p = 0; p < c.tp; ++p) {
+              const std::int64_t y = (p / ow) * w.sh + kh - c.wt.pt;
+              const std::int64_t x = (p % ow) * w.sw + kw - c.wt.pl;
+              if (y < 0 || y >= c.in_rows || x < 0 || x >= iw) continue;
+              VecConfig cfg;
+              cfg.mask = VecMask::first_n(static_cast<int>(kC0));
+              auto dst = out.sub((y * iw + x) * kC0, kC0);
+              core.vec().binary(VecOp::kAdd, dst, dst,
+                                mg.sub(pbase + p * kC0, kC0), cfg);
+              core.scalar_loop(1);
+            }
+          }
+        }
+      }
+
+      const std::int64_t seam_rows =
+          t > 0 ? (seam < c.in_rows ? seam : c.in_rows) : 0;
+      store_with_seam(core, gm_out_tile, out, c, seam_rows);
+    }
+  });
+
+  return PoolBwdResult{std::move(grad_in), run};
+}
+
+}  // namespace davinci::kernels

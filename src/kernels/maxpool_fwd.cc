@@ -1,0 +1,309 @@
+// MaxPool forward kernels (Section V-A, Figures 7a and 8).
+#include "akg/tiling.h"
+#include "kernels/detail.h"
+#include "kernels/pooling.h"
+#include "sim/scu.h"
+
+namespace davinci::kernels {
+
+namespace {
+
+using akg::HTile;
+using akg::PoolImpl;
+using detail::gm_view;
+
+struct TileGeom {
+  Window2d w;          // per-tile window (with effective paddings)
+  std::int64_t in_rows, iw, oh_t, ow;
+  std::int64_t tile_patches() const { return oh_t * ow; }
+};
+
+// Standard TVM lowering (Listing 1). Requires no padding. At Sw == 1 the
+// lowering vectorizes over whole (Ow, C0) rows with a full mask; otherwise
+// the reduction instruction handles one patch row at a time with only the
+// C0 lanes active, repeating over Kw -- issued Oh*Ow*Kh times.
+void direct_tile(AiCore& core, VecOp op, Float16 init, Float16 scale, Span<Float16> gm_in,
+                 Span<Float16> gm_out, const TileGeom& g) {
+  const std::int64_t n_in = g.in_rows * g.iw * kC0;
+  const std::int64_t n_out = g.tile_patches() * kC0;
+  auto in = core.ub().alloc<Float16>(n_in);
+  core.mte().copy(in, gm_in, n_in);
+  auto out = core.ub().alloc<Float16>(n_out);
+  core.vdup_flat(out, init, n_out);
+  core.pipe_barrier();
+
+  if (g.w.sw == 1) {
+    // Fast case (Figure 8a): consecutive patches are consecutive in
+    // memory, so the lowering saturates the 128-lane mask over (Ow, C0)
+    // rows and lets the repeat parameter walk the output rows -- only
+    // ceil(Ow*C0/128) instructions per kernel position.
+    for (std::int64_t kh = 0; kh < g.w.kh; ++kh) {
+      for (std::int64_t kw = 0; kw < g.w.kw; ++kw) {
+        detail::row_strided_binary(
+            core, op, out, g.ow * kC0, out, g.ow * kC0,
+            in.drop_front((kh * g.iw + kw) * kC0), g.w.sh * g.iw * kC0,
+            g.oh_t, g.ow * kC0);
+        core.scalar_loop(1);
+      }
+    }
+  } else {
+    // General case: 16 of 128 mask lanes, repeat over Kw, one instruction
+    // per (oh, ow, kh).
+    for (std::int64_t oh = 0; oh < g.oh_t; ++oh) {
+      for (std::int64_t ow = 0; ow < g.ow; ++ow) {
+        auto dst = out.sub((oh * g.ow + ow) * kC0, kC0);
+        for (std::int64_t kh = 0; kh < g.w.kh; ++kh) {
+          VecConfig cfg;
+          cfg.mask = VecMask::first_n(static_cast<int>(kC0));
+          cfg.repeat = static_cast<int>(g.w.kw);
+          cfg.dst_rep_stride = 0;   // reduction idiom
+          cfg.src0_rep_stride = 0;
+          cfg.src1_rep_stride = kC0;
+          auto src = in.sub(
+              ((oh * g.w.sh + kh) * g.iw + ow * g.w.sw) * kC0, g.w.kw * kC0);
+          core.vec().binary(op, dst, dst, src, cfg);
+          core.scalar_loop(1);
+        }
+      }
+    }
+  }
+  if (!(scale == Float16(1.0f))) {
+    // AvgPool's element-wise division, applied in UB before the store
+    // (Section V-C).
+    core.vmuls_flat(out, out, scale, n_out);
+  }
+  core.pipe_barrier();
+  core.mte().copy(gm_out, out, n_out);
+}
+
+// Proposed lowering (Listing 2): GM -> L1, Im2Col load L1 -> UB in the
+// transposed (Kh, Kw, patches, C0) shape, then a full-mask reduction per
+// (kh, kw) plane -- Kh*Kw instruction sequences total.
+void im2col_tile(AiCore& core, VecOp op, Float16 init, Float16 scale, Span<Float16> gm_in,
+                 Span<Float16> gm_out, const TileGeom& g) {
+  const std::int64_t n_in = g.in_rows * g.iw * kC0;
+  auto l1 = core.l1().alloc<Float16>(n_in);
+  core.mte().copy(l1, gm_in, n_in);
+
+  Im2colArgs args;
+  args.window = g.w;
+  args.ih = g.in_rows;
+  args.iw = g.iw;
+  DV_CHECK_EQ(args.patches(), g.tile_patches());
+
+  auto cols = core.ub().alloc<Float16>(args.output_elems());
+  core.scu().im2col_load(cols, l1, args);
+
+  const std::int64_t plane = args.padded_patches() * kC0;
+  auto out = core.ub().alloc<Float16>(plane);
+  core.vdup_flat(out, init, plane);
+  core.pipe_barrier();
+  detail::reduce_planes(core, op, out, cols, g.w.kh * g.w.kw, plane);
+  if (!(scale == Float16(1.0f))) {
+    core.vmuls_flat(out, out, scale, plane);
+  }
+  core.pipe_barrier();
+  core.mte().copy(gm_out, out, g.tile_patches() * kC0);
+}
+
+// "Maxpool with expansion" (Figure 8): the im2col shape is produced in UB
+// by regular vector copies -- a separate transformation step after the
+// plain load, paying both the extra instructions and the extra UB space.
+void expansion_tile(AiCore& core, VecOp op, Float16 init, Float16 scale, Span<Float16> gm_in,
+                    Span<Float16> gm_out, const TileGeom& g) {
+  const std::int64_t n_in = g.in_rows * g.iw * kC0;
+  auto in = core.ub().alloc<Float16>(n_in);
+  core.mte().copy(in, gm_in, n_in);
+
+  const std::int64_t pp = round_up(g.tile_patches(), kFractalRows);
+  const std::int64_t plane = pp * kC0;
+  auto cols = core.ub().alloc<Float16>(g.w.kh * g.w.kw * plane);
+  core.pipe_barrier();
+
+  for (std::int64_t kh = 0; kh < g.w.kh; ++kh) {
+    for (std::int64_t kw = 0; kw < g.w.kw; ++kw) {
+      const std::int64_t pbase = (kh * g.w.kw + kw) * plane;
+      if (g.w.sw == 1) {
+        // Contiguous rows: the same saturated row-strided lowering the
+        // direct kernel uses at Sw == 1.
+        detail::row_strided_copy(
+            core, cols.drop_front(pbase), g.ow * kC0,
+            in.drop_front((kh * g.iw + kw) * kC0), g.w.sh * g.iw * kC0,
+            g.oh_t, g.ow * kC0);
+        core.scalar_loop(1);
+      } else {
+        for (std::int64_t oh = 0; oh < g.oh_t; ++oh) {
+          auto dst = cols.sub(pbase + oh * g.ow * kC0, g.ow * kC0);
+          auto src = in.sub(((oh * g.w.sh + kh) * g.iw + kw) * kC0,
+                            ((g.ow - 1) * g.w.sw + 1) * kC0);
+          detail::strided16_copy(core, dst, kC0, src, g.w.sw * kC0, g.ow);
+          core.scalar_loop(1);
+        }
+      }
+      // Tail patch rows of this plane are never stored; initialize them so
+      // the reduction reads defined values.
+      if (pp > g.tile_patches()) {
+        core.vdup_flat(cols.sub(pbase + g.tile_patches() * kC0,
+                                (pp - g.tile_patches()) * kC0),
+                       init, (pp - g.tile_patches()) * kC0);
+      }
+    }
+  }
+
+  auto out = core.ub().alloc<Float16>(plane);
+  core.vdup_flat(out, init, plane);
+  detail::reduce_planes(core, op, out, cols, g.w.kh * g.w.kw, plane);
+  if (!(scale == Float16(1.0f))) {
+    core.vmuls_flat(out, out, scale, plane);
+  }
+  core.pipe_barrier();
+  core.mte().copy(gm_out, out, g.tile_patches() * kC0);
+}
+
+// X-Y split (Lai et al., Figure 8b): reduce along the width into an
+// (in_rows, Ow, C0) intermediate, then along the height. Fewer arithmetic
+// operations than the direct form, but as a *TVM* lowering both stages are
+// reductions: each output group gets one 16-lane instruction with the
+// repeat parameter walking the reduction axis -- the X-Y split "does not
+// overcome the scattered memory problems of pooling".
+void xysplit_tile(AiCore& core, VecOp op, Float16 init, Float16 scale, Span<Float16> gm_in,
+                  Span<Float16> gm_out, const TileGeom& g) {
+  const std::int64_t n_in = g.in_rows * g.iw * kC0;
+  const std::int64_t n_tmp = g.in_rows * g.ow * kC0;
+  const std::int64_t n_out = g.tile_patches() * kC0;
+  auto in = core.ub().alloc<Float16>(n_in);
+  core.mte().copy(in, gm_in, n_in);
+  auto tmp = core.ub().alloc<Float16>(n_tmp);
+  auto out = core.ub().alloc<Float16>(n_out);
+  core.vdup_flat(tmp, init, n_tmp);
+  core.vdup_flat(out, init, n_out);
+  core.pipe_barrier();
+
+  // Stage 1: tmp[h, ow, :] = reduce over kw of in[h, ow*Sw + kw, :];
+  // issued In_rows*Ow times, repeat over Kw.
+  for (std::int64_t h = 0; h < g.in_rows; ++h) {
+    for (std::int64_t ow = 0; ow < g.ow; ++ow) {
+      VecConfig cfg;
+      cfg.mask = VecMask::first_n(static_cast<int>(kC0));
+      cfg.repeat = static_cast<int>(g.w.kw);
+      cfg.dst_rep_stride = 0;
+      cfg.src0_rep_stride = 0;
+      cfg.src1_rep_stride = kC0;
+      auto dst = tmp.sub((h * g.ow + ow) * kC0, kC0);
+      auto src = in.sub((h * g.iw + ow * g.w.sw) * kC0, g.w.kw * kC0);
+      core.vec().binary(op, dst, dst, src, cfg);
+      core.scalar_loop(1);
+    }
+  }
+  // Stage 2: out[oh, ow, :] = reduce over kh of tmp[oh*Sh + kh, ow, :];
+  // issued Oh*Ow times, repeat over Kh with a row-sized stride.
+  for (std::int64_t oh = 0; oh < g.oh_t; ++oh) {
+    for (std::int64_t ow = 0; ow < g.ow; ++ow) {
+      VecConfig cfg;
+      cfg.mask = VecMask::first_n(static_cast<int>(kC0));
+      cfg.repeat = static_cast<int>(g.w.kh);
+      cfg.dst_rep_stride = 0;
+      cfg.src0_rep_stride = 0;
+      cfg.src1_rep_stride = g.ow * kC0;
+      auto dst = out.sub((oh * g.ow + ow) * kC0, kC0);
+      auto src = tmp.sub((oh * g.w.sh * g.ow + ow) * kC0,
+                         ((g.w.kh - 1) * g.ow + 1) * kC0);
+      core.vec().binary(op, dst, dst, src, cfg);
+      core.scalar_loop(1);
+    }
+  }
+  if (!(scale == Float16(1.0f))) {
+    core.vmuls_flat(out, out, scale, n_out);
+  }
+  core.pipe_barrier();
+  core.mte().copy(gm_out, out, n_out);
+}
+
+}  // namespace
+
+// Shared forward driver for MaxPool and AvgPool-style reductions; `op`
+// and `init` select the reduction, `scale` (if not 1) is applied to the
+// output tile before the store (AvgPool's 1/(Kh*Kw)).
+PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
+                                   const Window2d& w, akg::PoolImpl impl,
+                                   VecOp op, Float16 init, Float16 scale);
+
+PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
+                                   const Window2d& w, akg::PoolImpl impl,
+                                   VecOp op, Float16 init, Float16 scale) {
+  DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
+  DV_CHECK_EQ(in.shape()[4], kC0);
+  w.validate();
+  if (impl != PoolImpl::kIm2col) {
+    DV_CHECK(!w.has_padding())
+        << to_string(impl)
+        << " kernel supports only unpadded windows; use kIm2col";
+  }
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+
+  const akg::PoolPlan plan =
+      akg::plan_fwd(impl, dev.arch(), w, ih, iw, /*with_mask=*/false);
+
+  TensorF16 out(Shape{n, c1, oh, ow, kC0});
+
+  // One block per (N, C1) slice, matching the paper's parallelization
+  // ("the outer loops are parallelized between the AI Cores"); H-tiles of
+  // one slice run sequentially on the same core.
+  auto run = dev.run(n * c1, [&](AiCore& core, std::int64_t b) {
+    const std::int64_t q = b % c1;
+    const std::int64_t bn = b / c1;
+    for (std::int64_t t = 0; t < plan.num_h_tiles; ++t) {
+      core.reset_scratch();
+      const HTile ht = akg::h_tile(w, ih, oh, plan.oh_tile, t);
+
+      TileGeom g;
+      g.w = w;
+      g.w.pt = ht.pt_eff;
+      g.w.pb = ht.pb_eff;
+      g.in_rows = ht.in_rows();
+      g.iw = iw;
+      g.oh_t = ht.out_rows();
+      g.ow = ow;
+
+      auto gm_in = gm_view(in).sub(((bn * c1 + q) * ih + ht.y0) * iw * kC0,
+                                   g.in_rows * iw * kC0);
+      auto gm_out = gm_view(out).sub(
+          ((bn * c1 + q) * oh + ht.o0) * ow * kC0, g.tile_patches() * kC0);
+
+      switch (impl) {
+        case PoolImpl::kDirect:
+          direct_tile(core, op, init, scale, gm_in, gm_out, g);
+          break;
+        case PoolImpl::kIm2col:
+          im2col_tile(core, op, init, scale, gm_in, gm_out, g);
+          break;
+        case PoolImpl::kExpansion:
+          expansion_tile(core, op, init, scale, gm_in, gm_out, g);
+          break;
+        case PoolImpl::kXYSplit:
+          xysplit_tile(core, op, init, scale, gm_in, gm_out, g);
+          break;
+      }
+    }
+  });
+
+  return PoolFwdResult{std::move(out), run};
+}
+
+PoolFwdResult maxpool_forward(Device& dev, const TensorF16& in,
+                              const Window2d& w, akg::PoolImpl impl) {
+  return pooling_forward_impl(dev, in, w, impl, VecOp::kMax,
+                              Float16::lowest(), Float16(1.0f));
+}
+
+const char* to_string(MergeImpl impl) {
+  switch (impl) {
+    case MergeImpl::kVadd: return "vadd";
+    case MergeImpl::kCol2im: return "col2im";
+  }
+  return "?";
+}
+
+}  // namespace davinci::kernels

@@ -1,0 +1,15 @@
+// Internal: shared forward driver (defined in maxpool_fwd.cc) used by both
+// the MaxPool and AvgPool entry points.
+#pragma once
+
+#include "akg/tiling.h"
+#include "kernels/pooling.h"
+#include "sim/vector_unit.h"
+
+namespace davinci::kernels {
+
+PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
+                                   const Window2d& w, akg::PoolImpl impl,
+                                   VecOp op, Float16 init, Float16 scale);
+
+}  // namespace davinci::kernels

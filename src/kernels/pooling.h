@@ -1,0 +1,115 @@
+// Pooling kernel programs for the simulated DaVinci AI Core -- the
+// implementations the paper evaluates (Section V / Figures 7-8), written
+// the way their lowered CCE-C code is described:
+//
+//  forward (MaxPool / AvgPool):
+//    * kDirect     -- standard TVM lowering (Listing 1): the reduction
+//                     instruction is issued Oh*Ow*Kh times with only the
+//                     C0 = 16 lanes of the 128-lane mask active, repeating
+//                     over Kw. At stride width 1 the lowering recovers the
+//                     full mask over (Ow, C0) rows (Figure 8a's fast case).
+//    * kIm2col     -- proposed (Listing 2): the tile is loaded L1 -> UB
+//                     with the Im2Col instruction in transposed repeat
+//                     mode 1; a full-mask reduction instruction is issued
+//                     only Kh*Kw times.
+//    * kExpansion  -- the im2col shape is produced *inside* the Unified
+//                     Buffer by regular vector copies, then reduced like
+//                     kIm2col (Figure 8's "Maxpool with expansion").
+//    * kXYSplit    -- reduce along the width, then along the height
+//                     (Lai et al., Figure 8b).
+//
+//  backward (merge step = Col2im):
+//    * kVadd       -- baseline: per-patch 16-lane vadd scatter, no repeat
+//                     ("the vadd instructions only set 16 elements of the
+//                     vector mask ... and repetition is not used").
+//    * kCol2im     -- proposed: the Col2Im instruction performs the merge,
+//                     one whole fractal per step.
+//
+// All kernels take NC1HWC0 fp16 tensors in global memory, tile on C1 (and
+// on output height when a slice exceeds the Unified Buffer -- the plan
+// comes from akg::plan_fwd / akg::plan_bwd) and distribute blocks over the
+// device's AI Cores. Direct, expansion and X-Y-split kernels require zero
+// padding (the paper evaluates them only without padding); the
+// im2col-based kernels support padding, applied during the Im2Col load.
+#pragma once
+
+#include <cstdint>
+
+#include "akg/tiling.h"
+#include "sim/device.h"
+#include "tensor/fractal.h"
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::kernels {
+
+// Merge-step implementation for the backward operators.
+enum class MergeImpl : std::uint8_t { kVadd, kCol2im };
+
+const char* to_string(MergeImpl impl);
+
+struct PoolFwdResult {
+  TensorF16 out;  // (N, C1, Oh, Ow, C0)
+  Device::RunResult run;
+  std::int64_t cycles() const { return run.device_cycles; }
+};
+
+struct PoolMaskFwdResult {
+  TensorF16 out;   // (N, C1, Oh, Ow, C0)
+  TensorF16 mask;  // (N, C1, Kh, Kw, PP, C0), PP = Oh*Ow rounded to fractals
+  Device::RunResult run;
+  std::int64_t cycles() const { return run.device_cycles; }
+};
+
+struct PoolBwdResult {
+  TensorF16 grad_in;  // (N, C1, Ih, Iw, C0)
+  Device::RunResult run;
+  std::int64_t cycles() const { return run.device_cycles; }
+};
+
+// --- MaxPool ---
+
+PoolFwdResult maxpool_forward(Device& dev, const TensorF16& in,
+                              const Window2d& w, akg::PoolImpl impl);
+
+// Forward plus the Argmax mask needed for training (Figure 7b). Supported
+// for kDirect (baseline) and kIm2col (proposed).
+PoolMaskFwdResult maxpool_forward_with_mask(Device& dev, const TensorF16& in,
+                                            const Window2d& w,
+                                            akg::PoolImpl impl);
+
+// Backward: mask (N, C1, Kh, Kw, PP, C0) and incoming gradients
+// (N, C1, Oh, Ow, C0) -> gradient w.r.t. the input (N, C1, Ih, Iw, C0).
+PoolBwdResult maxpool_backward(Device& dev, const TensorF16& mask,
+                               const TensorF16& grad, const Window2d& w,
+                               std::int64_t ih, std::int64_t iw,
+                               MergeImpl merge);
+
+// --- AvgPool (Section V-C) ---
+
+// Supported for kDirect and kIm2col.
+PoolFwdResult avgpool_forward(Device& dev, const TensorF16& in,
+                              const Window2d& w, akg::PoolImpl impl);
+
+// AvgPool backward needs no mask: every position contributes, scaled by
+// 1 / (Kh * Kw).
+PoolBwdResult avgpool_backward(Device& dev, const TensorF16& grad,
+                               const Window2d& w, std::int64_t ih,
+                               std::int64_t iw, MergeImpl merge);
+
+// --- Extensions beyond the paper's operators, on the same machinery ---
+
+// MinPool: identical schedules with vmin and a +max-finite initializer.
+// Supported for kDirect and kIm2col (and the other two, which share the
+// MaxPool driver).
+PoolFwdResult minpool_forward(Device& dev, const TensorF16& in,
+                              const Window2d& w, akg::PoolImpl impl);
+
+// Global average pooling: (N, C1, H, W, C0) -> (N, C1, 1, 1, C0), the
+// mean over all spatial positions per channel. A different vector
+// pattern from windowed pooling: a saturated-mask running accumulation
+// over 8-position chunks followed by a 128 -> C0 lane-halving reduction
+// tree, then one vmuls by 1/(H*W).
+PoolFwdResult global_avgpool(Device& dev, const TensorF16& in);
+
+}  // namespace davinci::kernels

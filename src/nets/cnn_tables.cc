@@ -1,0 +1,53 @@
+#include "nets/cnn_tables.h"
+
+namespace davinci::nets {
+
+namespace {
+
+PoolLayer layer(std::string net, int index, std::int64_t h, std::int64_t w,
+                std::int64_t c, std::int64_t k, std::int64_t s,
+                bool highlighted = false) {
+  PoolLayer l;
+  l.network = std::move(net);
+  l.index = index;
+  l.h = h;
+  l.w = w;
+  l.c = c;
+  l.window = Window2d::pool(k, s);
+  l.highlighted = highlighted;
+  return l;
+}
+
+}  // namespace
+
+std::vector<PoolLayer> table1_layers() {
+  return {
+      // InceptionV3: K(3,3) S(2,2).
+      layer("InceptionV3", 1, 147, 147, 64, 3, 2, /*highlighted=*/true),
+      layer("InceptionV3", 2, 71, 71, 192, 3, 2, /*highlighted=*/true),
+      layer("InceptionV3", 3, 35, 35, 288, 3, 2, /*highlighted=*/true),
+      layer("InceptionV3", 4, 17, 17, 768, 3, 2),
+      // Xception: K(3,3) S(2,2).
+      layer("Xception", 1, 147, 147, 128, 3, 2),
+      layer("Xception", 2, 74, 74, 256, 3, 2),
+      layer("Xception", 3, 37, 37, 728, 3, 2),
+      layer("Xception", 4, 19, 19, 1024, 3, 2),
+      // ResNet50: a single maxpool, K(3,3) S(2,2).
+      layer("Resnet50", 1, 112, 112, 64, 3, 2),
+      // VGG16: K(2,2) S(2,2).
+      layer("VGG16", 1, 224, 224, 64, 2, 2),
+      layer("VGG16", 2, 112, 112, 128, 2, 2),
+      layer("VGG16", 3, 56, 56, 256, 2, 2),
+      layer("VGG16", 4, 28, 28, 512, 2, 2),
+  };
+}
+
+std::vector<PoolLayer> inception_v3_fig7_layers() {
+  std::vector<PoolLayer> out;
+  for (auto& l : table1_layers()) {
+    if (l.highlighted) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace davinci::nets

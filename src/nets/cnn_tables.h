@@ -1,0 +1,30 @@
+// Table I of the paper: MaxPool input sizes in popular CNNs, gathered from
+// the Keras framework, in HWC layout. "All configurations use a kernel
+// size of (3, 3) and a stride of (2, 2), except for VGG16, which has a
+// kernel size and stride of (2, 2)."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/pool_geometry.h"
+
+namespace davinci::nets {
+
+struct PoolLayer {
+  std::string network;
+  int index = 0;            // "Input 1..4" column of Table I
+  std::int64_t h = 0, w = 0, c = 0;  // HWC input size
+  Window2d window;
+  bool highlighted = false;  // bold in Table I: used for Figure 7
+};
+
+// All Table I rows.
+std::vector<PoolLayer> table1_layers();
+
+// The three InceptionV3 configurations highlighted in bold, used for the
+// Figure 7 experiments: (147,147,64), (71,71,192), (35,35,288).
+std::vector<PoolLayer> inception_v3_fig7_layers();
+
+}  // namespace davinci::nets

@@ -1,0 +1,126 @@
+#include "nets/pipeline.h"
+
+#include "common/check.h"
+#include "kernels/conv2d.h"
+#include "ref/conv_ref.h"
+#include "ref/pooling_ref.h"
+#include "tensor/fractal.h"
+
+namespace davinci::nets {
+
+Pipeline& Pipeline::conv(TensorF32 weights, const Window2d& window,
+                         std::string name) {
+  DV_CHECK_EQ(weights.shape().rank(), 4) << "(Cout, C, Kh, Kw)";
+  DV_CHECK_EQ(weights.shape()[2], window.kh);
+  DV_CHECK_EQ(weights.shape()[3], window.kw);
+  layers_.push_back(
+      Layer{Kind::kConv, std::move(name), window, std::move(weights)});
+  return *this;
+}
+
+Pipeline& Pipeline::maxpool(const Window2d& window, std::string name) {
+  layers_.push_back(Layer{Kind::kMaxPool, std::move(name), window, {}});
+  return *this;
+}
+
+Pipeline& Pipeline::avgpool(const Window2d& window, std::string name) {
+  layers_.push_back(Layer{Kind::kAvgPool, std::move(name), window, {}});
+  return *this;
+}
+
+Pipeline& Pipeline::global_avgpool(std::string name) {
+  layers_.push_back(Layer{Kind::kGlobalAvg, std::move(name), {}, {}});
+  return *this;
+}
+
+Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
+                               PoolingStack stack) const {
+  DV_CHECK_EQ(input.shape().rank(), 5) << "expected NC1HWC0";
+  DV_CHECK_EQ(input.shape()[0], 1) << "pipelines run one image";
+  const akg::PoolImpl pool_impl = stack == PoolingStack::kAccelerated
+                                      ? akg::PoolImpl::kIm2col
+                                      : akg::PoolImpl::kDirect;
+
+  Result result;
+  TensorF16 cur = input;  // activations in global memory
+  for (const Layer& layer : layers_) {
+    LayerRun run;
+    run.name = layer.name;
+    switch (layer.kind) {
+      case Kind::kConv: {
+        auto r = kernels::conv2d_cube(dev, cur, layer.weights, layer.window);
+        run.cycles = r.cycles();
+        cur = std::move(r.out);
+        break;
+      }
+      case Kind::kMaxPool: {
+        auto r = kernels::maxpool_forward(dev, cur, layer.window, pool_impl);
+        run.cycles = r.cycles();
+        cur = std::move(r.out);
+        break;
+      }
+      case Kind::kAvgPool: {
+        auto r = kernels::avgpool_forward(dev, cur, layer.window, pool_impl);
+        run.cycles = r.cycles();
+        cur = std::move(r.out);
+        break;
+      }
+      case Kind::kGlobalAvg: {
+        auto r = kernels::global_avgpool(dev, cur);
+        run.cycles = r.cycles();
+        cur = std::move(r.out);
+        break;
+      }
+    }
+    run.out_shape = cur.shape();
+    result.total_cycles += run.cycles;
+    result.layers.push_back(std::move(run));
+  }
+  result.out = std::move(cur);
+  return result;
+}
+
+namespace {
+
+// fp16-rounds an fp32 tensor in place (activation storage between layers).
+TensorF32 round_f16(const TensorF32& t) {
+  TensorF32 out(t.shape());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    out.flat(i) = Float16(t.flat(i)).to_float();
+  }
+  return out;
+}
+
+}  // namespace
+
+TensorF32 Pipeline::reference(const TensorF32& input_nchw) const {
+  DV_CHECK_EQ(input_nchw.shape().rank(), 4);
+  TensorF32 cur = round_f16(input_nchw);
+  for (const Layer& layer : layers_) {
+    switch (layer.kind) {
+      case Kind::kConv:
+        cur = round_f16(
+            ref::conv2d_nchw(cur, round_f16(layer.weights), layer.window));
+        break;
+      case Kind::kMaxPool:
+        cur = ref::maxpool_fwd_nchw(cur, layer.window);
+        break;
+      case Kind::kAvgPool: {
+        // Mirror the kernels' fp16 rounding: sum and scale in fp16 order.
+        const TensorF16 frac = nchw_to_nc1hwc0(cur);
+        const TensorF16 pooled = ref::avgpool_fwd(frac, layer.window);
+        cur = nc1hwc0_to_nchw(pooled, cur.shape()[1]);
+        break;
+      }
+      case Kind::kGlobalAvg: {
+        const TensorF16 frac = nchw_to_nc1hwc0(cur);
+        const TensorF16 pooled = ref::global_avgpool(frac);
+        cur = nc1hwc0_to_nchw(pooled, cur.shape()[1]);
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace davinci::nets

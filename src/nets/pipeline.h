@@ -1,0 +1,70 @@
+// A small forward-pipeline runner: sequences of Conv / MaxPool / AvgPool /
+// GlobalAvgPool layers executed on the simulated device with per-layer
+// cycle accounting -- the "adopt this library in a network" surface.
+// Layer outputs stay in the NC1HWC0 global-memory format between layers,
+// exactly like activations on the real chip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "akg/tiling.h"
+#include "kernels/pooling.h"
+#include "sim/device.h"
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::nets {
+
+// How pooling layers are scheduled throughout a pipeline run.
+enum class PoolingStack : std::uint8_t {
+  kStandard,     // direct forward (Listing 1)
+  kAccelerated,  // Im2col-based forward (Listing 2)
+};
+
+class Pipeline {
+ public:
+  // Convolution on the Cube Unit; weights (Cout, C, Kh, Kw) are supplied
+  // by the caller (C must match the running channel count).
+  Pipeline& conv(TensorF32 weights, const Window2d& window,
+                 std::string name = "conv");
+  Pipeline& maxpool(const Window2d& window, std::string name = "maxpool");
+  Pipeline& avgpool(const Window2d& window, std::string name = "avgpool");
+  Pipeline& global_avgpool(std::string name = "global_avgpool");
+
+  struct LayerRun {
+    std::string name;
+    Shape out_shape;
+    std::int64_t cycles = 0;
+  };
+
+  struct Result {
+    TensorF16 out;
+    std::vector<LayerRun> layers;
+    std::int64_t total_cycles = 0;
+  };
+
+  // Runs the whole pipeline on `input` ((N=1, C1, H, W, C0) fp16).
+  Result run(Device& dev, const TensorF16& input, PoolingStack stack) const;
+
+  // Reference forward pass (NCHW fp32 in, fp16-rounded activations
+  // between layers so it tracks the device pipeline), for validation.
+  TensorF32 reference(const TensorF32& input_nchw) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  enum class Kind : std::uint8_t { kConv, kMaxPool, kAvgPool, kGlobalAvg };
+
+  struct Layer {
+    Kind kind;
+    std::string name;
+    Window2d window;
+    TensorF32 weights;  // conv only
+  };
+
+  std::vector<Layer> layers_;
+};
+
+}  // namespace davinci::nets

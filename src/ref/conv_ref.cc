@@ -1,0 +1,120 @@
+#include "ref/conv_ref.h"
+
+#include "common/check.h"
+#include "ref/im2col_ref.h"
+
+namespace davinci::ref {
+
+TensorF32 conv2d_nchw(const TensorF32& in, const TensorF32& kernels,
+                      const Window2d& w) {
+  DV_CHECK_EQ(in.shape().rank(), 4);
+  DV_CHECK_EQ(in.shape()[0], 1);
+  DV_CHECK_EQ(kernels.shape().rank(), 4);
+  const std::int64_t ch = in.shape()[1];
+  DV_CHECK_EQ(kernels.shape()[1], ch);
+  DV_CHECK_EQ(kernels.shape()[2], w.kh);
+  DV_CHECK_EQ(kernels.shape()[3], w.kw);
+  const std::int64_t cout = kernels.shape()[0];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+
+  TensorF32 out(Shape{std::int64_t{1}, cout, oh, ow});
+  for (std::int64_t f = 0; f < cout; ++f) {
+    for (std::int64_t i = 0; i < oh; ++i) {
+      for (std::int64_t j = 0; j < ow; ++j) {
+        float acc = 0.0f;
+        for (std::int64_t c = 0; c < ch; ++c) {
+          for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+            for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+              const std::int64_t y = i * w.sh + kh - w.pt;
+              const std::int64_t x = j * w.sw + kw - w.pl;
+              if (y < 0 || y >= ih || x < 0 || x >= iw) continue;
+              acc += in.at(std::int64_t{0}, c, y, x) * kernels.at(f, c, kh, kw);
+            }
+          }
+        }
+        out.at(std::int64_t{0}, f, i, j) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+TensorF32 conv2d_im2col_matmul(const TensorF32& in, const TensorF32& kernels,
+                               const Window2d& w) {
+  const std::int64_t cout = kernels.shape()[0];
+  const std::int64_t ch = in.shape()[1];
+  const std::int64_t oh = w.out_h(in.shape()[2]);
+  const std::int64_t ow = w.out_w(in.shape()[3]);
+  const std::int64_t k = ch * w.kh * w.kw;
+
+  const TensorF32 cols = im2col_matrix(in, w);  // (Oh*Ow, K)
+
+  // OutKer: (K, Cout), each column a linearized kernel (Figure 1).
+  TensorF32 ker(Shape{k, cout});
+  for (std::int64_t f = 0; f < cout; ++f) {
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < w.kw; ++kw, ++row) {
+          ker.at(row, f) = kernels.at(f, c, kh, kw);
+        }
+      }
+    }
+  }
+
+  TensorF32 out(Shape{std::int64_t{1}, cout, oh, ow});
+  for (std::int64_t p = 0; p < oh * ow; ++p) {
+    for (std::int64_t f = 0; f < cout; ++f) {
+      float acc = 0.0f;
+      for (std::int64_t x = 0; x < k; ++x) {
+        acc += cols.at(p, x) * ker.at(x, f);
+      }
+      out.at(std::int64_t{0}, f, p / ow, p % ow) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci::ref
+
+namespace davinci::ref {
+
+TensorF32 conv2d_backward_input_nchw(const TensorF32& grad,
+                                     const TensorF32& kernels,
+                                     const Window2d& w, std::int64_t ih,
+                                     std::int64_t iw) {
+  DV_CHECK_EQ(grad.shape().rank(), 4);
+  DV_CHECK_EQ(grad.shape()[0], 1);
+  DV_CHECK_EQ(kernels.shape().rank(), 4);
+  const std::int64_t cout = kernels.shape()[0];
+  const std::int64_t c = kernels.shape()[1];
+  DV_CHECK_EQ(grad.shape()[1], cout);
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  DV_CHECK_EQ(grad.shape()[2], oh);
+  DV_CHECK_EQ(grad.shape()[3], ow);
+
+  TensorF32 out(Shape{std::int64_t{1}, c, ih, iw});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t i = 0; i < oh; ++i) {
+      for (std::int64_t j = 0; j < ow; ++j) {
+        for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+          for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+            const std::int64_t y = i * w.sh + kh - w.pt;
+            const std::int64_t x = j * w.sw + kw - w.pl;
+            if (y < 0 || y >= ih || x < 0 || x >= iw) continue;
+            float acc = 0.0f;
+            for (std::int64_t f = 0; f < cout; ++f) {
+              acc += grad.at(std::int64_t{0}, f, i, j) *
+                     kernels.at(f, ch, kh, kw);
+            }
+            out.at(std::int64_t{0}, ch, y, x) += acc;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci::ref

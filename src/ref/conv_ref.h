@@ -1,0 +1,30 @@
+// Reference 2-D convolution (Section II-A): direct NCHW fp32 version and
+// the im2col-as-matrix-multiplication equivalence the Cube-Unit kernel is
+// validated against.
+#pragma once
+
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::ref {
+
+// Direct convolution. in: (1, C, Ih, Iw); kernels: (Cout, C, Kh, Kw);
+// out: (1, Cout, Oh, Ow).
+TensorF32 conv2d_nchw(const TensorF32& in, const TensorF32& kernels,
+                      const Window2d& w);
+
+// Convolution via im2col + matrix multiplication: computes
+// OutIn (Oh*Ow, C*Kh*Kw) x OutKer (C*Kh*Kw, Cout) and reshapes, proving
+// the Figure 1 equivalence in tests.
+TensorF32 conv2d_im2col_matmul(const TensorF32& in, const TensorF32& kernels,
+                               const Window2d& w);
+
+// Convolution backward w.r.t. the input: dX = col2im(W^T x dOut)
+// (Section II-B). grad: (1, Cout, Oh, Ow); kernels: (Cout, C, Kh, Kw);
+// result (1, C, Ih, Iw). Textbook fp32 semantics.
+TensorF32 conv2d_backward_input_nchw(const TensorF32& grad,
+                                     const TensorF32& kernels,
+                                     const Window2d& w, std::int64_t ih,
+                                     std::int64_t iw);
+
+}  // namespace davinci::ref

@@ -1,0 +1,95 @@
+#include "ref/im2col_ref.h"
+
+#include "common/align.h"
+#include "common/check.h"
+
+namespace davinci::ref {
+
+TensorF16 im2col(const TensorF16& in, const Window2d& w) {
+  DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
+  DV_CHECK_EQ(in.shape()[4], kC0);
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  const std::int64_t pp = round_up(oh * ow, kFractalRows);
+
+  TensorF16 out(Shape{n, c1, w.kh, w.kw, pp, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+          for (std::int64_t p = 0; p < oh * ow; ++p) {
+            const std::int64_t i = p / ow, j = p % ow;
+            const std::int64_t y = i * w.sh + kh - w.pt;
+            const std::int64_t x = j * w.sw + kw - w.pl;
+            if (y < 0 || y >= ih || x < 0 || x >= iw) continue;  // stays 0
+            for (std::int64_t c = 0; c < kC0; ++c) {
+              out.at(b, q, kh, kw, p, c) = in.at(b, q, y, x, c);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 col2im(const TensorF16& cols, const Window2d& w, std::int64_t ih,
+                 std::int64_t iw) {
+  DV_CHECK_EQ(cols.shape().rank(), 6) << "expected (N,C1,Kh,Kw,PP,C0)";
+  const std::int64_t n = cols.shape()[0], c1 = cols.shape()[1];
+  DV_CHECK_EQ(cols.shape()[2], w.kh);
+  DV_CHECK_EQ(cols.shape()[3], w.kw);
+  DV_CHECK_EQ(cols.shape()[5], kC0);
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  DV_CHECK_EQ(cols.shape()[4], round_up(oh * ow, kFractalRows));
+
+  TensorF16 out(Shape{n, c1, ih, iw, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+          for (std::int64_t p = 0; p < oh * ow; ++p) {
+            const std::int64_t i = p / ow, j = p % ow;
+            const std::int64_t y = i * w.sh + kh - w.pt;
+            const std::int64_t x = j * w.sw + kw - w.pl;
+            if (y < 0 || y >= ih || x < 0 || x >= iw) continue;
+            for (std::int64_t c = 0; c < kC0; ++c) {
+              out.at(b, q, y, x, c) =
+                  out.at(b, q, y, x, c) + cols.at(b, q, kh, kw, p, c);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF32 im2col_matrix(const TensorF32& in, const Window2d& w) {
+  DV_CHECK_EQ(in.shape().rank(), 4) << "expected NCHW";
+  DV_CHECK_EQ(in.shape()[0], 1) << "single image";
+  const std::int64_t ch = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+
+  TensorF32 out(Shape{oh * ow, ch * w.kh * w.kw});
+  for (std::int64_t p = 0; p < oh * ow; ++p) {
+    const std::int64_t i = p / ow, j = p % ow;
+    std::int64_t col = 0;
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < w.kw; ++kw, ++col) {
+          const std::int64_t y = i * w.sh + kh - w.pt;
+          const std::int64_t x = j * w.sw + kw - w.pl;
+          out.at(p, col) = (y < 0 || y >= ih || x < 0 || x >= iw)
+                               ? 0.0f
+                               : in.at(std::int64_t{0}, c, y, x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci::ref

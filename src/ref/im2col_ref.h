@@ -1,0 +1,31 @@
+// Reference Im2col / Col2im transformations (Section II-A/II-B and
+// Figures 1-2 of the paper), independent of the simulator, used to
+// validate the SCU's instruction semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/fractal.h"
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::ref {
+
+// NC1HWC0 -> im2col fractal layout (N, C1, Kh, Kw, PP, C0), the transposed
+// repeat-mode-1 output shape used by the pooling kernels. PP is the patch
+// count rounded up to whole 16-row fractals; tail rows and zero-padding
+// positions are 0.
+TensorF16 im2col(const TensorF16& in, const Window2d& w);
+
+// Inverse-with-accumulation: (N, C1, Kh, Kw, PP, C0) -> (N, C1, Ih, Iw, C0),
+// summing overlapping patches in row-major (kh, kw) order with rounded
+// fp16 adds (the Col2Im instruction's order). Contributions falling into
+// the virtual padding border are dropped.
+TensorF16 col2im(const TensorF16& cols, const Window2d& w, std::int64_t ih,
+                 std::int64_t iw);
+
+// Classic matrix form for convolution (Figure 1): NCHW fp32 input ->
+// OutIn matrix (Oh * Ow, C * Kh * Kw), one image (N must be 1).
+TensorF32 im2col_matrix(const TensorF32& in, const Window2d& w);
+
+}  // namespace davinci::ref

@@ -1,0 +1,395 @@
+#include "ref/pooling_ref.h"
+
+#include <limits>
+
+#include "common/align.h"
+#include "common/check.h"
+
+namespace davinci::ref {
+
+namespace {
+
+void check_nc1hwc0(const TensorF16& t) {
+  DV_CHECK_EQ(t.shape().rank(), 5) << "expected NC1HWC0";
+  DV_CHECK_EQ(t.shape()[4], kC0);
+}
+
+// Value of the zero-padded input at (y, x); out-of-image reads are 0,
+// matching what the Im2Col instruction loads.
+Float16 padded_at(const TensorF16& in, std::int64_t n, std::int64_t c1,
+                  std::int64_t y, std::int64_t x, std::int64_t c) {
+  if (y < 0 || y >= in.shape()[2] || x < 0 || x >= in.shape()[3]) {
+    return Float16();
+  }
+  return in.at(n, c1, y, x, c);
+}
+
+}  // namespace
+
+TensorF16 maxpool_fwd(const TensorF16& in, const Window2d& w) {
+  check_nc1hwc0(in);
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+
+  TensorF16 out(Shape{n, c1, oh, ow, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          for (std::int64_t c = 0; c < kC0; ++c) {
+            Float16 m = Float16::lowest();
+            for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+              for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+                const Float16 v = padded_at(in, b, q, i * w.sh + kh - w.pt,
+                                            j * w.sw + kw - w.pl, c);
+                m = fmax16(m, v);
+              }
+            }
+            out.at(b, q, i, j, c) = m;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 maxpool_argmax_mask(const TensorF16& in, const Window2d& w) {
+  check_nc1hwc0(in);
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  const std::int64_t pp = round_up(oh * ow, kFractalRows);
+
+  const TensorF16 maxed = maxpool_fwd(in, w);
+  TensorF16 mask(Shape{n, c1, w.kh, w.kw, pp, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+          for (std::int64_t p = 0; p < oh * ow; ++p) {
+            const std::int64_t i = p / ow, j = p % ow;
+            for (std::int64_t c = 0; c < kC0; ++c) {
+              const Float16 v = padded_at(in, b, q, i * w.sh + kh - w.pt,
+                                          j * w.sw + kw - w.pl, c);
+              mask.at(b, q, kh, kw, p, c) =
+                  (v == maxed.at(b, q, i, j, c)) ? Float16(1.0f) : Float16();
+            }
+          }
+          // Tail patch rows (p >= oh * ow) stay zero.
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+TensorF16 maxpool_bwd(const TensorF16& mask, const TensorF16& grad,
+                      const Window2d& w, std::int64_t ih, std::int64_t iw) {
+  DV_CHECK_EQ(mask.shape().rank(), 6) << "mask is (N,C1,Kh,Kw,PP,C0)";
+  DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
+  const std::int64_t n = mask.shape()[0], c1 = mask.shape()[1];
+  DV_CHECK_EQ(mask.shape()[2], w.kh);
+  DV_CHECK_EQ(mask.shape()[3], w.kw);
+  const std::int64_t oh = grad.shape()[2], ow = grad.shape()[3];
+  DV_CHECK_EQ(oh, w.out_h(ih));
+  DV_CHECK_EQ(ow, w.out_w(iw));
+
+  TensorF16 out(Shape{n, c1, ih, iw, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      // Merge planes in row-major (kh, kw) order, one rounded add each --
+      // the same order both the vadd and the Col2Im kernels use.
+      for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+          for (std::int64_t p = 0; p < oh * ow; ++p) {
+            const std::int64_t i = p / ow, j = p % ow;
+            const std::int64_t y = i * w.sh + kh - w.pt;
+            const std::int64_t x = j * w.sw + kw - w.pl;
+            if (y < 0 || y >= ih || x < 0 || x >= iw) continue;
+            for (std::int64_t c = 0; c < kC0; ++c) {
+              const Float16 mg =
+                  mask.at(b, q, kh, kw, p, c) * grad.at(b, q, i, j, c);
+              out.at(b, q, y, x, c) = out.at(b, q, y, x, c) + mg;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 avgpool_fwd(const TensorF16& in, const Window2d& w) {
+  check_nc1hwc0(in);
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  const Float16 inv(1.0f / static_cast<float>(w.kh * w.kw));
+
+  TensorF16 out(Shape{n, c1, oh, ow, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          for (std::int64_t c = 0; c < kC0; ++c) {
+            Float16 s;
+            for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+              for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+                s = s + padded_at(in, b, q, i * w.sh + kh - w.pt,
+                                  j * w.sw + kw - w.pl, c);
+              }
+            }
+            out.at(b, q, i, j, c) = s * inv;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 avgpool_bwd(const TensorF16& grad, const Window2d& w,
+                      std::int64_t ih, std::int64_t iw) {
+  DV_CHECK_EQ(grad.shape().rank(), 5);
+  const std::int64_t n = grad.shape()[0], c1 = grad.shape()[1];
+  const std::int64_t oh = grad.shape()[2], ow = grad.shape()[3];
+  DV_CHECK_EQ(oh, w.out_h(ih));
+  DV_CHECK_EQ(ow, w.out_w(iw));
+  const Float16 inv(1.0f / static_cast<float>(w.kh * w.kw));
+
+  TensorF16 out(Shape{n, c1, ih, iw, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+        for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+          for (std::int64_t p = 0; p < oh * ow; ++p) {
+            const std::int64_t i = p / ow, j = p % ow;
+            const std::int64_t y = i * w.sh + kh - w.pt;
+            const std::int64_t x = j * w.sw + kw - w.pl;
+            if (y < 0 || y >= ih || x < 0 || x >= iw) continue;
+            for (std::int64_t c = 0; c < kC0; ++c) {
+              const Float16 g = grad.at(b, q, i, j, c) * inv;
+              out.at(b, q, y, x, c) = out.at(b, q, y, x, c) + g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 minpool_fwd(const TensorF16& in, const Window2d& w) {
+  check_nc1hwc0(in);
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+
+  TensorF16 out(Shape{n, c1, oh, ow, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          for (std::int64_t c = 0; c < kC0; ++c) {
+            Float16 m = Float16::max_finite();
+            for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+              for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+                const Float16 v = padded_at(in, b, q, i * w.sh + kh - w.pt,
+                                            j * w.sw + kw - w.pl, c);
+                m = fmin16(m, v);
+              }
+            }
+            out.at(b, q, i, j, c) = m;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 global_avgpool(const TensorF16& in, std::int64_t rows_per_tile) {
+  check_nc1hwc0(in);
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t lanes = 128;
+  const std::int64_t row_elems = iw * kC0;
+  if (rows_per_tile <= 0 || rows_per_tile > ih) rows_per_tile = ih;
+  const Float16 inv(1.0f / static_cast<float>(ih * iw));
+
+  TensorF16 out(Shape{n, c1, std::int64_t{1}, std::int64_t{1}, kC0});
+  for (std::int64_t b = 0; b < n * c1; ++b) {
+    Float16 acc[128] = {};
+    // Row-tiled 128-lane running accumulation, matching the kernel.
+    for (std::int64_t r0 = 0; r0 < ih; r0 += rows_per_tile) {
+      const std::int64_t r1 =
+          r0 + rows_per_tile < ih ? r0 + rows_per_tile : ih;
+      const std::int64_t n_t = (r1 - r0) * row_elems;
+      const std::int64_t base = (b * ih + r0) * row_elems;
+      for (std::int64_t i = 0; i < n_t; ++i) {
+        acc[i % lanes] = acc[i % lanes] + in.flat(base + i);
+      }
+    }
+    // Lane-halving tree 128 -> 16.
+    for (std::int64_t width = lanes / 2; width >= kC0; width /= 2) {
+      for (std::int64_t j = 0; j < width; ++j) {
+        acc[j] = acc[j] + acc[j + width];
+      }
+    }
+    for (std::int64_t c = 0; c < kC0; ++c) {
+      out.flat(b * kC0 + c) = acc[c] * inv;
+    }
+  }
+  return out;
+}
+
+TensorF32 global_avgpool_f32(const TensorF16& in) {
+  check_nc1hwc0(in);
+  const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  TensorF32 out(Shape{n, c1, std::int64_t{1}, std::int64_t{1}, kC0});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t q = 0; q < c1; ++q) {
+      for (std::int64_t c = 0; c < kC0; ++c) {
+        double s = 0;
+        for (std::int64_t y = 0; y < ih; ++y) {
+          for (std::int64_t x = 0; x < iw; ++x) {
+            s += in.at(b, q, y, x, c).to_float();
+          }
+        }
+        out.at(b, q, std::int64_t{0}, std::int64_t{0}, c) =
+            static_cast<float>(s / static_cast<double>(ih * iw));
+      }
+    }
+  }
+  return out;
+}
+
+// ---- fp32 NCHW cross-validation versions ----
+
+TensorF32 maxpool_fwd_nchw(const TensorF32& in, const Window2d& w) {
+  DV_CHECK_EQ(in.shape().rank(), 4);
+  const std::int64_t n = in.shape()[0], ch = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+
+  TensorF32 out(Shape{n, ch, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          float m = -std::numeric_limits<float>::infinity();
+          for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+            for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+              const std::int64_t y = i * w.sh + kh - w.pt;
+              const std::int64_t x = j * w.sw + kw - w.pl;
+              const float v = (y < 0 || y >= ih || x < 0 || x >= iw)
+                                  ? 0.0f
+                                  : in.at(b, c, y, x);
+              if (v > m) m = v;
+            }
+          }
+          out.at(b, c, i, j) = m;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF32 avgpool_fwd_nchw(const TensorF32& in, const Window2d& w) {
+  DV_CHECK_EQ(in.shape().rank(), 4);
+  const std::int64_t n = in.shape()[0], ch = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  const float inv = 1.0f / static_cast<float>(w.kh * w.kw);
+
+  TensorF32 out(Shape{n, ch, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          float s = 0.0f;
+          for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+            for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+              const std::int64_t y = i * w.sh + kh - w.pt;
+              const std::int64_t x = j * w.sw + kw - w.pl;
+              if (y >= 0 && y < ih && x >= 0 && x < iw) {
+                s += in.at(b, c, y, x);
+              }
+            }
+          }
+          out.at(b, c, i, j) = s * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF32 maxpool_bwd_nchw(const TensorF32& in, const TensorF32& grad,
+                           const Window2d& w) {
+  DV_CHECK_EQ(in.shape().rank(), 4);
+  DV_CHECK_EQ(grad.shape().rank(), 4);
+  const std::int64_t n = in.shape()[0], ch = in.shape()[1];
+  const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
+  const std::int64_t oh = grad.shape()[2], ow = grad.shape()[3];
+  DV_CHECK_EQ(oh, w.out_h(ih));
+  DV_CHECK_EQ(ow, w.out_w(iw));
+
+  const TensorF32 maxed = maxpool_fwd_nchw(in, w);
+  TensorF32 out(Shape{n, ch, ih, iw});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          const float m = maxed.at(b, c, i, j);
+          for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+            for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+              const std::int64_t y = i * w.sh + kh - w.pt;
+              const std::int64_t x = j * w.sw + kw - w.pl;
+              if (y < 0 || y >= ih || x < 0 || x >= iw) continue;
+              if (in.at(b, c, y, x) == m) {
+                out.at(b, c, y, x) += grad.at(b, c, i, j);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF32 avgpool_bwd_nchw(const TensorF32& grad, const Window2d& w,
+                           std::int64_t ih, std::int64_t iw) {
+  DV_CHECK_EQ(grad.shape().rank(), 4);
+  const std::int64_t n = grad.shape()[0], ch = grad.shape()[1];
+  const std::int64_t oh = grad.shape()[2], ow = grad.shape()[3];
+  DV_CHECK_EQ(oh, w.out_h(ih));
+  DV_CHECK_EQ(ow, w.out_w(iw));
+  const float inv = 1.0f / static_cast<float>(w.kh * w.kw);
+
+  TensorF32 out(Shape{n, ch, ih, iw});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          for (std::int64_t kh = 0; kh < w.kh; ++kh) {
+            for (std::int64_t kw = 0; kw < w.kw; ++kw) {
+              const std::int64_t y = i * w.sh + kh - w.pt;
+              const std::int64_t x = j * w.sw + kw - w.pl;
+              if (y < 0 || y >= ih || x < 0 || x >= iw) continue;
+              out.at(b, c, y, x) += grad.at(b, c, i, j) * inv;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci::ref

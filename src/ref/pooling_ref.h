@@ -1,0 +1,78 @@
+// Reference (golden) implementations of the pooling operators, independent
+// of the simulator. Two families:
+//
+//  * NC1HWC0 / fp16 versions that follow the exact operation order of the
+//    DaVinci kernels (reduction over (kh, kw) in row-major order, one
+//    rounded fp16 operation at a time), so kernel outputs can be compared
+//    bit-exactly;
+//  * plain NCHW / fp32 versions with textbook semantics, used to
+//    cross-validate the fp16 references within fp16 tolerance.
+//
+// Padding semantics follow the hardware: the Im2Col instruction loads
+// *zeros* for out-of-image positions (Section III-C), so padded positions
+// participate in max() as 0 and AvgPool divides by the full window size
+// (count-include-pad). The Argmax mask marks every position equal to the
+// patch maximum ("comparing each patch of the input with its maximum
+// value", Section V-A) -- ties mark multiple positions.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/fractal.h"
+#include "tensor/pool_geometry.h"
+#include "tensor/tensor.h"
+
+namespace davinci::ref {
+
+// ---- NC1HWC0 fp16 domain (exact kernel semantics) ----
+
+// MaxPool forward: (N, C1, Ih, Iw, C0) -> (N, C1, Oh, Ow, C0).
+TensorF16 maxpool_fwd(const TensorF16& in, const Window2d& w);
+
+// Argmax mask in the im2col shape (N, C1, Kh, Kw, PP, C0) where PP is the
+// patch count padded to whole 16-row fractals; tail patch rows are zero.
+// mask = 1 where the (zero-padded) patch element equals the patch max.
+TensorF16 maxpool_argmax_mask(const TensorF16& in, const Window2d& w);
+
+// MaxPool backward: mask (N, C1, Kh, Kw, PP, C0) x gradients
+// (N, C1, Oh, Ow, C0) -> input gradient (N, C1, Ih, Iw, C0).
+// Accumulation order matches the kernels: multiply whole (kh, kw) planes,
+// then merge planes in row-major (kh, kw) order with one rounded fp16 add
+// per contribution.
+TensorF16 maxpool_bwd(const TensorF16& mask, const TensorF16& grad,
+                      const Window2d& w, std::int64_t ih, std::int64_t iw);
+
+// AvgPool forward: sum over (kh, kw) in row-major order (rounded fp16
+// adds), then multiply by fp16(1 / (Kh * Kw)).
+TensorF16 avgpool_fwd(const TensorF16& in, const Window2d& w);
+
+// AvgPool backward: scale gradients by fp16(1 / (Kh * Kw)), then merge a
+// copy of the scaled plane per (kh, kw) in row-major order.
+TensorF16 avgpool_bwd(const TensorF16& grad, const Window2d& w,
+                      std::int64_t ih, std::int64_t iw);
+
+// MinPool forward: dual of maxpool_fwd (zero padding participates as 0).
+TensorF16 minpool_fwd(const TensorF16& in, const Window2d& w);
+
+// Global average pooling: (N, C1, H, W, C0) -> (N, C1, 1, 1, C0).
+// Mirrors the kernel's exact reduction order (row-tiled 128-lane running
+// accumulation, then a lane-halving tree, then one multiply by 1/(H*W)),
+// so comparisons are bit-exact despite fp16 rounding. `rows_per_tile`
+// must match the kernel's tiling (pass 0 to mean "whole image").
+TensorF16 global_avgpool(const TensorF16& in, std::int64_t rows_per_tile = 0);
+
+// Textbook fp32 mean over H, W for cross-validation within tolerance.
+TensorF32 global_avgpool_f32(const TensorF16& in);
+
+// ---- NCHW fp32 domain (textbook semantics for cross-validation) ----
+
+TensorF32 maxpool_fwd_nchw(const TensorF32& in, const Window2d& w);
+TensorF32 avgpool_fwd_nchw(const TensorF32& in, const Window2d& w);
+// Gradient w.r.t. the input; ties split the gradient to every maximal
+// position (matching the eq-mask semantics above).
+TensorF32 maxpool_bwd_nchw(const TensorF32& in, const TensorF32& grad,
+                           const Window2d& w);
+TensorF32 avgpool_bwd_nchw(const TensorF32& grad, const Window2d& w,
+                           std::int64_t ih, std::int64_t iw);
+
+}  // namespace davinci::ref

@@ -1,0 +1,115 @@
+#include "sim/ai_core.h"
+
+namespace davinci {
+
+AiCore::AiCore(int id, const ArchConfig& arch, const CostModel& cost)
+    : id_(id),
+      arch_(arch),
+      cost_(cost),
+      l1_(BufferKind::kL1, arch.l1_bytes),
+      l0a_(BufferKind::kL0A, arch.l0a_bytes),
+      l0b_(BufferKind::kL0B, arch.l0b_bytes),
+      l0c_(BufferKind::kL0C, arch.l0c_bytes),
+      ub_(BufferKind::kUnified, arch.ub_bytes),
+      vec_(arch_, cost_, &stats_, &trace_),
+      mte_(cost_, &stats_, &trace_),
+      scu_(arch_, cost_, &stats_, &trace_),
+      cube_(arch_, cost_, &stats_, &trace_) {}
+
+void AiCore::reset_scratch() {
+  l1_.reset();
+  l0a_.reset();
+  l0b_.reset();
+  l0c_.reset();
+  ub_.reset();
+}
+
+void AiCore::scalar_loop(std::int64_t iterations) {
+  DV_CHECK_GE(iterations, 0);
+  stats_.scalar_cycles += iterations * cost_.scalar_loop_cycles;
+}
+
+void AiCore::pipe_barrier() {
+  stats_.barrier_cycles += cost_.pipe_barrier_cycles;
+  if (trace_.enabled()) {
+    trace_.record(TraceKind::kBarrier, "pipe_barrier",
+                  cost_.pipe_barrier_cycles);
+  }
+}
+
+template <typename F>
+std::int64_t AiCore::for_flat(std::int64_t n, F&& emit) {
+  DV_CHECK_GE(n, 0);
+  const std::int64_t lanes = arch_.vector_lanes;
+  std::int64_t full_reps = n / lanes;
+  const int tail = static_cast<int>(n % lanes);
+  std::int64_t offset = 0;
+  std::int64_t instrs = 0;
+  while (full_reps > 0) {
+    const int r = static_cast<int>(
+        full_reps > arch_.max_repeat ? arch_.max_repeat : full_reps);
+    emit(offset, r, VecMask::full());
+    offset += static_cast<std::int64_t>(r) * lanes;
+    full_reps -= r;
+    ++instrs;
+  }
+  if (tail > 0) {
+    emit(offset, 1, VecMask::first_n(tail));
+    ++instrs;
+  }
+  if (instrs > 1) scalar_loop(instrs - 1);
+  return instrs;
+}
+
+void AiCore::vbin_flat(VecOp op, Span<Float16> dst, Span<Float16> src0,
+                       Span<Float16> src1, std::int64_t n) {
+  for_flat(n, [&](std::int64_t off, int repeat, VecMask mask) {
+    VecConfig cfg;
+    cfg.mask = mask;
+    cfg.repeat = repeat;
+    vec_.binary(op, dst.drop_front(off), src0.drop_front(off),
+                src1.drop_front(off), cfg);
+  });
+}
+
+void AiCore::vdup_flat(Span<Float16> dst, Float16 value, std::int64_t n) {
+  for_flat(n, [&](std::int64_t off, int repeat, VecMask mask) {
+    VecConfig cfg;
+    cfg.mask = mask;
+    cfg.repeat = repeat;
+    vec_.dup(dst.drop_front(off), value, cfg);
+  });
+}
+
+void AiCore::vadds_flat(Span<Float16> dst, Span<Float16> src, Float16 s,
+                        std::int64_t n) {
+  for_flat(n, [&](std::int64_t off, int repeat, VecMask mask) {
+    VecConfig cfg;
+    cfg.mask = mask;
+    cfg.repeat = repeat;
+    vec_.adds(dst.drop_front(off), src.drop_front(off), s, cfg);
+  });
+}
+
+void AiCore::vmuls_flat(Span<Float16> dst, Span<Float16> src, Float16 s,
+                        std::int64_t n) {
+  for_flat(n, [&](std::int64_t off, int repeat, VecMask mask) {
+    VecConfig cfg;
+    cfg.mask = mask;
+    cfg.repeat = repeat;
+    vec_.muls(dst.drop_front(off), src.drop_front(off), s, cfg);
+  });
+}
+
+void AiCore::vcmpv_eq_flat(Span<Float16> dst, Span<Float16> src0,
+                           Span<Float16> src1, std::int64_t n) {
+  for_flat(n, [&](std::int64_t off, int repeat, VecMask mask) {
+    VecConfig cfg;
+    cfg.mask = mask;
+    cfg.repeat = repeat;
+    vec_.cmpv_eq(dst.drop_front(off), src0.drop_front(off),
+                 src1.drop_front(off), cfg);
+  });
+}
+
+}  // namespace davinci

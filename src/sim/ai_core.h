@@ -1,0 +1,102 @@
+// One DaVinci AI Core (Figure 4): Cube, Vector and Scalar units, the SCU,
+// and the private scratch-pad buffers, with a shared cycle ledger.
+//
+// Kernels (src/kernels/) are written against this class the way CCE-C
+// kernels are written against the hardware ISA: explicit buffer
+// allocation, explicit MTE transfers, explicit instruction issue. The
+// composite v*_flat helpers model the scalar loop AKG emits around vector
+// instructions when a tile needs more than `max_repeat` repeats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/arch_config.h"
+#include "arch/cost_model.h"
+#include "common/float16.h"
+#include "sim/cube_unit.h"
+#include "sim/mte.h"
+#include "sim/scratch.h"
+#include "sim/scu.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "sim/vector_unit.h"
+
+namespace davinci {
+
+class AiCore {
+ public:
+  AiCore(int id, const ArchConfig& arch, const CostModel& cost);
+
+  AiCore(const AiCore&) = delete;
+  AiCore& operator=(const AiCore&) = delete;
+
+  int id() const { return id_; }
+  const ArchConfig& arch() const { return arch_; }
+  const CostModel& cost() const { return cost_; }
+  CycleStats& stats() { return stats_; }
+
+  ScratchBuffer& l1() { return l1_; }
+  ScratchBuffer& l0a() { return l0a_; }
+  ScratchBuffer& l0b() { return l0b_; }
+  ScratchBuffer& l0c() { return l0c_; }
+  ScratchBuffer& ub() { return ub_; }
+
+  VectorUnit& vec() { return vec_; }
+  Mte& mte() { return mte_; }
+  Scu& scu() { return scu_; }
+  CubeUnit& cube() { return cube_; }
+
+  // Optional instruction trace (disabled by default; see sim/trace.h).
+  Trace& trace() { return trace_; }
+
+  // Frees every scratch allocation (tile-iteration boundary).
+  void reset_scratch();
+  void reset_stats() { stats_ = CycleStats{}; }
+
+  // Charges the Scalar Unit for `iterations` loop iterations of control
+  // flow / address arithmetic around other instructions.
+  void scalar_loop(std::int64_t iterations);
+
+  // Synchronization between dependent instructions on different pipes.
+  void pipe_barrier();
+
+  // --- Composite flat helpers over `n` contiguous UB elements ---
+  // Each splits the operation into ceil(n / (128 * max_repeat)) full
+  // instructions plus a masked tail, charging a scalar-loop iteration per
+  // reissue after the first (the loop the repeat parameter cannot absorb).
+  void vbin_flat(VecOp op, Span<Float16> dst, Span<Float16> src0,
+                 Span<Float16> src1, std::int64_t n);
+  void vdup_flat(Span<Float16> dst, Float16 value, std::int64_t n);
+  void vadds_flat(Span<Float16> dst, Span<Float16> src, Float16 s,
+                  std::int64_t n);
+  void vmuls_flat(Span<Float16> dst, Span<Float16> src, Float16 s,
+                  std::int64_t n);
+  void vcmpv_eq_flat(Span<Float16> dst, Span<Float16> src0,
+                     Span<Float16> src1, std::int64_t n);
+
+ private:
+  // Calls emit(element_offset, repeat, mask) for each instruction needed
+  // to cover n contiguous elements; returns instructions issued.
+  template <typename F>
+  std::int64_t for_flat(std::int64_t n, F&& emit);
+
+  int id_;
+  ArchConfig arch_;
+  CostModel cost_;
+  CycleStats stats_;
+  Trace trace_;
+
+  ScratchBuffer l1_;
+  ScratchBuffer l0a_;
+  ScratchBuffer l0b_;
+  ScratchBuffer l0c_;
+  ScratchBuffer ub_;
+
+  VectorUnit vec_;
+  Mte mte_;
+  Scu scu_;
+  CubeUnit cube_;
+};
+
+}  // namespace davinci

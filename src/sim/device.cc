@@ -1,0 +1,72 @@
+#include "sim/device.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace davinci {
+
+Device::Device(ArchConfig arch, CostModel cost)
+    : arch_(arch), cost_(cost) {
+  DV_CHECK_GE(arch_.num_cores, 1);
+  cores_.reserve(static_cast<std::size_t>(arch_.num_cores));
+  for (int i = 0; i < arch_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<AiCore>(i, arch_, cost_));
+  }
+}
+
+Device::RunResult Device::run(
+    std::int64_t num_blocks,
+    const std::function<void(AiCore&, std::int64_t)>& fn, bool parallel) {
+  DV_CHECK_GE(num_blocks, 0);
+  const int cores_used =
+      static_cast<int>(std::min<std::int64_t>(num_blocks, num_cores()));
+
+  for (int c = 0; c < num_cores(); ++c) cores_[c]->reset_stats();
+
+  auto run_core = [&](int c) {
+    AiCore& core = *cores_[static_cast<std::size_t>(c)];
+    core.stats().launch_cycles += cost_.core_launch_cycles;
+    for (std::int64_t b = c; b < num_blocks; b += num_cores()) {
+      core.reset_scratch();
+      fn(core, b);
+    }
+  };
+
+  if (parallel && cores_used > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(cores_used));
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    for (int c = 0; c < cores_used; ++c) {
+      workers.emplace_back([&, c] {
+        try {
+          run_core(c);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (int c = 0; c < cores_used; ++c) run_core(c);
+  }
+
+  RunResult result;
+  result.cores_used = cores_used;
+  result.core_cycles.resize(static_cast<std::size_t>(cores_used));
+  for (int c = 0; c < cores_used; ++c) {
+    const CycleStats& s = cores_[static_cast<std::size_t>(c)]->stats();
+    result.core_cycles[static_cast<std::size_t>(c)] = s.total_cycles();
+    result.aggregate += s;
+    result.device_cycles = std::max(result.device_cycles, s.total_cycles());
+    result.device_cycles_pipelined =
+        std::max(result.device_cycles_pipelined, s.pipelined_cycles());
+  }
+  return result;
+}
+
+}  // namespace davinci

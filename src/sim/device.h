@@ -1,0 +1,62 @@
+// The Ascend-910-like device: 32 AI Cores sharing global memory.
+//
+// The paper parallelizes pooling by splitting the outer loops (mainly C1)
+// across AI Cores; each core computes a share of the output ("the outer
+// loops are parallelized between the AI Cores available on the target
+// device", Section IV-A). The simulator distributes tile blocks
+// round-robin over the cores and executes them on a real thread pool --
+// blocks must write disjoint regions of global memory, which all kernels
+// in this repository guarantee by construction.
+//
+// The device-level time of a kernel is the *maximum* per-core cycle count
+// (cores run concurrently) plus a per-core launch overhead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "arch/cost_model.h"
+#include "sim/ai_core.h"
+#include "sim/stats.h"
+
+namespace davinci {
+
+class Device {
+ public:
+  explicit Device(ArchConfig arch = ArchConfig::ascend910(),
+                  CostModel cost = CostModel::calibrated());
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  AiCore& core(int i) { return *cores_.at(static_cast<std::size_t>(i)); }
+  const ArchConfig& arch() const { return arch_; }
+  const CostModel& cost() const { return cost_; }
+
+  struct RunResult {
+    std::int64_t device_cycles = 0;       // max over used cores (serial
+                                          // in-order timeline per core)
+    std::int64_t device_cycles_pipelined = 0;  // optimistic pipe-overlap
+                                               // bound (see CycleStats)
+    CycleStats aggregate;                 // sum over used cores
+    std::vector<std::int64_t> core_cycles;
+    int cores_used = 0;
+  };
+
+  // Executes blocks [0, num_blocks) with `fn(core, block_index)`, block b
+  // on core (b mod num_cores). Scratch is reset before every block and
+  // core stats are reset before the run. `parallel` false forces serial
+  // execution (deterministic debugging; results are identical either way
+  // because blocks touch disjoint global memory).
+  RunResult run(std::int64_t num_blocks,
+                const std::function<void(AiCore&, std::int64_t)>& fn,
+                bool parallel = true);
+
+ private:
+  ArchConfig arch_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<AiCore>> cores_;
+};
+
+}  // namespace davinci

@@ -1,0 +1,128 @@
+// Memory Transfer Engine: explicit data movement between global memory and
+// the scratch-pad buffers (arrows 1 -> 2, 1 -> 8, 8 -> 1, 2 -> 8 ... in
+// Figure 4 of the paper). Transfers pay a startup latency plus a bandwidth
+// term, and strided (2-D) transfers pay an extra per-burst cost -- which is
+// what makes halo reloads and scattered stores visible in the cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "arch/cost_model.h"
+#include "common/check.h"
+#include "common/float16.h"
+#include "sim/scratch.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace davinci {
+
+class Mte {
+ public:
+  Mte(const CostModel& cost, CycleStats* stats, Trace* trace = nullptr)
+      : cost_(cost), stats_(stats), trace_(trace) {}
+
+  // Contiguous copy of `count` elements. Exactly the legal datapaths are
+  // accepted (see allowed()).
+  template <typename T>
+  void copy(Span<T> dst, Span<T> src, std::int64_t count) {
+    DV_CHECK(allowed(src.kind(), dst.kind()))
+        << "no MTE path " << to_string(src.kind()) << " -> "
+        << to_string(dst.kind());
+    DV_CHECK_LE(count, src.size());
+    DV_CHECK_LE(count, dst.size());
+    for (std::int64_t i = 0; i < count; ++i) dst.at(i) = src.at(i);
+    charge(src.kind(), dst.kind(), count * static_cast<std::int64_t>(sizeof(T)),
+           /*bursts=*/1);
+  }
+
+  // 2-D strided copy: `rows` bursts of `row_elems` elements; operand
+  // offsets advance by the respective stride between bursts.
+  template <typename T>
+  void copy_2d(Span<T> dst, std::int64_t dst_stride, Span<T> src,
+               std::int64_t src_stride, std::int64_t rows,
+               std::int64_t row_elems) {
+    DV_CHECK(allowed(src.kind(), dst.kind()))
+        << "no MTE path " << to_string(src.kind()) << " -> "
+        << to_string(dst.kind());
+    DV_CHECK_GE(rows, 0);
+    DV_CHECK_GE(row_elems, 0);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t i = 0; i < row_elems; ++i) {
+        dst.at(r * dst_stride + i) = src.at(r * src_stride + i);
+      }
+    }
+    charge(src.kind(), dst.kind(),
+           rows * row_elems * static_cast<std::int64_t>(sizeof(T)), rows);
+  }
+
+  // L0C (fp32) -> UB (fp16) converting copy: models the vconv-on-the-way
+  // path used to drain Cube results.
+  void copy_convert(Span<Float16> dst, Span<float> src, std::int64_t count) {
+    DV_CHECK(src.kind() == BufferKind::kL0C &&
+             dst.kind() == BufferKind::kUnified)
+        << "converting copy is L0C -> UB only";
+    DV_CHECK_LE(count, src.size());
+    DV_CHECK_LE(count, dst.size());
+    for (std::int64_t i = 0; i < count; ++i) dst.at(i) = Float16(src.at(i));
+    charge(src.kind(), dst.kind(), count * 4, /*bursts=*/1);
+  }
+
+  // Strided converting drain: `rows` bursts of `row_elems`, converting
+  // fp32 -> fp16 in flight (gathering one fractal column of the L0C grid
+  // per burst).
+  void copy_convert_2d(Span<Float16> dst, std::int64_t dst_stride,
+                       Span<float> src, std::int64_t src_stride,
+                       std::int64_t rows, std::int64_t row_elems) {
+    DV_CHECK(src.kind() == BufferKind::kL0C &&
+             dst.kind() == BufferKind::kUnified)
+        << "converting copy is L0C -> UB only";
+    DV_CHECK_GE(rows, 0);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t i = 0; i < row_elems; ++i) {
+        dst.at(r * dst_stride + i) = Float16(src.at(r * src_stride + i));
+      }
+    }
+    charge(src.kind(), dst.kind(), rows * row_elems * 4, rows);
+  }
+
+ private:
+  static bool allowed(BufferKind src, BufferKind dst) {
+    using B = BufferKind;
+    // Paths in Figure 4: GM <-> L1, GM <-> UB, L1 -> UB (plain copy; the
+    // transforming variant is the SCU's Im2Col), UB -> L1, L0C <-> UB,
+    // L1 -> L0A/L0B (plain fractal load for Cube operands).
+    if (src == B::kGlobal && (dst == B::kL1 || dst == B::kUnified))
+      return true;
+    if (dst == B::kGlobal && (src == B::kL1 || src == B::kUnified))
+      return true;
+    if (src == B::kL1 &&
+        (dst == B::kUnified || dst == B::kL0A || dst == B::kL0B))
+      return true;
+    if (src == B::kUnified && dst == B::kL1) return true;
+    if (src == B::kL0C && dst == B::kUnified) return true;
+    if (src == B::kUnified && dst == B::kL0C) return true;
+    return false;
+  }
+
+  void charge(BufferKind src, BufferKind dst, std::int64_t bytes,
+              std::int64_t bursts) {
+    stats_->mte_transfers += 1;
+    stats_->mte_bytes += bytes;
+    const std::int64_t cycles = cost_.mte_copy(bytes, bursts);
+    stats_->mte_cycles += cycles;
+    if (trace_ && trace_->enabled()) {
+      trace_->record(TraceKind::kMte,
+                     std::string(to_string(src)) + "->" + to_string(dst) +
+                         " bytes=" + std::to_string(bytes) +
+                         " bursts=" + std::to_string(bursts),
+                     cycles);
+    }
+  }
+
+  const CostModel& cost_;
+  CycleStats* stats_;
+  Trace* trace_;
+};
+
+}  // namespace davinci

@@ -1,0 +1,192 @@
+#include "sim/scu.h"
+
+namespace davinci {
+
+void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
+                      const Im2colArgs& args) {
+  args.validate();
+  DV_CHECK(src.kind() == BufferKind::kL1)
+      << "Im2Col loads from L1, got " << to_string(src.kind());
+  DV_CHECK(dst.kind() == BufferKind::kUnified ||
+           dst.kind() == BufferKind::kL0A || dst.kind() == BufferKind::kL0B)
+      << "Im2Col targets L0A/L0B/UB, got " << to_string(dst.kind());
+  DV_CHECK_LE(args.input_elems(), src.size());
+  DV_CHECK_LE(args.output_elems(), dst.size());
+
+  const Window2d& w = args.window;
+  const std::int64_t oh = args.oh();
+  const std::int64_t ow = args.ow();
+  const std::int64_t patches = args.patches();
+  const std::int64_t padded = args.padded_patches();
+  const std::int64_t fractals_per_plane = args.patch_fractals();
+
+  // Functional semantics: for each kernel-relative position (xk, yk) the
+  // instruction walks 16 consecutive patches per fractal, loading the
+  // (xk, yk) element of each patch together with its whole C0 row.
+  for (std::int64_t xk = 0; xk < w.kh; ++xk) {
+    for (std::int64_t yk = 0; yk < w.kw; ++yk) {
+      const std::int64_t plane = (xk * w.kw + yk) * padded * kC0;
+      for (std::int64_t p = 0; p < padded; ++p) {
+        const std::int64_t dbase = plane + p * kC0;
+        if (p >= patches) {  // tail rows of the last fractal
+          for (std::int64_t c = 0; c < kC0; ++c) dst.at(dbase + c) = Float16();
+          continue;
+        }
+        const std::int64_t po = p / ow;  // patch coordinates
+        const std::int64_t pw = p % ow;
+        const std::int64_t y = po * w.sh + xk - w.pt;  // input row
+        const std::int64_t x = pw * w.sw + yk - w.pl;  // input col
+        const bool inside = y >= 0 && y < args.ih && x >= 0 && x < args.iw;
+        if (!inside) {  // zero padding applied during the load
+          for (std::int64_t c = 0; c < kC0; ++c) dst.at(dbase + c) = Float16();
+          continue;
+        }
+        const std::int64_t sbase = (y * args.iw + x) * kC0;
+        for (std::int64_t c = 0; c < kC0; ++c) {
+          dst.at(dbase + c) = src.at(sbase + c);
+        }
+      }
+    }
+  }
+  (void)oh;
+
+  // Timing: in repeat mode 1 one instruction covers up to max_repeat
+  // fractals of one (c1, xk, yk) plane; changing (xk, yk) needs a new
+  // instruction (Section III-C).
+  const std::int64_t instrs_per_plane =
+      ceil_div(fractals_per_plane, arch_.max_repeat);
+  const std::int64_t instrs = w.kh * w.kw * instrs_per_plane;
+  const std::int64_t fractals = w.kh * w.kw * fractals_per_plane;
+  stats_->im2col_instrs += instrs;
+  stats_->im2col_fractals += fractals;
+  const std::int64_t cycles = cost_.im2col(instrs, fractals);
+  stats_->scu_cycles += cycles;
+  if (trace_ && trace_->enabled()) {
+    trace_->record(TraceKind::kIm2col,
+                   "mode1 instrs=" + std::to_string(instrs) +
+                       " fractals=" + std::to_string(fractals),
+                   cycles);
+  }
+}
+
+void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
+                            const Im2colArgs& args) {
+  args.validate();
+  DV_CHECK(src.kind() == BufferKind::kL1)
+      << "Im2Col loads from L1, got " << to_string(src.kind());
+  DV_CHECK(dst.kind() == BufferKind::kUnified ||
+           dst.kind() == BufferKind::kL0A || dst.kind() == BufferKind::kL0B)
+      << "Im2Col targets L0A/L0B/UB, got " << to_string(dst.kind());
+  DV_CHECK_LE(args.input_elems(), src.size());
+  DV_CHECK_LE(args.output_elems(), dst.size());
+
+  const Window2d& w = args.window;
+  const std::int64_t ow = args.ow();
+  const std::int64_t patches = args.patches();
+  const std::int64_t groups = args.patch_fractals();
+  const std::int64_t kk = w.kh * w.kw;
+
+  // Mode 0 (Figure 5): for each group of 16 consecutive patches, emit one
+  // fractal per kernel-relative position, concatenated side by side.
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (std::int64_t xk = 0; xk < w.kh; ++xk) {
+      for (std::int64_t yk = 0; yk < w.kw; ++yk) {
+        const std::int64_t fbase =
+            (g * kk + xk * w.kw + yk) * kFractalElems;
+        for (std::int64_t r = 0; r < kFractalRows; ++r) {
+          const std::int64_t p = g * kFractalRows + r;
+          const std::int64_t dbase = fbase + r * kC0;
+          if (p >= patches) {
+            for (std::int64_t c = 0; c < kC0; ++c) {
+              dst.at(dbase + c) = Float16();
+            }
+            continue;
+          }
+          const std::int64_t y = (p / ow) * w.sh + xk - w.pt;
+          const std::int64_t x = (p % ow) * w.sw + yk - w.pl;
+          const bool inside = y >= 0 && y < args.ih && x >= 0 && x < args.iw;
+          for (std::int64_t c = 0; c < kC0; ++c) {
+            dst.at(dbase + c) =
+                inside ? src.at((y * args.iw + x) * kC0 + c) : Float16();
+          }
+        }
+      }
+    }
+  }
+
+  // Timing: in mode 0 one instruction iterates (xk, yk) for a fixed
+  // 16-patch group; changing the group needs a new instruction
+  // (Section III-C: "multiple Im2Col are needed to also change (x, y)").
+  const std::int64_t instrs_per_group = ceil_div(kk, arch_.max_repeat);
+  const std::int64_t instrs = groups * instrs_per_group;
+  const std::int64_t fractals = groups * kk;
+  stats_->im2col_instrs += instrs;
+  stats_->im2col_fractals += fractals;
+  const std::int64_t cycles = cost_.im2col(instrs, fractals);
+  stats_->scu_cycles += cycles;
+  if (trace_ && trace_->enabled()) {
+    trace_->record(TraceKind::kIm2col,
+                   "mode0 instrs=" + std::to_string(instrs) +
+                       " fractals=" + std::to_string(fractals),
+                   cycles);
+  }
+}
+
+void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
+  args.validate();
+  DV_CHECK(out.kind() == BufferKind::kUnified &&
+           src.kind() == BufferKind::kUnified)
+      << "Col2Im operates within the Unified Buffer";
+  DV_CHECK_LE(args.input_elems(), out.size());
+  DV_CHECK_LE(args.output_elems(), src.size());
+
+  const Window2d& w = args.window;
+  const std::int64_t ow = args.ow();
+  const std::int64_t patches = args.patches();
+  const std::int64_t padded = args.padded_patches();
+  const std::int64_t fractals_per_plane = args.patch_fractals();
+
+  // Functional semantics (Figure 6): for each fractal, load the 16 target
+  // positions from `out`, add the input fractal, store back. Overlapping
+  // patches accumulate because execution is sequential; every add rounds
+  // to fp16 like the hardware's 16-bit vector adder.
+  for (std::int64_t xk = 0; xk < w.kh; ++xk) {
+    for (std::int64_t yk = 0; yk < w.kw; ++yk) {
+      const std::int64_t plane = (xk * w.kw + yk) * padded * kC0;
+      for (std::int64_t p = 0; p < patches; ++p) {
+        const std::int64_t po = p / ow;
+        const std::int64_t pw = p % ow;
+        const std::int64_t y = po * w.sh + xk - w.pt;
+        const std::int64_t x = pw * w.sw + yk - w.pl;
+        if (y < 0 || y >= args.ih || x < 0 || x >= args.iw) {
+          continue;  // gradient into the zero-padding border is dropped
+        }
+        const std::int64_t obase = (y * args.iw + x) * kC0;
+        const std::int64_t sbase = plane + p * kC0;
+        for (std::int64_t c = 0; c < kC0; ++c) {
+          out.at(obase + c) = out.at(obase + c) + src.at(sbase + c);
+        }
+      }
+    }
+  }
+
+  // Timing: Col2Im only has repeat mode 1 (Section III-D), so as with the
+  // transposed Im2Col one instruction covers up to max_repeat fractals of
+  // one (xk, yk) plane.
+  const std::int64_t instrs_per_plane =
+      ceil_div(fractals_per_plane, arch_.max_repeat);
+  const std::int64_t instrs = w.kh * w.kw * instrs_per_plane;
+  const std::int64_t fractals = w.kh * w.kw * fractals_per_plane;
+  stats_->col2im_instrs += instrs;
+  stats_->col2im_fractals += fractals;
+  const std::int64_t cycles = cost_.col2im(instrs, fractals);
+  stats_->scu_cycles += cycles;
+  if (trace_ && trace_->enabled()) {
+    trace_->record(TraceKind::kCol2im,
+                   "instrs=" + std::to_string(instrs) +
+                       " fractals=" + std::to_string(fractals),
+                   cycles);
+  }
+}
+
+}  // namespace davinci

@@ -1,0 +1,97 @@
+// Optional per-core instruction trace. When enabled, every instruction
+// the simulator executes is recorded with its unit, parameters and cycle
+// cost -- the equivalent of reading the lowered CCE-C of a kernel. Used
+// by tests to assert on instruction streams and by humans to see *why* a
+// schedule costs what it costs.
+//
+// Disabled by default; recording is bounded so a runaway kernel cannot
+// exhaust memory (the bound trips a `truncated` flag instead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace davinci {
+
+enum class TraceKind : std::uint8_t {
+  kVector,
+  kMte,
+  kIm2col,
+  kCol2im,
+  kCube,
+  kBarrier,
+};
+
+inline const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kVector: return "VEC";
+    case TraceKind::kMte: return "MTE";
+    case TraceKind::kIm2col: return "IM2COL";
+    case TraceKind::kCol2im: return "COL2IM";
+    case TraceKind::kCube: return "CUBE";
+    case TraceKind::kBarrier: return "BAR";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  TraceKind kind;
+  std::string detail;
+  std::int64_t cycles = 0;
+};
+
+class Trace {
+ public:
+  static constexpr std::size_t kMaxEvents = 1 << 16;
+
+  bool enabled() const { return enabled_; }
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  void clear() {
+    events_.clear();
+    truncated_ = false;
+  }
+
+  void record(TraceKind kind, std::string detail, std::int64_t cycles) {
+    if (!enabled_) return;
+    if (events_.size() >= kMaxEvents) {
+      truncated_ = true;
+      return;
+    }
+    events_.push_back(TraceEvent{kind, std::move(detail), cycles});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool truncated() const { return truncated_; }
+
+  std::int64_t count(TraceKind kind) const {
+    std::int64_t n = 0;
+    for (const auto& e : events_) n += e.kind == kind;
+    return n;
+  }
+
+  std::string to_string(std::size_t max_lines = 64) const {
+    std::string out;
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (n++ >= max_lines) {
+        out += "... (" + std::to_string(events_.size() - max_lines) +
+               " more)\n";
+        break;
+      }
+      out += std::string(davinci::to_string(e.kind)) + " " + e.detail +
+             " [" + std::to_string(e.cycles) + " cyc]\n";
+    }
+    if (truncated_) out += "(trace truncated)\n";
+    return out;
+  }
+
+ private:
+  bool enabled_ = false;
+  bool truncated_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace davinci

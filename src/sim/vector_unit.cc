@@ -1,0 +1,176 @@
+#include "sim/vector_unit.h"
+
+#include <bit>
+
+namespace davinci {
+
+VecMask VecMask::first_n(int n) {
+  DV_CHECK(n >= 0 && n <= 128) << "mask lanes " << n;
+  VecMask m;
+  if (n >= 64) {
+    m.lo = ~0ull;
+    m.hi = (n == 128) ? ~0ull : ((1ull << (n - 64)) - 1);
+  } else {
+    m.lo = (n == 0) ? 0 : ((n == 64) ? ~0ull : ((1ull << n) - 1));
+    m.hi = 0;
+  }
+  return m;
+}
+
+int VecMask::count() const {
+  return std::popcount(lo) + std::popcount(hi);
+}
+
+const char* to_string(VecOp op) {
+  switch (op) {
+    case VecOp::kMax: return "vmax";
+    case VecOp::kMin: return "vmin";
+    case VecOp::kAdd: return "vadd";
+    case VecOp::kSub: return "vsub";
+    case VecOp::kMul: return "vmul";
+    case VecOp::kDiv: return "vdiv";
+  }
+  return "?";
+}
+
+void VectorUnit::validate(const Span<Float16>& s, const VecConfig& cfg,
+                          std::int64_t rep_stride) const {
+  DV_CHECK(s.kind() == BufferKind::kUnified)
+      << "vector operands must live in the Unified Buffer, got "
+      << davinci::to_string(s.kind());
+  DV_CHECK(cfg.repeat >= 1 && cfg.repeat <= arch_.max_repeat)
+      << "repeat " << cfg.repeat << " out of range (max " << arch_.max_repeat
+      << "); the surrounding kernel loop must reissue";
+  DV_CHECK_GE(rep_stride, 0);
+}
+
+void VectorUnit::charge(const char* op, const VecConfig& cfg) {
+  stats_->vector_instrs += 1;
+  stats_->vector_repeats += cfg.repeat;
+  stats_->vector_active_lanes +=
+      static_cast<std::int64_t>(cfg.mask.count()) * cfg.repeat;
+  const std::int64_t cycles = cost_.vector_instr(cfg.repeat);
+  stats_->vector_cycles += cycles;
+  if (trace_ && trace_->enabled()) {
+    trace_->record(TraceKind::kVector,
+                   std::string(op) + " repeat=" + std::to_string(cfg.repeat) +
+                       " lanes=" + std::to_string(cfg.mask.count()),
+                   cycles);
+  }
+}
+
+namespace {
+
+inline Float16 apply(VecOp op, Float16 a, Float16 b) {
+  switch (op) {
+    case VecOp::kMax: return fmax16(a, b);
+    case VecOp::kMin: return fmin16(a, b);
+    case VecOp::kAdd: return a + b;
+    case VecOp::kSub: return a - b;
+    case VecOp::kMul: return a * b;
+    case VecOp::kDiv: return a / b;
+  }
+  return Float16();
+}
+
+}  // namespace
+
+void VectorUnit::binary(VecOp op, Span<Float16> dst, Span<Float16> src0,
+                        Span<Float16> src1, const VecConfig& cfg) {
+  validate(dst, cfg, cfg.dst_rep_stride);
+  validate(src0, cfg, cfg.src0_rep_stride);
+  validate(src1, cfg, cfg.src1_rep_stride);
+  for (int rep = 0; rep < cfg.repeat; ++rep) {
+    const std::int64_t d = rep * cfg.dst_rep_stride;
+    const std::int64_t a = rep * cfg.src0_rep_stride;
+    const std::int64_t b = rep * cfg.src1_rep_stride;
+    for (int lane = 0; lane < arch_.vector_lanes; ++lane) {
+      if (!cfg.mask.lane(lane)) continue;
+      dst.at(d + lane) = apply(op, src0.at(a + lane), src1.at(b + lane));
+    }
+  }
+  charge(to_string(op), cfg);
+}
+
+void VectorUnit::dup(Span<Float16> dst, Float16 value, const VecConfig& cfg) {
+  validate(dst, cfg, cfg.dst_rep_stride);
+  for (int rep = 0; rep < cfg.repeat; ++rep) {
+    const std::int64_t d = rep * cfg.dst_rep_stride;
+    for (int lane = 0; lane < arch_.vector_lanes; ++lane) {
+      if (!cfg.mask.lane(lane)) continue;
+      dst.at(d + lane) = value;
+    }
+  }
+  charge("vector_dup", cfg);
+}
+
+void VectorUnit::adds(Span<Float16> dst, Span<Float16> src, Float16 s,
+                      const VecConfig& cfg) {
+  validate(dst, cfg, cfg.dst_rep_stride);
+  validate(src, cfg, cfg.src0_rep_stride);
+  for (int rep = 0; rep < cfg.repeat; ++rep) {
+    const std::int64_t d = rep * cfg.dst_rep_stride;
+    const std::int64_t a = rep * cfg.src0_rep_stride;
+    for (int lane = 0; lane < arch_.vector_lanes; ++lane) {
+      if (!cfg.mask.lane(lane)) continue;
+      dst.at(d + lane) = src.at(a + lane) + s;
+    }
+  }
+  charge("vadds", cfg);
+}
+
+void VectorUnit::muls(Span<Float16> dst, Span<Float16> src, Float16 s,
+                      const VecConfig& cfg) {
+  validate(dst, cfg, cfg.dst_rep_stride);
+  validate(src, cfg, cfg.src0_rep_stride);
+  for (int rep = 0; rep < cfg.repeat; ++rep) {
+    const std::int64_t d = rep * cfg.dst_rep_stride;
+    const std::int64_t a = rep * cfg.src0_rep_stride;
+    for (int lane = 0; lane < arch_.vector_lanes; ++lane) {
+      if (!cfg.mask.lane(lane)) continue;
+      dst.at(d + lane) = src.at(a + lane) * s;
+    }
+  }
+  charge("vmuls", cfg);
+}
+
+void VectorUnit::cmpv_eq(Span<Float16> dst, Span<Float16> src0,
+                         Span<Float16> src1, const VecConfig& cfg) {
+  validate(dst, cfg, cfg.dst_rep_stride);
+  validate(src0, cfg, cfg.src0_rep_stride);
+  validate(src1, cfg, cfg.src1_rep_stride);
+  const Float16 one(1.0f);
+  const Float16 zero(0.0f);
+  for (int rep = 0; rep < cfg.repeat; ++rep) {
+    const std::int64_t d = rep * cfg.dst_rep_stride;
+    const std::int64_t a = rep * cfg.src0_rep_stride;
+    const std::int64_t b = rep * cfg.src1_rep_stride;
+    for (int lane = 0; lane < arch_.vector_lanes; ++lane) {
+      if (!cfg.mask.lane(lane)) continue;
+      dst.at(d + lane) =
+          (src0.at(a + lane) == src1.at(b + lane)) ? one : zero;
+    }
+  }
+  charge("vcmpv_eq", cfg);
+}
+
+void VectorUnit::sel(Span<Float16> dst, Span<Float16> cond, Span<Float16> a,
+                     Span<Float16> b, const VecConfig& cfg) {
+  validate(dst, cfg, cfg.dst_rep_stride);
+  validate(cond, cfg, cfg.src0_rep_stride);
+  validate(a, cfg, cfg.src0_rep_stride);
+  validate(b, cfg, cfg.src1_rep_stride);
+  for (int rep = 0; rep < cfg.repeat; ++rep) {
+    const std::int64_t d = rep * cfg.dst_rep_stride;
+    const std::int64_t ca = rep * cfg.src0_rep_stride;
+    const std::int64_t cb = rep * cfg.src1_rep_stride;
+    for (int lane = 0; lane < arch_.vector_lanes; ++lane) {
+      if (!cfg.mask.lane(lane)) continue;
+      const bool c = !cond.at(ca + lane).is_zero();
+      dst.at(d + lane) = c ? a.at(ca + lane) : b.at(cb + lane);
+    }
+  }
+  charge("vsel", cfg);
+}
+
+}  // namespace davinci

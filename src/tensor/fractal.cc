@@ -1,0 +1,60 @@
+#include "tensor/fractal.h"
+
+#include "common/check.h"
+
+namespace davinci {
+
+TensorF16 nchw_to_nc1hwc0(const TensorF32& nchw) {
+  DV_CHECK_EQ(nchw.shape().rank(), 4) << "expected NCHW";
+  const std::int64_t n = nchw.shape()[0];
+  const std::int64_t c = nchw.shape()[1];
+  const std::int64_t h = nchw.shape()[2];
+  const std::int64_t w = nchw.shape()[3];
+  const std::int64_t c1 = c1_of(c);
+
+  TensorF16 out(Shape{n, c1, h, w, kC0});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const std::int64_t q = ic / kC0;
+      const std::int64_t r = ic % kC0;
+      for (std::int64_t ih = 0; ih < h; ++ih) {
+        for (std::int64_t iw = 0; iw < w; ++iw) {
+          out.at(in, q, ih, iw, r) = Float16(nchw.at(in, ic, ih, iw));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF32 nc1hwc0_to_nchw(const TensorF16& fractal, std::int64_t channels) {
+  DV_CHECK_EQ(fractal.shape().rank(), 5) << "expected NC1HWC0";
+  const std::int64_t n = fractal.shape()[0];
+  const std::int64_t c1 = fractal.shape()[1];
+  const std::int64_t h = fractal.shape()[2];
+  const std::int64_t w = fractal.shape()[3];
+  DV_CHECK_EQ(fractal.shape()[4], kC0);
+  DV_CHECK_LE(channels, c1 * kC0);
+  DV_CHECK_GT(channels, (c1 - 1) * kC0);
+
+  TensorF32 out(Shape{n, channels, h, w});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < channels; ++ic) {
+      const std::int64_t q = ic / kC0;
+      const std::int64_t r = ic % kC0;
+      for (std::int64_t ih = 0; ih < h; ++ih) {
+        for (std::int64_t iw = 0; iw < w; ++iw) {
+          out.at(in, ic, ih, iw) = fractal.at(in, q, ih, iw, r).to_float();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 make_nc1hwc0(std::int64_t n, std::int64_t channels, std::int64_t h,
+                       std::int64_t w) {
+  return TensorF16(Shape{n, c1_of(channels), h, w, kC0});
+}
+
+}  // namespace davinci

@@ -1,0 +1,41 @@
+// Fractal memory layout (Section III-B of the paper).
+//
+// DaVinci represents images as NC1HWC0: the channel dimension C of NCHW is
+// split into C1 = ceil(C / C0) groups of C0 channels, and C0 becomes the
+// innermost (contiguous) dimension. For Float16, C0 = 16 so that one
+// 16-row x C0-column "data-fractal" is exactly 4096 bits, the unit the
+// Cube Unit consumes and the unit the Im2Col / Col2Im instructions move.
+// Channels are zero-padded up to a multiple of C0.
+#pragma once
+
+#include <cstdint>
+
+#include "common/float16.h"
+#include "tensor/tensor.h"
+
+namespace davinci {
+
+// C0 for Float16 (16 elements x 16 bits = 256 bits per fractal row).
+inline constexpr std::int64_t kC0 = 16;
+// Rows per data-fractal: a fractal is 16 x C0 elements = 4096 bits.
+inline constexpr std::int64_t kFractalRows = 16;
+inline constexpr std::int64_t kFractalElems = kFractalRows * kC0;
+
+constexpr std::int64_t c1_of(std::int64_t channels) {
+  return (channels + kC0 - 1) / kC0;
+}
+
+// NCHW fp32 -> NC1HWC0 fp16 (shape (N, C1, H, W, C0)), zero-padding the
+// channel remainder.
+TensorF16 nchw_to_nc1hwc0(const TensorF32& nchw);
+
+// NC1HWC0 fp16 -> NCHW fp32, dropping the channel padding. `channels` is
+// the original C (<= C1 * C0).
+TensorF32 nc1hwc0_to_nchw(const TensorF16& fractal, std::int64_t channels);
+
+// Convenience: builds an NC1HWC0 tensor directly with the given logical
+// dims; channel padding lanes are zero.
+TensorF16 make_nc1hwc0(std::int64_t n, std::int64_t channels, std::int64_t h,
+                       std::int64_t w);
+
+}  // namespace davinci

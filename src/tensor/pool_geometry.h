@@ -1,0 +1,59 @@
+// Window geometry shared by pooling, Im2col, Col2im and convolution.
+//
+// Equation (1) of the paper:
+//   Oh = floor((Ih + Pt + Pb - Kh) / Sh) + 1
+//   Ow = floor((Iw + Pl + Pr - Kw) / Sw) + 1
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace davinci {
+
+// Kernel/stride/padding parameters of a 2-D sliding window.
+struct Window2d {
+  std::int64_t kh = 1, kw = 1;  // kernel height/width (Kh, Kw)
+  std::int64_t sh = 1, sw = 1;  // stride height/width (Sh, Sw)
+  std::int64_t pt = 0, pb = 0;  // top/bottom zero padding (Pt, Pb)
+  std::int64_t pl = 0, pr = 0;  // left/right zero padding (Pl, Pr)
+
+  static Window2d pool(std::int64_t k, std::int64_t s) {
+    return Window2d{k, k, s, s, 0, 0, 0, 0};
+  }
+
+  void validate() const {
+    DV_CHECK_GE(kh, 1);
+    DV_CHECK_GE(kw, 1);
+    DV_CHECK_GE(sh, 1);
+    DV_CHECK_GE(sw, 1);
+    DV_CHECK_GE(pt, 0);
+    DV_CHECK_GE(pb, 0);
+    DV_CHECK_GE(pl, 0);
+    DV_CHECK_GE(pr, 0);
+  }
+
+  std::int64_t out_h(std::int64_t ih) const {
+    DV_CHECK_GE(ih + pt + pb, kh) << "input smaller than kernel";
+    return (ih + pt + pb - kh) / sh + 1;
+  }
+  std::int64_t out_w(std::int64_t iw) const {
+    DV_CHECK_GE(iw + pl + pr, kw) << "input smaller than kernel";
+    return (iw + pl + pr - kw) / sw + 1;
+  }
+
+  bool has_padding() const { return pt || pb || pl || pr; }
+
+  // Patches overlap (duplicated elements in Im2col) iff stride < kernel.
+  bool overlapping() const { return sh < kh || sw < kw; }
+
+  std::string to_string() const {
+    return "K(" + std::to_string(kh) + "," + std::to_string(kw) + ") S(" +
+           std::to_string(sh) + "," + std::to_string(sw) + ") P(" +
+           std::to_string(pt) + "," + std::to_string(pb) + "," +
+           std::to_string(pl) + "," + std::to_string(pr) + ")";
+  }
+};
+
+}  // namespace davinci

@@ -1,0 +1,93 @@
+// Dense row-major host tensor. Used both as "global memory" contents for
+// the simulator (DDR/HBM in Figure 4 of the paper) and as the container
+// for reference-implementation results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/float16.h"
+#include "common/prng.h"
+#include "tensor/shape.h"
+
+namespace davinci {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(shape),
+        data_(static_cast<std::size_t>(shape.num_elements()), T{}) {}
+  Tensor(Shape shape, T fill_value)
+      : shape_(shape),
+        data_(static_cast<std::size_t>(shape.num_elements()), fill_value) {}
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t size() const { return shape_.num_elements(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& flat(std::int64_t i) {
+    DV_CHECK(i >= 0 && i < size()) << "flat index " << i;
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const T& flat(std::int64_t i) const {
+    DV_CHECK(i >= 0 && i < size()) << "flat index " << i;
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  template <typename... Ix>
+  std::int64_t offset(Ix... indices) const {
+    constexpr int n = sizeof...(Ix);
+    DV_CHECK_EQ(n, shape_.rank()) << "index rank mismatch";
+    const std::int64_t ix[n] = {static_cast<std::int64_t>(indices)...};
+    std::int64_t off = 0;
+    for (int i = 0; i < n; ++i) {
+      DV_CHECK(ix[i] >= 0 && ix[i] < shape_.dim(i))
+          << "index " << ix[i] << " out of bounds for dim " << i << " of "
+          << shape_.to_string();
+      off = off * shape_.dim(i) + ix[i];
+    }
+    return off;
+  }
+
+  template <typename... Ix>
+  T& at(Ix... indices) {
+    return data_[static_cast<std::size_t>(offset(indices...))];
+  }
+  template <typename... Ix>
+  const T& at(Ix... indices) const {
+    return data_[static_cast<std::size_t>(offset(indices...))];
+  }
+
+  void fill(T value) {
+    for (auto& v : data_) v = value;
+  }
+
+  void fill_random(std::uint64_t seed, float lo = -2.0f, float hi = 2.0f) {
+    Xoshiro256 rng(seed);
+    for (auto& v : data_) v = T(rng.next_float(lo, hi));
+  }
+
+  // Fills with small integers so fp16 arithmetic is exact; convenient for
+  // bit-exact comparisons between kernel and reference outputs.
+  void fill_random_ints(std::uint64_t seed, int lo = -8, int hi = 8) {
+    Xoshiro256 rng(seed);
+    for (auto& v : data_) {
+      v = T(static_cast<float>(
+          lo + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                   hi - lo + 1)))));
+    }
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using TensorF32 = Tensor<float>;
+using TensorF16 = Tensor<Float16>;
+
+}  // namespace davinci

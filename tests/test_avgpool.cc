@@ -1,0 +1,169 @@
+// Tests for the AvgPool kernels (Section V-C).
+#include <gtest/gtest.h>
+
+#include "kernels/pooling.h"
+#include "ref/pooling_ref.h"
+#include "test_util.h"
+
+namespace davinci {
+namespace {
+
+using akg::PoolImpl;
+using kernels::avgpool_backward;
+using kernels::avgpool_forward;
+using kernels::MergeImpl;
+
+void check_fwd(const TensorF16& in, const Window2d& w) {
+  Device dev;
+  const TensorF16 want = ref::avgpool_fwd(in, w);
+  for (PoolImpl impl : {PoolImpl::kDirect, PoolImpl::kIm2col}) {
+    auto got = avgpool_forward(dev, in, w, impl);
+    testutil::expect_equal_f16(got.out, want, akg::to_string(impl));
+  }
+}
+
+void check_bwd(std::int64_t n, std::int64_t c1, std::int64_t h,
+               std::int64_t w_, const Window2d& w, std::uint64_t seed) {
+  Device dev;
+  TensorF16 grad(Shape{n, c1, w.out_h(h), w.out_w(w_), kC0});
+  grad.fill_random_ints(seed, -8, 8);
+  const TensorF16 want = ref::avgpool_bwd(grad, w, h, w_);
+  auto vadd = avgpool_backward(dev, grad, w, h, w_, MergeImpl::kVadd);
+  testutil::expect_equal_f16(vadd.grad_in, want, "avg vadd");
+  auto col2im = avgpool_backward(dev, grad, w, h, w_, MergeImpl::kCol2im);
+  testutil::expect_equal_f16(col2im.grad_in, want, "avg col2im");
+}
+
+TEST(AvgpoolForward, Kernel2Stride2Exact) {
+  // 1/(2*2) = 0.25 is a power of two: fp16-exact on integer data.
+  check_fwd(testutil::random_int_nc1hwc0(1, 1, 12, 12, 401),
+            Window2d::pool(2, 2));
+}
+
+TEST(AvgpoolForward, Kernel4Stride4Exact) {
+  check_fwd(testutil::random_int_nc1hwc0(1, 1, 16, 16, 402),
+            Window2d::pool(4, 4));
+}
+
+TEST(AvgpoolForward, Kernel3Stride2) {
+  // 1/9 rounds in fp16 but both kernel and reference round identically.
+  check_fwd(testutil::random_int_nc1hwc0(1, 2, 11, 11, 403),
+            Window2d::pool(3, 2));
+}
+
+TEST(AvgpoolForward, Stride1) {
+  check_fwd(testutil::random_int_nc1hwc0(1, 1, 9, 9, 404),
+            Window2d::pool(2, 1));
+}
+
+TEST(AvgpoolForward, BatchAndChannels) {
+  check_fwd(testutil::random_int_nc1hwc0(2, 3, 8, 8, 405),
+            Window2d::pool(2, 2));
+}
+
+TEST(AvgpoolForward, TiledLargeInput) {
+  check_fwd(testutil::random_int_nc1hwc0(1, 1, 147, 147, 406),
+            Window2d::pool(3, 2));
+}
+
+TEST(AvgpoolForward, Im2colWithPadding) {
+  Device dev;
+  Window2d w = Window2d::pool(3, 2);
+  w.pt = w.pb = w.pl = w.pr = 1;
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 1, 9, 9, 407);
+  const TensorF16 want = ref::avgpool_fwd(in, w);
+  auto got = avgpool_forward(dev, in, w, PoolImpl::kIm2col);
+  testutil::expect_equal_f16(got.out, want, "avg padded");
+}
+
+TEST(AvgpoolForward, ConstantInputGivesConstantOutput) {
+  Device dev;
+  TensorF16 in(Shape{1, 1, 8, 8, kC0});
+  in.fill(Float16(4.0f));
+  auto got = avgpool_forward(dev, in, Window2d::pool(2, 2),
+                             PoolImpl::kIm2col);
+  for (std::int64_t i = 0; i < got.out.size(); ++i) {
+    EXPECT_EQ(got.out.flat(i).to_float(), 4.0f);
+  }
+}
+
+TEST(AvgpoolForward, Im2colBeatsDirectAtStride2) {
+  Device dev;
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 1, 35, 35, 408);
+  const Window2d w = Window2d::pool(3, 2);
+  auto direct = avgpool_forward(dev, in, w, PoolImpl::kDirect);
+  auto im2col = avgpool_forward(dev, in, w, PoolImpl::kIm2col);
+  EXPECT_LT(im2col.cycles(), direct.cycles());
+}
+
+TEST(AvgpoolBackward, Kernel2Stride2) {
+  check_bwd(1, 1, 10, 10, Window2d::pool(2, 2), 411);
+}
+
+TEST(AvgpoolBackward, OverlappingKernel3Stride2) {
+  check_bwd(1, 1, 9, 9, Window2d::pool(3, 2), 412);
+}
+
+TEST(AvgpoolBackward, Stride1) {
+  check_bwd(1, 1, 8, 8, Window2d::pool(2, 1), 413);
+}
+
+TEST(AvgpoolBackward, BatchAndChannels) {
+  check_bwd(2, 2, 9, 9, Window2d::pool(3, 2), 414);
+}
+
+TEST(AvgpoolBackward, TiledLargeInputExactScale) {
+  // K4 S2 still produces tile seams (Kh - Sh = 2 shared rows) but the
+  // 1/16 scale is a power of two, so integer gradients stay fp16-exact
+  // through any summation order.
+  check_bwd(1, 1, 146, 146, Window2d::pool(4, 2), 415);
+}
+
+TEST(AvgpoolBackward, TiledLargeInputInexactScaleWithinUlp) {
+  // With the 1/9 scale the seam accumulation reassociates rounded fp16
+  // adds, so tile boundaries may differ from the reference by an ulp.
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  TensorF16 grad(Shape{1, 1, 73, 73, kC0});
+  grad.fill_random_ints(419, -8, 8);
+  const TensorF16 want = ref::avgpool_bwd(grad, w, 147, 147);
+  auto got = avgpool_backward(dev, grad, w, 147, 147, MergeImpl::kCol2im);
+  testutil::expect_close_f16(got.grad_in, want, 2e-3f, "avg tiled 1/9");
+}
+
+TEST(AvgpoolBackward, WithPadding) {
+  Window2d w = Window2d::pool(3, 2);
+  w.pt = w.pb = w.pl = w.pr = 1;
+  check_bwd(1, 1, 9, 9, w, 416);
+}
+
+TEST(AvgpoolBackward, GradientConservationKernel4) {
+  // 1/16 is exact; every gradient value is spread over exactly Kh*Kw
+  // positions (no padding, disjoint patches) -> mass conserved.
+  Device dev;
+  const Window2d w = Window2d::pool(4, 4);
+  TensorF16 grad(Shape{1, 1, 2, 2, kC0});
+  grad.fill_random_ints(417, -8, 8);
+  auto r = avgpool_backward(dev, grad, w, 8, 8, MergeImpl::kCol2im);
+  float got = 0, want = 0;
+  for (std::int64_t i = 0; i < r.grad_in.size(); ++i) {
+    got += r.grad_in.flat(i).to_float();
+  }
+  for (std::int64_t i = 0; i < grad.size(); ++i) {
+    want += grad.flat(i).to_float();
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(AvgpoolBackward, Col2imBeatsVadd) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  TensorF16 grad(Shape{1, 1, 17, 17, kC0});
+  grad.fill_random_ints(418, 0, 5);
+  auto vadd = avgpool_backward(dev, grad, w, 35, 35, MergeImpl::kVadd);
+  auto col2im = avgpool_backward(dev, grad, w, 35, 35, MergeImpl::kCol2im);
+  EXPECT_LT(col2im.cycles(), vadd.cycles());
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,142 @@
+// Tests for the Cube-Unit convolution (the Im2Col instruction's original
+// substrate), validated against the reference direct convolution.
+#include "kernels/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/align.h"
+#include "ref/conv_ref.h"
+#include "test_util.h"
+
+namespace davinci {
+namespace {
+
+// Rounds fp32 weights through fp16 (the Cube consumes fp16 operands), so
+// the reference convolution sees the same values the kernel does.
+TensorF32 round_f16(const TensorF32& t) {
+  TensorF32 out(t.shape());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    out.flat(i) = Float16(t.flat(i)).to_float();
+  }
+  return out;
+}
+
+// Runs conv2d_cube and the NCHW reference on the same fp16-rounded data;
+// integer-valued data keeps the comparison exact up to the final fp16
+// store.
+void check_conv(std::int64_t c, std::int64_t cout, std::int64_t h,
+                std::int64_t w_, const Window2d& w, std::uint64_t seed,
+                bool use_im2col_instruction = true) {
+  TensorF32 in_nchw(Shape{1, c, h, w_});
+  in_nchw.fill_random_ints(seed, -3, 3);
+  TensorF32 weights(Shape{cout, c, w.kh, w.kw});
+  weights.fill_random_ints(seed + 1, -2, 2);
+
+  Device dev;
+  const TensorF16 in = nchw_to_nc1hwc0(in_nchw);
+  auto got = kernels::conv2d_cube(dev, in, weights, w,
+                                  use_im2col_instruction);
+  ASSERT_EQ(got.out.shape(),
+            Shape({1, ceil_div(cout, kC0), w.out_h(h), w.out_w(w_), kC0}));
+
+  const TensorF32 want =
+      ref::conv2d_nchw(round_f16(in_nchw), round_f16(weights), w);
+  const TensorF32 got32 = nc1hwc0_to_nchw(got.out, cout);
+  for (std::int64_t i = 0; i < want.size(); ++i) {
+    // The kernel's result passes through one fp16 rounding on the store.
+    ASSERT_EQ(got32.flat(i), Float16(want.flat(i)).to_float())
+        << "element " << i;
+  }
+}
+
+TEST(Conv2d, TinySingleChannelBlock) {
+  check_conv(16, 16, 6, 6, Window2d::pool(3, 1), 501);
+}
+
+TEST(Conv2d, PartialChannelBlocks) {
+  // C = 20 -> C1 = 2 with padding lanes; Cout = 10 -> one padded N block.
+  check_conv(20, 10, 6, 6, Window2d::pool(3, 1), 502);
+}
+
+TEST(Conv2d, Strided) {
+  check_conv(16, 16, 9, 9, Window2d::pool(3, 2), 503);
+}
+
+TEST(Conv2d, KernelLargerThanStride) {
+  Window2d w;
+  w.kh = 2;
+  w.kw = 3;
+  w.sh = 1;
+  w.sw = 2;
+  check_conv(16, 16, 5, 8, w, 504);
+}
+
+TEST(Conv2d, WithPadding) {
+  Window2d w = Window2d::pool(3, 1);
+  w.pt = w.pb = 1;
+  check_conv(16, 16, 5, 5, w, 505);
+}
+
+TEST(Conv2d, MultipleOutputBlocks) {
+  check_conv(16, 32, 6, 6, Window2d::pool(3, 1), 506);
+}
+
+TEST(Conv2d, TiledOverPatchRows) {
+  // Enough patches to force several H-tiles against L0A.
+  check_conv(16, 16, 40, 40, Window2d::pool(3, 1), 507);
+}
+
+TEST(Conv2d, ExpansionPathMatches) {
+  check_conv(16, 16, 8, 8, Window2d::pool(3, 2), 508,
+             /*use_im2col_instruction=*/false);
+}
+
+TEST(Conv2d, Im2colInstructionBeatsExpansion) {
+  // The instruction transforms in flight; the expansion pays vector
+  // copies plus a UB -> L1 -> L0A staging round trip.
+  TensorF32 in_nchw(Shape{1, 16, 20, 20});
+  in_nchw.fill_random_ints(509, -2, 2);
+  TensorF32 weights(Shape{16, 16, 3, 3});
+  weights.fill_random_ints(510, -2, 2);
+  Device dev;
+  const TensorF16 in = nchw_to_nc1hwc0(in_nchw);
+  const Window2d w = Window2d::pool(3, 1);
+  auto fast = kernels::conv2d_cube(dev, in, weights, w, true);
+  auto slow = kernels::conv2d_cube(dev, in, weights, w, false);
+  EXPECT_LT(fast.cycles(), slow.cycles());
+}
+
+TEST(Conv2d, WeightPackingLayout) {
+  // Weight w[f][c][kh][kw] must land in fractal (kb, nb) at row c%16,
+  // column f%16, with kb = (c/16 * Kh + kh) * Kw + kw and nb = f/16.
+  const Window2d w = Window2d::pool(2, 1);
+  TensorF32 weights(Shape{18, 17, 2, 2});
+  weights.fill(0.0f);
+  weights.at(std::int64_t{17}, std::int64_t{16}, std::int64_t{1},
+             std::int64_t{0}) = 3.0f;
+  const TensorF16 packed = kernels::pack_conv_weights(weights, w, 2);
+  const std::int64_t k16 = 2 * 2 * 2, n16 = 2;
+  ASSERT_EQ(packed.size(), k16 * n16 * kFractalElems);
+  const std::int64_t kb = (1 * 2 + 1) * 2 + 0;  // c1=1, kh=1, kw=0
+  const std::int64_t nb = 1;
+  const std::int64_t idx =
+      (kb * n16 + nb) * kFractalElems + 0 * kC0 + 1;  // row c%16=0, col 1
+  EXPECT_EQ(packed.flat(idx).to_float(), 3.0f);
+  // Everything else is zero.
+  float total = 0;
+  for (std::int64_t i = 0; i < packed.size(); ++i) {
+    total += packed.flat(i).to_float();
+  }
+  EXPECT_EQ(total, 3.0f);
+}
+
+TEST(Conv2d, RejectsOversizedWeightSet) {
+  Device dev;
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 8, 6, 6, 511);
+  TensorF32 weights(Shape{512, 128, 3, 3});  // 72 * 32 fractals >> L0B
+  EXPECT_THROW(kernels::conv2d_cube(dev, in, weights, Window2d::pool(3, 1)),
+               Error);
+}
+
+}  // namespace
+}  // namespace davinci

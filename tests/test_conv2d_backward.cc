@@ -1,0 +1,187 @@
+// Tests for convolution backward-input: the Col2Im instruction at its
+// original job, validated against the textbook fp32 reference (integer
+// data keeps the whole chain fp16-exact).
+#include "kernels/conv2d_bwd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/align.h"
+#include "kernels/conv2d.h"
+#include "ref/conv_ref.h"
+#include "test_util.h"
+
+namespace davinci {
+namespace {
+
+using kernels::MergeImpl;
+
+// Rounds fp32 through fp16 so the reference sees the kernel's operand
+// values.
+TensorF32 round_f16(const TensorF32& t) {
+  TensorF32 out(t.shape());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    out.flat(i) = Float16(t.flat(i)).to_float();
+  }
+  return out;
+}
+
+void check_bwd(std::int64_t c, std::int64_t cout, std::int64_t h,
+               std::int64_t w_, const Window2d& w, std::uint64_t seed) {
+  TensorF32 weights(Shape{cout, c, w.kh, w.kw});
+  weights.fill_random_ints(seed, -2, 2);
+  TensorF32 grad_nchw(Shape{1, cout, w.out_h(h), w.out_w(w_)});
+  grad_nchw.fill_random_ints(seed + 1, -2, 2);
+
+  Device dev;
+  const TensorF16 grad = nchw_to_nc1hwc0(grad_nchw);
+  const TensorF32 want = ref::conv2d_backward_input_nchw(
+      round_f16(grad_nchw), round_f16(weights), w, h, w_);
+
+  for (MergeImpl m : {MergeImpl::kVadd, MergeImpl::kCol2im}) {
+    auto got = kernels::conv2d_backward_input(dev, grad, weights, w, h, w_, m);
+    ASSERT_EQ(got.grad_in.shape(), Shape({1, c1_of(c), h, w_, kC0}));
+    const TensorF32 got32 = nc1hwc0_to_nchw(got.grad_in, c);
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got32.flat(i), want.flat(i))
+          << kernels::to_string(m) << " element " << i;
+    }
+  }
+}
+
+TEST(Conv2dBackward, SingleBlockStride1) {
+  check_bwd(16, 16, 8, 8, Window2d::pool(3, 1), 601);
+}
+
+TEST(Conv2dBackward, OverlappingStride2) {
+  check_bwd(16, 16, 11, 11, Window2d::pool(3, 2), 602);
+}
+
+TEST(Conv2dBackward, NonOverlapping) {
+  check_bwd(16, 16, 12, 12, Window2d::pool(2, 2), 603);
+}
+
+TEST(Conv2dBackward, MultipleChannelBlocks) {
+  check_bwd(32, 16, 9, 9, Window2d::pool(3, 2), 604);
+}
+
+TEST(Conv2dBackward, MultipleOutputBlocks) {
+  check_bwd(16, 32, 9, 9, Window2d::pool(3, 2), 605);
+}
+
+TEST(Conv2dBackward, PartialBlocks) {
+  check_bwd(20, 10, 8, 8, Window2d::pool(2, 1), 606);
+}
+
+TEST(Conv2dBackward, AsymmetricWindow) {
+  Window2d w;
+  w.kh = 2;
+  w.kw = 3;
+  w.sh = 2;
+  w.sw = 1;
+  check_bwd(16, 16, 9, 12, w, 607);
+}
+
+TEST(Conv2dBackward, WithPadding) {
+  Window2d w = Window2d::pool(3, 1);
+  w.pt = w.pb = w.pl = w.pr = 1;
+  check_bwd(16, 16, 7, 7, w, 608);
+}
+
+TEST(Conv2dBackward, TiledWithSeams) {
+  // Large enough that the patch dimension tiles against L0A and adjacent
+  // tiles share Kh - Sh input rows.
+  check_bwd(16, 16, 41, 41, Window2d::pool(3, 2), 609);
+}
+
+TEST(Conv2dBackward, Col2imBeatsVadd) {
+  // The Figure-7c comparison transplanted to Col2Im's original workload.
+  TensorF32 weights(Shape{16, 16, 3, 3});
+  weights.fill_random_ints(610, -2, 2);
+  const Window2d w = Window2d::pool(3, 2);
+  TensorF32 grad_nchw(Shape{1, 16, 17, 17});
+  grad_nchw.fill_random_ints(611, -2, 2);
+  Device dev;
+  const TensorF16 grad = nchw_to_nc1hwc0(grad_nchw);
+  auto vadd = kernels::conv2d_backward_input(dev, grad, weights, w, 35, 35,
+                                             MergeImpl::kVadd);
+  auto col2im = kernels::conv2d_backward_input(dev, grad, weights, w, 35, 35,
+                                               MergeImpl::kCol2im);
+  EXPECT_LT(col2im.cycles(), vadd.cycles());
+}
+
+TEST(Conv2dBackward, RoundTripGradientCheck) {
+  // Linearity check: for conv with a single centred delta weight, the
+  // backward pass must place each gradient value at the patch position
+  // the forward pass read it from.
+  const Window2d w = Window2d::pool(3, 3);  // disjoint patches
+  TensorF32 weights(Shape{16, 16, 3, 3});
+  weights.fill(0.0f);
+  for (std::int64_t f = 0; f < 16; ++f) {
+    weights.at(f, f, std::int64_t{1}, std::int64_t{1}) = 1.0f;
+  }
+  TensorF32 grad_nchw(Shape{1, 16, 3, 3});
+  grad_nchw.fill_random_ints(612, -3, 3);
+  Device dev;
+  const TensorF16 grad = nchw_to_nc1hwc0(grad_nchw);
+  auto got = kernels::conv2d_backward_input(dev, grad, weights, w, 9, 9,
+                                            MergeImpl::kCol2im);
+  const TensorF32 got32 = nc1hwc0_to_nchw(got.grad_in, 16);
+  for (std::int64_t ch = 0; ch < 16; ++ch) {
+    for (std::int64_t i = 0; i < 3; ++i) {
+      for (std::int64_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(got32.at(std::int64_t{0}, ch, i * 3 + 1, j * 3 + 1),
+                  grad_nchw.at(std::int64_t{0}, ch, i, j));
+      }
+    }
+  }
+}
+
+TEST(Conv2dBackward, TransposedPackingLayout) {
+  const Window2d w = Window2d::pool(2, 1);
+  TensorF32 weights(Shape{18, 17, 2, 2});
+  weights.fill(0.0f);
+  weights.at(std::int64_t{17}, std::int64_t{16}, std::int64_t{1},
+             std::int64_t{0}) = 5.0f;
+  const TensorF16 packed =
+      kernels::pack_conv_weights_transposed(weights, w, 2);
+  // fb = 17/16 = 1, row r = 1; kb = (c1=1, kh=1, kw=0) = (1*2+1)*2+0 = 6,
+  // col j = 0.
+  const std::int64_t k16 = 2 * 2 * 2;
+  const std::int64_t idx = (1 * k16 + 6) * kFractalElems + 1 * kC0 + 0;
+  EXPECT_EQ(packed.flat(idx).to_float(), 5.0f);
+  float total = 0;
+  for (std::int64_t i = 0; i < packed.size(); ++i) {
+    total += packed.flat(i).to_float();
+  }
+  EXPECT_EQ(total, 5.0f);
+}
+
+TEST(Conv2dBackward, ForwardBackwardDot) {
+  // <conv(x), g> == <x, conv_backward_input(g)> -- adjointness of the
+  // forward and backward operators, in fp32 on integer data.
+  const Window2d w = Window2d::pool(3, 2);
+  TensorF32 x(Shape{1, 16, 9, 9});
+  x.fill_random_ints(613, -2, 2);
+  TensorF32 weights(Shape{16, 16, 3, 3});
+  weights.fill_random_ints(614, -1, 1);
+  TensorF32 g(Shape{1, 16, 4, 4});
+  g.fill_random_ints(615, -2, 2);
+
+  Device dev;
+  auto fwd = kernels::conv2d_cube(dev, nchw_to_nc1hwc0(x), weights, w);
+  auto bwd = kernels::conv2d_backward_input(dev, nchw_to_nc1hwc0(g), weights,
+                                            w, 9, 9, MergeImpl::kCol2im);
+  const TensorF32 y = nc1hwc0_to_nchw(fwd.out, 16);
+  const TensorF32 dx = nc1hwc0_to_nchw(bwd.grad_in, 16);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    lhs += static_cast<double>(y.flat(i)) * static_cast<double>(g.flat(i));
+  }
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x.flat(i)) * static_cast<double>(dx.flat(i));
+  }
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,84 @@
+// Tests for the cycle-cost model formulas and architecture constants.
+#include "arch/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_config.h"
+#include "common/align.h"
+
+namespace davinci {
+namespace {
+
+TEST(CostModel, VectorInstrFormula) {
+  CostModel c;
+  EXPECT_EQ(c.vector_instr(1), c.vec_issue_overhead + 1);
+  EXPECT_EQ(c.vector_instr(255), c.vec_issue_overhead + 255);
+  // One repeat iteration costs one cycle regardless of active lanes --
+  // the mask-saturation argument of the paper depends on this.
+  EXPECT_EQ(c.vec_cycles_per_repeat, 1);
+}
+
+TEST(CostModel, MteFormula) {
+  CostModel c;
+  EXPECT_EQ(c.mte_copy(0, 1), c.mte_startup_cycles + c.mte_burst_cycles);
+  EXPECT_EQ(c.mte_copy(c.mte_bytes_per_cycle, 1),
+            c.mte_startup_cycles + 1 + c.mte_burst_cycles);
+  EXPECT_EQ(c.mte_copy(c.mte_bytes_per_cycle + 1, 1),
+            c.mte_startup_cycles + 2 + c.mte_burst_cycles);
+  // Strided copies pay per burst.
+  EXPECT_EQ(c.mte_copy(1024, 8) - c.mte_copy(1024, 1),
+            7 * c.mte_burst_cycles);
+}
+
+TEST(CostModel, ScuFormulas) {
+  CostModel c;
+  EXPECT_EQ(c.im2col(2, 100),
+            2 * c.scu_issue_overhead + 100 * c.scu_im2col_cycles_per_fractal);
+  EXPECT_EQ(c.col2im(2, 100),
+            2 * c.scu_issue_overhead + 100 * c.scu_col2im_cycles_per_fractal);
+  // Col2Im does a load + add + store round trip per fractal, so it cannot
+  // be cheaper than Im2Col.
+  EXPECT_GE(c.scu_col2im_cycles_per_fractal, c.scu_im2col_cycles_per_fractal);
+}
+
+TEST(CostModel, ScuSlowerThanStraightLineMte) {
+  // The SCU gathers strided patch data; if it were faster per element
+  // than the straight-line MTE, the stride-(1,1) crossover of Figure 8a
+  // would disappear. Guard the calibration.
+  CostModel c;
+  const double scu_elems_per_cycle =
+      256.0 / static_cast<double>(c.scu_im2col_cycles_per_fractal);
+  const double mte_elems_per_cycle =
+      static_cast<double>(c.mte_bytes_per_cycle) / 2.0;
+  EXPECT_LT(scu_elems_per_cycle, mte_elems_per_cycle);
+}
+
+TEST(CostModel, CubeFormula) {
+  CostModel c;
+  EXPECT_EQ(c.cube_mmad(27), c.cube_issue_overhead + 27);
+}
+
+TEST(ArchConfig, Ascend910Constants) {
+  const ArchConfig a = ArchConfig::ascend910();
+  EXPECT_EQ(a.num_cores, 32);           // "an Ascend 910 chip, which
+                                        //  contains 32 AI Cores"
+  EXPECT_EQ(a.vector_lanes, 128);       // 128-bit mask register
+  EXPECT_EQ(a.max_repeat, 255);
+  EXPECT_EQ(a.ub_bytes, 256 * 1024);
+  EXPECT_EQ(a.l1_bytes, 1024 * 1024);
+}
+
+TEST(Align, Helpers) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(round_up(10, 16), 16);
+  EXPECT_EQ(round_up(16, 16), 16);
+  EXPECT_EQ(round_down(17, 16), 16);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+}  // namespace
+}  // namespace davinci

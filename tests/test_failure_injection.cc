@@ -1,0 +1,139 @@
+// Robustness sweeps: the kernels must stay bit-correct when the
+// architecture is made hostile (tiny buffers force deep tiling, a small
+// repeat cap forces instruction splitting, one core serializes
+// everything), and must fail *cleanly* when a workload genuinely cannot
+// be scheduled.
+#include <gtest/gtest.h>
+
+#include "kernels/pooling.h"
+#include "ref/pooling_ref.h"
+#include "test_util.h"
+
+namespace davinci {
+namespace {
+
+using akg::PoolImpl;
+using kernels::MergeImpl;
+
+struct ArchCase {
+  const char* name;
+  ArchConfig arch;
+};
+
+std::vector<ArchCase> hostile_archs() {
+  std::vector<ArchCase> cases;
+  {
+    ArchCase c{"tiny_ub", ArchConfig::ascend910()};
+    c.arch.ub_bytes = 48 * 1024;  // forces many H-tiles
+    cases.push_back(c);
+  }
+  {
+    ArchCase c{"tiny_l1", ArchConfig::ascend910()};
+    c.arch.l1_bytes = 64 * 1024;  // constrains the Im2Col source slice
+    cases.push_back(c);
+  }
+  {
+    ArchCase c{"small_repeat", ArchConfig::ascend910()};
+    c.arch.max_repeat = 8;  // forces instruction splitting everywhere
+    cases.push_back(c);
+  }
+  {
+    ArchCase c{"one_core", ArchConfig::ascend910()};
+    c.arch.num_cores = 1;  // fully serialized device
+    cases.push_back(c);
+  }
+  {
+    ArchCase c{"everything_small", ArchConfig::ascend910()};
+    c.arch.ub_bytes = 48 * 1024;
+    c.arch.l1_bytes = 96 * 1024;
+    c.arch.max_repeat = 16;
+    c.arch.num_cores = 2;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class HostileArch : public ::testing::TestWithParam<ArchCase> {};
+
+TEST_P(HostileArch, ForwardStaysExact) {
+  Device dev(GetParam().arch);
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 2, 33, 33, 901);
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 want = ref::maxpool_fwd(in, w);
+  for (PoolImpl impl : {PoolImpl::kDirect, PoolImpl::kIm2col,
+                        PoolImpl::kExpansion, PoolImpl::kXYSplit}) {
+    auto got = kernels::maxpool_forward(dev, in, w, impl);
+    testutil::expect_equal_f16(got.out, want, akg::to_string(impl));
+  }
+}
+
+TEST_P(HostileArch, ForwardWithMaskStaysExact) {
+  Device dev(GetParam().arch);
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 1, 29, 29, 902);
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 want = ref::maxpool_fwd(in, w);
+  for (PoolImpl impl : {PoolImpl::kDirect, PoolImpl::kIm2col}) {
+    auto got = kernels::maxpool_forward_with_mask(dev, in, w, impl);
+    testutil::expect_equal_f16(got.out, want, akg::to_string(impl));
+  }
+}
+
+TEST_P(HostileArch, BackwardStaysExact) {
+  Device dev(GetParam().arch);
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 1, 29, 29, 903);
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  TensorF16 grad(Shape{1, 1, 14, 14, kC0});
+  grad.fill_random_ints(904, 0, 5);
+  const TensorF16 want = ref::maxpool_bwd(mask, grad, w, 29, 29);
+  for (MergeImpl m : {MergeImpl::kVadd, MergeImpl::kCol2im}) {
+    auto got = kernels::maxpool_backward(dev, mask, grad, w, 29, 29, m);
+    testutil::expect_equal_f16(got.grad_in, want, kernels::to_string(m));
+  }
+}
+
+TEST_P(HostileArch, TightArchCostsMoreCycles) {
+  // A hostile architecture must never be *faster* than the real one.
+  Device hostile(GetParam().arch);
+  Device normal;
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 2, 33, 33, 905);
+  const Window2d w = Window2d::pool(3, 2);
+  auto a = kernels::maxpool_forward(hostile, in, w, PoolImpl::kIm2col);
+  auto b = kernels::maxpool_forward(normal, in, w, PoolImpl::kIm2col);
+  EXPECT_GE(a.cycles(), b.cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HostileArch,
+                         ::testing::ValuesIn(hostile_archs()),
+                         [](const ::testing::TestParamInfo<ArchCase>& i) {
+                           return i.param.name;
+                         });
+
+TEST(FailureInjection, ImpossibleScheduleThrowsCleanly) {
+  // A UB too small for even a single output row must produce a scheduling
+  // error, not a corrupt result.
+  ArchConfig arch = ArchConfig::ascend910();
+  arch.ub_bytes = 2 * 1024;
+  Device dev(arch);
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 1, 65, 65, 906);
+  EXPECT_THROW(kernels::maxpool_forward(dev, in, Window2d::pool(3, 2),
+                                        PoolImpl::kIm2col),
+               Error);
+}
+
+TEST(FailureInjection, ErrorMessageIsActionable) {
+  ArchConfig arch = ArchConfig::ascend910();
+  arch.ub_bytes = 2 * 1024;
+  Device dev(arch);
+  const TensorF16 in = testutil::random_int_nc1hwc0(1, 1, 65, 65, 907);
+  try {
+    kernels::maxpool_forward(dev, in, Window2d::pool(3, 2),
+                             PoolImpl::kIm2col);
+    FAIL() << "expected a scheduling error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("does not fit"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace davinci

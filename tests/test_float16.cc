@@ -1,0 +1,165 @@
+// Unit tests for the from-scratch IEEE-754 binary16 implementation.
+#include "common/float16.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace davinci {
+namespace {
+
+TEST(Float16, ZeroAndSigns) {
+  EXPECT_EQ(Float16(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Float16(-0.0f).bits(), 0x8000u);
+  EXPECT_TRUE(Float16(0.0f) == Float16(-0.0f));
+  EXPECT_TRUE(Float16(0.0f).is_zero());
+  EXPECT_TRUE(Float16(-0.0f).is_zero());
+}
+
+TEST(Float16, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(Float16(static_cast<float>(i)).to_float(),
+              static_cast<float>(i))
+        << "integer " << i;
+  }
+}
+
+TEST(Float16, KnownBitPatterns) {
+  EXPECT_EQ(Float16(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Float16(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(Float16(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(Float16(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Float16(65504.0f).bits(), 0x7BFFu);  // max finite
+  EXPECT_EQ(Float16(0.0009765625f).bits(), 0x1400u);  // 2^-10
+}
+
+TEST(Float16, OverflowToInfinity) {
+  EXPECT_TRUE(Float16(65536.0f).is_inf());
+  EXPECT_TRUE(Float16(1e30f).is_inf());
+  EXPECT_TRUE(Float16(-1e30f).is_inf());
+  EXPECT_LT(Float16(-1e30f).to_float(), 0.0f);
+  // 65504 is the largest finite value; 65520 is the rounding boundary.
+  EXPECT_FALSE(Float16(65504.0f).is_inf());
+  EXPECT_TRUE(Float16(65520.0f).is_inf());
+  EXPECT_FALSE(Float16(65519.996f).is_inf());
+}
+
+TEST(Float16, Subnormals) {
+  const float min_sub = std::ldexp(1.0f, -24);  // smallest positive subnormal
+  EXPECT_EQ(Float16(min_sub).bits(), 0x0001u);
+  EXPECT_EQ(Float16(min_sub).to_float(), min_sub);
+  const float below_half_min = std::ldexp(1.0f, -26);
+  EXPECT_TRUE(Float16(below_half_min).is_zero());  // rounds to zero
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float max_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(Float16(max_sub).bits(), 0x03FFu);
+}
+
+TEST(Float16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10; ties to even
+  // rounds down to 1.0.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(Float16(halfway).bits(), 0x3C00u);
+  // 1 + 3 * 2^-11 is halfway between 1 + 2^-10 and 1 + 2^-9; ties to even
+  // rounds up to 1 + 2^-9 (even mantissa).
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(Float16(halfway2).bits(), 0x3C02u);
+  // Just above halfway rounds up.
+  EXPECT_EQ(Float16(halfway + 1e-6f).bits(), 0x3C01u);
+}
+
+TEST(Float16, NanHandling) {
+  const Float16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(std::isnan(nan.to_float()));
+}
+
+TEST(Float16, InfinityRoundTrip) {
+  const Float16 inf = Float16::infinity();
+  EXPECT_TRUE(inf.is_inf());
+  EXPECT_TRUE(std::isinf(inf.to_float()));
+  EXPECT_GT(inf.to_float(), 0.0f);
+  EXPECT_TRUE(Float16(inf.to_float()).is_inf());
+  EXPECT_EQ(Float16::neg_infinity().to_float(),
+            -std::numeric_limits<float>::infinity());
+}
+
+TEST(Float16, RoundTripAllBitPatterns) {
+  // Every finite half value must survive half -> float -> half exactly.
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const Float16 h = Float16::from_bits(static_cast<std::uint16_t>(b));
+    if (h.is_nan()) continue;
+    const Float16 back(h.to_float());
+    EXPECT_EQ(back.bits(), h.bits()) << "bits " << b;
+  }
+}
+
+TEST(Float16, ArithmeticExactOnSmallIntegers) {
+  EXPECT_EQ((Float16(3.0f) + Float16(4.0f)).to_float(), 7.0f);
+  EXPECT_EQ((Float16(10.0f) - Float16(4.0f)).to_float(), 6.0f);
+  EXPECT_EQ((Float16(12.0f) * Float16(12.0f)).to_float(), 144.0f);
+  EXPECT_EQ((Float16(9.0f) / Float16(3.0f)).to_float(), 3.0f);
+  EXPECT_EQ((-Float16(5.0f)).to_float(), -5.0f);
+}
+
+TEST(Float16, ArithmeticRounds) {
+  // 2048 + 1 rounds to 2048 in binary16 (ulp at 2048 is 2).
+  EXPECT_EQ((Float16(2048.0f) + Float16(1.0f)).to_float(), 2048.0f);
+  // 2048 + 3 = 2051 is halfway between 2050 and 2052; ties-to-even picks
+  // 2052 (even mantissa).
+  EXPECT_EQ((Float16(2048.0f) + Float16(3.0f)).to_float(), 2052.0f);
+  EXPECT_EQ((Float16(2048.0f) + Float16(4.0f)).to_float(), 2052.0f);
+}
+
+TEST(Float16, MaxMinSemantics) {
+  EXPECT_EQ(fmax16(Float16(1.0f), Float16(2.0f)).to_float(), 2.0f);
+  EXPECT_EQ(fmin16(Float16(1.0f), Float16(2.0f)).to_float(), 1.0f);
+  EXPECT_EQ(fmax16(Float16::lowest(), Float16(-3.0f)).to_float(), -3.0f);
+  // NaN loses against numbers.
+  const Float16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(fmax16(nan, Float16(5.0f)).to_float(), 5.0f);
+  EXPECT_EQ(fmax16(Float16(5.0f), nan).to_float(), 5.0f);
+}
+
+TEST(Float16, ComparisonOperators) {
+  EXPECT_LT(Float16(1.0f), Float16(2.0f));
+  EXPECT_GT(Float16(2.0f), Float16(1.0f));
+  EXPECT_LE(Float16(2.0f), Float16(2.0f));
+  EXPECT_GE(Float16(2.0f), Float16(2.0f));
+  EXPECT_NE(Float16(1.0f), Float16(2.0f));
+}
+
+TEST(Float16, LowestIsMinusMaxFinite) {
+  EXPECT_EQ(Float16::lowest().to_float(), -65504.0f);
+  EXPECT_EQ(Float16::max_finite().to_float(), 65504.0f);
+}
+
+TEST(Float16, RandomConversionMatchesLongDouble) {
+  // Conversion through the implementation must agree with a
+  // straightforward nearest-value search on random inputs.
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = rng.next_float(-70000.0f, 70000.0f);
+    const Float16 h(x);
+    if (h.is_inf()) {
+      EXPECT_GE(std::abs(x), 65520.0f);
+      continue;
+    }
+    // |x - h| must be at most half an ulp of h's binade.
+    const float back = h.to_float();
+    const float err = std::abs(back - x);
+    int exp;
+    std::frexp(back == 0.0f ? x : back, &exp);
+    const float ulp =
+        std::ldexp(1.0f, std::max(exp - 11, -24));  // half ulp bound
+    EXPECT_LE(err, ulp) << "x=" << x << " back=" << back;
+  }
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,98 @@
+// Unit tests for the NC1HWC0 fractal memory layout (Section III-B).
+#include "tensor/fractal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "test_util.h"
+
+namespace davinci {
+namespace {
+
+TEST(FractalLayout, C1OfChannelCounts) {
+  EXPECT_EQ(c1_of(1), 1);
+  EXPECT_EQ(c1_of(16), 1);
+  EXPECT_EQ(c1_of(17), 2);
+  EXPECT_EQ(c1_of(64), 4);
+  EXPECT_EQ(c1_of(192), 12);
+  EXPECT_EQ(c1_of(288), 18);
+  EXPECT_EQ(c1_of(728), 46);
+}
+
+TEST(FractalLayout, FractalIs4096Bits) {
+  // A data-fractal has 16 * C0 elements; for Float16 that is 4096 bits.
+  EXPECT_EQ(kFractalElems * 16, 4096);  // 256 elements x 16 bits
+  EXPECT_EQ(kC0, 16);
+}
+
+TEST(FractalLayout, RoundTripExactChannels) {
+  TensorF32 nchw(Shape{2, 32, 5, 7});
+  nchw.fill_random_ints(11);
+  const TensorF16 frac = nchw_to_nc1hwc0(nchw);
+  EXPECT_EQ(frac.shape(), Shape({2, 2, 5, 7, kC0}));
+  const TensorF32 back = nc1hwc0_to_nchw(frac, 32);
+  testutil::expect_close_f32(back, nchw, 0.0f, "roundtrip");
+}
+
+TEST(FractalLayout, ChannelPaddingIsZero) {
+  TensorF32 nchw(Shape{1, 20, 3, 3});
+  nchw.fill(1.5f);
+  const TensorF16 frac = nchw_to_nc1hwc0(nchw);
+  EXPECT_EQ(frac.shape(), Shape({1, 2, 3, 3, kC0}));
+  // Channels 20..31 map to c1 = 1, c0 = 4..15 and must be zero.
+  for (std::int64_t h = 0; h < 3; ++h) {
+    for (std::int64_t w = 0; w < 3; ++w) {
+      for (std::int64_t c0 = 0; c0 < 4; ++c0) {
+        EXPECT_EQ(frac.at(std::int64_t{0}, std::int64_t{1}, h, w, c0)
+                      .to_float(),
+                  1.5f);
+      }
+      for (std::int64_t c0 = 4; c0 < kC0; ++c0) {
+        EXPECT_TRUE(
+            frac.at(std::int64_t{0}, std::int64_t{1}, h, w, c0).is_zero());
+      }
+    }
+  }
+}
+
+TEST(FractalLayout, ElementMapping) {
+  // Channel c maps to (c1, c0) = (c / 16, c % 16).
+  TensorF32 nchw(Shape{1, 40, 2, 2});
+  for (std::int64_t c = 0; c < 40; ++c) {
+    nchw.at(std::int64_t{0}, c, std::int64_t{1}, std::int64_t{0}) =
+        static_cast<float>(c);
+  }
+  const TensorF16 frac = nchw_to_nc1hwc0(nchw);
+  for (std::int64_t c = 0; c < 40; ++c) {
+    EXPECT_EQ(frac.at(std::int64_t{0}, c / kC0, std::int64_t{1},
+                      std::int64_t{0}, c % kC0)
+                  .to_float(),
+              static_cast<float>(c));
+  }
+}
+
+TEST(FractalLayout, RoundTripPaddedChannels) {
+  TensorF32 nchw(Shape{1, 17, 4, 4});
+  nchw.fill_random_ints(5);
+  const TensorF32 back = nc1hwc0_to_nchw(nchw_to_nc1hwc0(nchw), 17);
+  testutil::expect_close_f32(back, nchw, 0.0f);
+}
+
+TEST(FractalLayout, ShapeValidation) {
+  TensorF32 bad(Shape{2, 3});
+  EXPECT_THROW(nchw_to_nc1hwc0(bad), Error);
+  TensorF16 frac(Shape{1, 2, 3, 3, kC0});
+  EXPECT_THROW(nc1hwc0_to_nchw(frac, 40), Error);  // needs c1 = 3
+  EXPECT_THROW(nc1hwc0_to_nchw(frac, 16), Error);  // needs c1 = 1
+}
+
+TEST(FractalLayout, MakeHelper) {
+  const TensorF16 t = make_nc1hwc0(1, 30, 5, 6);
+  EXPECT_EQ(t.shape(), Shape({1, 2, 5, 6, kC0}));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_TRUE(t.flat(i).is_zero());
+  }
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,80 @@
+// Tests for the Table I network tables.
+#include "nets/cnn_tables.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci::nets {
+namespace {
+
+TEST(CnnTables, Table1RowCount) {
+  // 4 + 4 + 1 + 4 rows as printed in the paper.
+  EXPECT_EQ(table1_layers().size(), 13u);
+}
+
+TEST(CnnTables, InceptionRowsMatchPaper) {
+  const auto layers = table1_layers();
+  int idx = 0;
+  const std::int64_t want[4][3] = {
+      {147, 147, 64}, {71, 71, 192}, {35, 35, 288}, {17, 17, 768}};
+  for (const auto& l : layers) {
+    if (l.network != "InceptionV3") continue;
+    EXPECT_EQ(l.h, want[idx][0]);
+    EXPECT_EQ(l.w, want[idx][1]);
+    EXPECT_EQ(l.c, want[idx][2]);
+    EXPECT_EQ(l.window.kh, 3);
+    EXPECT_EQ(l.window.sh, 2);
+    ++idx;
+  }
+  EXPECT_EQ(idx, 4);
+}
+
+TEST(CnnTables, VGGUsesKernel2Stride2) {
+  for (const auto& l : table1_layers()) {
+    if (l.network == "VGG16") {
+      EXPECT_EQ(l.window.kh, 2);
+      EXPECT_EQ(l.window.kw, 2);
+      EXPECT_EQ(l.window.sh, 2);
+      EXPECT_EQ(l.window.sw, 2);
+    } else {
+      EXPECT_EQ(l.window.kh, 3);
+      EXPECT_EQ(l.window.sh, 2);
+    }
+  }
+}
+
+TEST(CnnTables, Fig7LayersAreTheHighlightedThree) {
+  const auto layers = inception_v3_fig7_layers();
+  ASSERT_EQ(layers.size(), 3u);
+  EXPECT_EQ(layers[0].h, 147);
+  EXPECT_EQ(layers[0].c, 64);
+  EXPECT_EQ(layers[1].h, 71);
+  EXPECT_EQ(layers[1].c, 192);
+  EXPECT_EQ(layers[2].h, 35);
+  EXPECT_EQ(layers[2].c, 288);
+}
+
+TEST(CnnTables, AllLayersValidWithoutPadding) {
+  // "No padding is used in them" -- every configuration must satisfy
+  // Equation (1) without padding.
+  for (const auto& l : table1_layers()) {
+    EXPECT_NO_THROW({
+      l.window.validate();
+      const auto oh = l.window.out_h(l.h);
+      const auto ow = l.window.out_w(l.w);
+      EXPECT_GT(oh, 0);
+      EXPECT_GT(ow, 0);
+    }) << l.network << " input " << l.index;
+    EXPECT_FALSE(l.window.has_padding());
+  }
+}
+
+TEST(CnnTables, ResnetHasOnePoolLayer) {
+  int count = 0;
+  for (const auto& l : table1_layers()) {
+    count += l.network == "Resnet50";
+  }
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace davinci::nets

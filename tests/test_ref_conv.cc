@@ -1,0 +1,85 @@
+// Tests for the reference convolution: the Figure 1 equivalence between
+// direct convolution and im2col + matrix multiplication.
+#include "ref/conv_ref.h"
+
+#include <gtest/gtest.h>
+
+#include "ref/im2col_ref.h"
+#include "test_util.h"
+
+namespace davinci {
+namespace {
+
+TEST(RefConv, Im2colMatrixShapes) {
+  // Figure 1: In (C, Ih, Iw) -> OutIn (Oh*Ow, C*Kh*Kw).
+  TensorF32 in(Shape{1, 3, 6, 6});
+  const Window2d w = Window2d::pool(2, 2);
+  const TensorF32 m = ref::im2col_matrix(in, w);
+  EXPECT_EQ(m.shape(), Shape({9, 12}));
+}
+
+TEST(RefConv, Figure2OverlapDuplication) {
+  // Figure 2: a (3, 5) single-channel input, K(3,3) S(2,2)... the figure
+  // shows two overlapping patches sharing elements {3, 8, 13} (the middle
+  // column). Verify the duplication in the im2col matrix.
+  TensorF32 in(Shape{1, 1, 3, 5});
+  float v = 1;
+  for (std::int64_t i = 0; i < in.size(); ++i) in.flat(i) = v++;
+  Window2d w;
+  w.kh = 3;
+  w.kw = 3;
+  w.sh = 2;
+  w.sw = 2;
+  const TensorF32 m = ref::im2col_matrix(in, w);
+  EXPECT_EQ(m.shape(), Shape({2, 9}));
+  // Patch 0 columns {2, 5, 8} == patch 1 columns {0, 3, 6}: the shared
+  // elements 3, 8, 13.
+  EXPECT_EQ(m.at(std::int64_t{0}, std::int64_t{2}), 3.0f);
+  EXPECT_EQ(m.at(std::int64_t{1}, std::int64_t{0}), 3.0f);
+  EXPECT_EQ(m.at(std::int64_t{0}, std::int64_t{5}), 8.0f);
+  EXPECT_EQ(m.at(std::int64_t{1}, std::int64_t{3}), 8.0f);
+  EXPECT_EQ(m.at(std::int64_t{0}, std::int64_t{8}), 13.0f);
+  EXPECT_EQ(m.at(std::int64_t{1}, std::int64_t{6}), 13.0f);
+}
+
+TEST(RefConv, DirectEqualsIm2colMatmul) {
+  TensorF32 in(Shape{1, 5, 9, 9});
+  in.fill_random_ints(51, -3, 3);
+  TensorF32 ker(Shape{4, 5, 3, 3});
+  ker.fill_random_ints(52, -2, 2);
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF32 a = ref::conv2d_nchw(in, ker, w);
+  const TensorF32 b = ref::conv2d_im2col_matmul(in, ker, w);
+  // Integer data: sums are exact in fp32 regardless of order.
+  testutil::expect_close_f32(a, b, 0.0f, "conv equivalence");
+}
+
+TEST(RefConv, DirectEqualsIm2colMatmulWithPadding) {
+  TensorF32 in(Shape{1, 2, 5, 5});
+  in.fill_random_ints(53, -3, 3);
+  TensorF32 ker(Shape{3, 2, 3, 3});
+  ker.fill_random_ints(54, -2, 2);
+  Window2d w = Window2d::pool(3, 1);
+  w.pt = w.pb = w.pl = w.pr = 1;
+  const TensorF32 a = ref::conv2d_nchw(in, ker, w);
+  EXPECT_EQ(a.shape(), Shape({1, 3, 5, 5}));
+  const TensorF32 b = ref::conv2d_im2col_matmul(in, ker, w);
+  testutil::expect_close_f32(a, b, 0.0f, "padded conv equivalence");
+}
+
+TEST(RefConv, KnownTinyConvolution) {
+  // 1x1x2x2 input, one 2x2 kernel of ones -> the sum of the input.
+  TensorF32 in(Shape{1, 1, 2, 2});
+  in.flat(0) = 1;
+  in.flat(1) = 2;
+  in.flat(2) = 3;
+  in.flat(3) = 4;
+  TensorF32 ker(Shape{1, 1, 2, 2});
+  ker.fill(1.0f);
+  const TensorF32 out = ref::conv2d_nchw(in, ker, Window2d::pool(2, 1));
+  EXPECT_EQ(out.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_EQ(out.flat(0), 10.0f);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,213 @@
+// Tests for the reference pooling implementations: hand-worked examples
+// from the paper's figures plus fp16/fp32 cross-validation.
+#include "ref/pooling_ref.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace davinci {
+namespace {
+
+// Figure 3 of the paper (single channel, 1-D-style example): two
+// overlapping (2, 2) patches with stride (2, 1) over a (2, 3) input
+//   1 3 5
+//   6 2 4
+// MaxPool output: patch0 max = 6 (position (1,0)), patch1 max = 5
+// (position (0,2)).
+TEST(RefPooling, Figure3Forward) {
+  TensorF16 in(Shape{1, 1, 2, 3, kC0});
+  const float vals[2][3] = {{1, 3, 5}, {6, 2, 4}};
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < 3; ++x) {
+      for (std::int64_t c = 0; c < kC0; ++c) {
+        in.at(std::int64_t{0}, std::int64_t{0}, y, x, c) =
+            Float16(vals[y][x]);
+      }
+    }
+  }
+  Window2d w;
+  w.kh = 2;
+  w.kw = 2;
+  w.sh = 2;
+  w.sw = 1;
+  const TensorF16 out = ref::maxpool_fwd(in, w);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 1, 2, kC0}));
+  EXPECT_EQ(out.at(std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
+                   std::int64_t{0}, std::int64_t{0})
+                .to_float(),
+            6.0f);
+  EXPECT_EQ(out.at(std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
+                   std::int64_t{1}, std::int64_t{0})
+                .to_float(),
+            5.0f);
+}
+
+// Figure 3 backward: gradients [0.1, 0.2] flow only to the maxima: the
+// positions of 6 and 5. (We use 1.0/2.0 for fp16 exactness.)
+TEST(RefPooling, Figure3Backward) {
+  TensorF16 in(Shape{1, 1, 2, 3, kC0});
+  const float vals[2][3] = {{1, 3, 5}, {6, 2, 4}};
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < 3; ++x) {
+      for (std::int64_t c = 0; c < kC0; ++c) {
+        in.at(std::int64_t{0}, std::int64_t{0}, y, x, c) =
+            Float16(vals[y][x]);
+      }
+    }
+  }
+  Window2d w;
+  w.kh = 2;
+  w.kw = 2;
+  w.sh = 2;
+  w.sw = 1;
+  TensorF16 grad(Shape{1, 1, 1, 2, kC0});
+  for (std::int64_t c = 0; c < kC0; ++c) {
+    grad.at(std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
+            std::int64_t{0}, c) = Float16(1.0f);
+    grad.at(std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
+            std::int64_t{1}, c) = Float16(2.0f);
+  }
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  const TensorF16 gin = ref::maxpool_bwd(mask, grad, w, 2, 3);
+  const float want[2][3] = {{0, 0, 2}, {1, 0, 0}};
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < 3; ++x) {
+      EXPECT_EQ(gin.at(std::int64_t{0}, std::int64_t{0}, y, x,
+                       std::int64_t{0})
+                    .to_float(),
+                want[y][x])
+          << y << "," << x;
+    }
+  }
+}
+
+TEST(RefPooling, MaxFwdCrossValidatesAgainstNchw) {
+  TensorF32 nchw(Shape{2, 20, 9, 11});
+  nchw.fill_random_ints(31);
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 frac = nchw_to_nc1hwc0(nchw);
+  const TensorF16 got = ref::maxpool_fwd(frac, w);
+  const TensorF32 want = ref::maxpool_fwd_nchw(nchw, w);
+  const TensorF32 got32 = nc1hwc0_to_nchw(got, 20);
+  testutil::expect_close_f32(got32, want, 0.0f, "maxpool fwd");
+}
+
+TEST(RefPooling, AvgFwdCrossValidatesAgainstNchw) {
+  TensorF32 nchw(Shape{1, 16, 8, 8});
+  nchw.fill_random_ints(32, -4, 4);
+  const Window2d w = Window2d::pool(2, 2);  // 1/4 is exact in fp16
+  const TensorF16 frac = nchw_to_nc1hwc0(nchw);
+  const TensorF32 got = nc1hwc0_to_nchw(ref::avgpool_fwd(frac, w), 16);
+  const TensorF32 want = ref::avgpool_fwd_nchw(nchw, w);
+  testutil::expect_close_f32(got, want, 0.0f, "avgpool fwd");
+}
+
+TEST(RefPooling, MaxBwdCrossValidatesAgainstNchw) {
+  TensorF32 nchw(Shape{1, 16, 9, 9});
+  nchw.fill_random_ints(33);
+  const Window2d w = Window2d::pool(3, 2);
+  TensorF32 grad32(Shape{1, 16, 4, 4});
+  grad32.fill_random_ints(34, 0, 4);
+  const TensorF16 frac = nchw_to_nc1hwc0(nchw);
+  const TensorF16 grad = nchw_to_nc1hwc0(grad32);
+  const TensorF16 mask = ref::maxpool_argmax_mask(frac, w);
+  const TensorF32 got = nc1hwc0_to_nchw(ref::maxpool_bwd(mask, grad, w, 9, 9), 16);
+  const TensorF32 want = ref::maxpool_bwd_nchw(nchw, grad32, w);
+  testutil::expect_close_f32(got, want, 0.0f, "maxpool bwd");
+}
+
+TEST(RefPooling, AvgBwdCrossValidatesAgainstNchw) {
+  const Window2d w = Window2d::pool(2, 2);
+  TensorF32 grad32(Shape{1, 16, 4, 4});
+  grad32.fill_random_ints(35, -4, 4);
+  const TensorF16 grad = nchw_to_nc1hwc0(grad32);
+  const TensorF32 got = nc1hwc0_to_nchw(ref::avgpool_bwd(grad, w, 8, 8), 16);
+  const TensorF32 want = ref::avgpool_bwd_nchw(grad32, w, 8, 8);
+  testutil::expect_close_f32(got, want, 0.0f, "avgpool bwd");
+}
+
+TEST(RefPooling, ArgmaxMaskMarksAllTies) {
+  // A constant patch ties everywhere: the eq-mask marks every position
+  // ("comparing each patch of the input with its maximum value").
+  TensorF16 in(Shape{1, 1, 2, 2, kC0});
+  in.fill(Float16(3.0f));
+  const Window2d w = Window2d::pool(2, 2);
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  EXPECT_EQ(mask.shape(), Shape({1, 1, 2, 2, 16, kC0}));
+  for (std::int64_t kh = 0; kh < 2; ++kh) {
+    for (std::int64_t kw = 0; kw < 2; ++kw) {
+      EXPECT_EQ(mask.at(std::int64_t{0}, std::int64_t{0}, kh, kw,
+                        std::int64_t{0}, std::int64_t{0})
+                    .to_float(),
+                1.0f);
+    }
+  }
+}
+
+TEST(RefPooling, ArgmaxMaskSingleMaximum) {
+  TensorF16 in(Shape{1, 1, 2, 2, kC0});
+  in.fill(Float16(1.0f));
+  for (std::int64_t c = 0; c < kC0; ++c) {
+    in.at(std::int64_t{0}, std::int64_t{0}, std::int64_t{1},
+          std::int64_t{0}, c) = Float16(9.0f);
+  }
+  const Window2d w = Window2d::pool(2, 2);
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  // Only kernel position (1, 0) is marked.
+  EXPECT_EQ(mask.at(std::int64_t{0}, std::int64_t{0}, std::int64_t{1},
+                    std::int64_t{0}, std::int64_t{0}, std::int64_t{0})
+                .to_float(),
+            1.0f);
+  EXPECT_EQ(mask.at(std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
+                    std::int64_t{0}, std::int64_t{0}, std::int64_t{0})
+                .to_float(),
+            0.0f);
+}
+
+TEST(RefPooling, PaddingActsAsZeroInMax) {
+  // An all-negative input: with zero padding the padded patches' max is 0,
+  // matching what the Im2Col instruction loads.
+  TensorF16 in(Shape{1, 1, 3, 3, kC0});
+  in.fill(Float16(-5.0f));
+  Window2d w = Window2d::pool(3, 2);
+  w.pt = w.pb = w.pl = w.pr = 1;
+  const TensorF16 out = ref::maxpool_fwd(in, w);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2, kC0}));
+  // Every patch includes at least one padded position -> max is 0.
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.flat(i).to_float(), 0.0f);
+  }
+}
+
+TEST(RefPooling, BackwardDropsPaddingGradient) {
+  Window2d w = Window2d::pool(2, 2);
+  w.pt = 1;
+  w.pl = 1;
+  // 3x3 input, padded to 4x4 -> 2x2 output. Distinct positive values per
+  // position so each patch has a unique maximum (no tie duplication).
+  TensorF16 in(Shape{1, 1, 3, 3, kC0});
+  for (std::int64_t y = 0; y < 3; ++y) {
+    for (std::int64_t x = 0; x < 3; ++x) {
+      for (std::int64_t c = 0; c < kC0; ++c) {
+        in.at(std::int64_t{0}, std::int64_t{0}, y, x, c) =
+            Float16(static_cast<float>(1 + y * 3 + x));
+      }
+    }
+  }
+  TensorF16 grad(Shape{1, 1, 2, 2, kC0});
+  grad.fill(Float16(1.0f));
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  const TensorF16 gin = ref::maxpool_bwd(mask, grad, w, 3, 3);
+  EXPECT_EQ(gin.shape(), Shape({1, 1, 3, 3, kC0}));
+  // All values positive: padding (zeros) never wins a patch max, so the
+  // whole gradient lands inside the image.
+  float total = 0;
+  for (std::int64_t i = 0; i < gin.size(); ++i) {
+    total += gin.flat(i).to_float();
+  }
+  EXPECT_EQ(total, 4.0f * kC0);  // 4 patches x 1.0 gradient per lane
+}
+
+}  // namespace
+}  // namespace davinci

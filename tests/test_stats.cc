@@ -1,0 +1,60 @@
+// Tests for the cycle-statistics ledger.
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+TEST(CycleStats, TotalIsSumOfPipes) {
+  CycleStats s;
+  s.vector_cycles = 10;
+  s.scalar_cycles = 5;
+  s.mte_cycles = 7;
+  s.scu_cycles = 3;
+  s.cube_cycles = 2;
+  s.barrier_cycles = 1;
+  s.launch_cycles = 4;
+  EXPECT_EQ(s.total_cycles(), 32);
+}
+
+TEST(CycleStats, LaneUtilization) {
+  CycleStats s;
+  EXPECT_EQ(s.lane_utilization(), 0.0);  // no repeats yet
+  s.vector_repeats = 10;
+  s.vector_active_lanes = 10 * 16;
+  EXPECT_NEAR(s.lane_utilization(), 0.125, 1e-12);
+  s.vector_active_lanes = 10 * 128;
+  EXPECT_NEAR(s.lane_utilization(), 1.0, 1e-12);
+}
+
+TEST(CycleStats, MergeAccumulatesEverything) {
+  CycleStats a, b;
+  a.vector_cycles = 1;
+  a.vector_instrs = 2;
+  a.im2col_fractals = 3;
+  b.vector_cycles = 10;
+  b.vector_instrs = 20;
+  b.im2col_fractals = 30;
+  b.col2im_instrs = 5;
+  b.mte_bytes = 100;
+  a += b;
+  EXPECT_EQ(a.vector_cycles, 11);
+  EXPECT_EQ(a.vector_instrs, 22);
+  EXPECT_EQ(a.im2col_fractals, 33);
+  EXPECT_EQ(a.col2im_instrs, 5);
+  EXPECT_EQ(a.mte_bytes, 100);
+}
+
+TEST(CycleStats, SummaryMentionsKeyFields) {
+  CycleStats s;
+  s.vector_cycles = 42;
+  s.vector_instrs = 7;
+  const std::string text = s.summary();
+  EXPECT_NE(text.find("cycles=42"), std::string::npos);
+  EXPECT_NE(text.find("vinstr=7"), std::string::npos);
+  EXPECT_NE(text.find("lane_util"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace davinci

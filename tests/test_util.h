@@ -1,0 +1,63 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tensor/fractal.h"
+#include "tensor/tensor.h"
+
+namespace davinci::testutil {
+
+// Bit-exact fp16 tensor comparison (+0 == -0; NaN != NaN -> failure).
+inline void expect_equal_f16(const TensorF16& got, const TensorF16& want,
+                             const char* what = "") {
+  ASSERT_EQ(got.shape(), want.shape())
+      << what << ": shape " << got.shape().to_string() << " vs "
+      << want.shape().to_string();
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got.flat(i) == want.flat(i))
+        << what << ": element " << i << ": " << got.flat(i).to_float()
+        << " vs " << want.flat(i).to_float();
+  }
+}
+
+// Tolerance-based fp16 comparison for cases where summation order differs.
+inline void expect_close_f16(const TensorF16& got, const TensorF16& want,
+                             float atol, const char* what = "") {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got.flat(i).to_float(), want.flat(i).to_float(), atol)
+        << what << ": element " << i;
+  }
+}
+
+inline void expect_close_f32(const TensorF32& got, const TensorF32& want,
+                             float atol, const char* what = "") {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got.flat(i), want.flat(i), atol) << what << ": element " << i;
+  }
+}
+
+// Random NC1HWC0 tensor with small-integer values (fp16-exact arithmetic).
+inline TensorF16 random_int_nc1hwc0(std::int64_t n, std::int64_t c1,
+                                    std::int64_t h, std::int64_t w,
+                                    std::uint64_t seed, int lo = -8,
+                                    int hi = 8) {
+  TensorF16 t(Shape{n, c1, h, w, kC0});
+  t.fill_random_ints(seed, lo, hi);
+  return t;
+}
+
+inline TensorF16 random_float_nc1hwc0(std::int64_t n, std::int64_t c1,
+                                      std::int64_t h, std::int64_t w,
+                                      std::uint64_t seed) {
+  TensorF16 t(Shape{n, c1, h, w, kC0});
+  t.fill_random(seed);
+  return t;
+}
+
+}  // namespace davinci::testutil

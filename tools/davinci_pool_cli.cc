@@ -1,0 +1,187 @@
+// Command-line driver: run any pooling configuration on the simulated
+// device, verify it against the reference, and print cycles, per-pipe
+// breakdown and (optionally) the instruction trace.
+//
+//   davinci_pool_cli --op=maxpool --impl=im2col --h=71 --w=71 --c=192
+//                    --k=3 --s=2 [--pad=1] [--trace] [--compare]
+//
+//   --op       maxpool | maxpool_mask | maxpool_bwd | avgpool |
+//              avgpool_bwd | minpool | global_avgpool
+//   --impl     direct | im2col | expansion | xysplit   (forward ops)
+//              vadd | col2im                           (backward ops)
+//   --compare  also run the baseline implementation and print the speedup
+//   --trace    print the first instructions executed on core 0
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "kernels/pooling.h"
+#include "ref/pooling_ref.h"
+#include "tensor/fractal.h"
+
+using namespace davinci;
+
+namespace {
+
+struct Options {
+  std::string op = "maxpool";
+  std::string impl = "im2col";
+  std::int64_t h = 35, w = 35, c = 288, k = 3, s = 2, pad = 0;
+  bool trace = false;
+  bool compare = false;
+};
+
+bool parse_int(const char* arg, const char* name, std::int64_t* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  *out = std::atoll(arg + n);
+  return true;
+}
+
+bool parse_str(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  *out = arg + n;
+  return true;
+}
+
+akg::PoolImpl parse_impl(const std::string& s) {
+  if (s == "direct") return akg::PoolImpl::kDirect;
+  if (s == "im2col") return akg::PoolImpl::kIm2col;
+  if (s == "expansion") return akg::PoolImpl::kExpansion;
+  if (s == "xysplit") return akg::PoolImpl::kXYSplit;
+  std::fprintf(stderr, "unknown --impl=%s\n", s.c_str());
+  std::exit(2);
+}
+
+void report(const char* what, const Device::RunResult& run) {
+  std::printf("%-14s %10lld cycles  (pipelined bound %lld)\n", what,
+              static_cast<long long>(run.device_cycles),
+              static_cast<long long>(run.device_cycles_pipelined));
+  std::printf("  %s\n", run.aggregate.summary().c_str());
+  std::printf("  cores used: %d\n", run.cores_used);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (parse_str(a, "--op=", &opt.op) || parse_str(a, "--impl=", &opt.impl) ||
+        parse_int(a, "--h=", &opt.h) || parse_int(a, "--w=", &opt.w) ||
+        parse_int(a, "--c=", &opt.c) || parse_int(a, "--k=", &opt.k) ||
+        parse_int(a, "--s=", &opt.s) || parse_int(a, "--pad=", &opt.pad)) {
+      continue;
+    }
+    if (std::strcmp(a, "--trace") == 0) {
+      opt.trace = true;
+    } else if (std::strcmp(a, "--compare") == 0) {
+      opt.compare = true;
+    } else {
+      std::fprintf(stderr, "unknown argument %s (see header comment)\n", a);
+      return 2;
+    }
+  }
+
+  Window2d window = Window2d::pool(opt.k, opt.s);
+  window.pt = window.pb = window.pl = window.pr = opt.pad;
+  const std::int64_t c1 = c1_of(opt.c);
+  TensorF16 in(Shape{1, c1, opt.h, opt.w, kC0});
+  in.fill_random_ints(1);
+
+  Device dev;
+  if (opt.trace) dev.core(0).trace().enable();
+
+  std::printf("op=%s input=%lldx%lldx%lld %s\n", opt.op.c_str(),
+              static_cast<long long>(opt.h), static_cast<long long>(opt.w),
+              static_cast<long long>(opt.c), window.to_string().c_str());
+
+  bool ok = true;
+  if (opt.op == "maxpool" || opt.op == "avgpool" || opt.op == "minpool") {
+    const akg::PoolImpl impl = parse_impl(opt.impl);
+    auto run_op = [&](akg::PoolImpl i) {
+      if (opt.op == "avgpool") return kernels::avgpool_forward(dev, in, window, i);
+      if (opt.op == "minpool") return kernels::minpool_forward(dev, in, window, i);
+      return kernels::maxpool_forward(dev, in, window, i);
+    };
+    auto r = run_op(impl);
+    const TensorF16 want = opt.op == "avgpool"
+                               ? ref::avgpool_fwd(in, window)
+                               : (opt.op == "minpool"
+                                      ? ref::minpool_fwd(in, window)
+                                      : ref::maxpool_fwd(in, window));
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ok &= r.out.flat(i) == want.flat(i);
+    }
+    report(opt.impl.c_str(), r.run);
+    if (opt.compare) {
+      auto base = run_op(akg::PoolImpl::kDirect);
+      report("direct", base.run);
+      std::printf("speedup: %.2fx\n",
+                  static_cast<double>(base.cycles()) /
+                      static_cast<double>(r.cycles()));
+    }
+  } else if (opt.op == "maxpool_mask") {
+    auto r = kernels::maxpool_forward_with_mask(dev, in, window,
+                                                parse_impl(opt.impl));
+    const TensorF16 want = ref::maxpool_fwd(in, window);
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ok &= r.out.flat(i) == want.flat(i);
+    }
+    report(opt.impl.c_str(), r.run);
+  } else if (opt.op == "maxpool_bwd" || opt.op == "avgpool_bwd") {
+    const kernels::MergeImpl merge = opt.impl == "vadd"
+                                         ? kernels::MergeImpl::kVadd
+                                         : kernels::MergeImpl::kCol2im;
+    TensorF16 grad(
+        Shape{1, c1, window.out_h(opt.h), window.out_w(opt.w), kC0});
+    grad.fill_random_ints(2, 0, 5);
+    if (opt.op == "maxpool_bwd") {
+      const TensorF16 mask = ref::maxpool_argmax_mask(in, window);
+      auto r = kernels::maxpool_backward(dev, mask, grad, window, opt.h,
+                                         opt.w, merge);
+      const TensorF16 want =
+          ref::maxpool_bwd(mask, grad, window, opt.h, opt.w);
+      for (std::int64_t i = 0; i < want.size(); ++i) {
+        ok &= r.grad_in.flat(i) == want.flat(i);
+      }
+      report(kernels::to_string(merge), r.run);
+      if (opt.compare) {
+        auto base = kernels::maxpool_backward(dev, mask, grad, window, opt.h,
+                                              opt.w,
+                                              kernels::MergeImpl::kVadd);
+        report("vadd", base.run);
+        std::printf("speedup: %.2fx\n",
+                    static_cast<double>(base.cycles()) /
+                        static_cast<double>(r.cycles()));
+      }
+    } else {
+      auto r = kernels::avgpool_backward(dev, grad, window, opt.h, opt.w,
+                                         merge);
+      const TensorF16 want = ref::avgpool_bwd(grad, window, opt.h, opt.w);
+      for (std::int64_t i = 0; i < want.size(); ++i) {
+        ok &= r.grad_in.flat(i) == want.flat(i);
+      }
+      report(kernels::to_string(merge), r.run);
+    }
+  } else if (opt.op == "global_avgpool") {
+    auto r = kernels::global_avgpool(dev, in);
+    const TensorF16 want = ref::global_avgpool(in);
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ok &= r.out.flat(i) == want.flat(i);
+    }
+    report("global", r.run);
+  } else {
+    std::fprintf(stderr, "unknown --op=%s\n", opt.op.c_str());
+    return 2;
+  }
+
+  std::printf("verification: %s\n", ok ? "bit-exact" : "MISMATCH");
+  if (opt.trace) {
+    std::printf("\ncore 0 instruction trace (first 48):\n%s",
+                dev.core(0).trace().to_string(48).c_str());
+  }
+  return ok ? 0 : 1;
+}
