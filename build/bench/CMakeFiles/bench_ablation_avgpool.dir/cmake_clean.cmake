@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_avgpool.dir/bench_ablation_avgpool.cc.o"
+  "CMakeFiles/bench_ablation_avgpool.dir/bench_ablation_avgpool.cc.o.d"
+  "bench_ablation_avgpool"
+  "bench_ablation_avgpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_avgpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

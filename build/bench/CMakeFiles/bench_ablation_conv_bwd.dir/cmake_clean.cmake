@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conv_bwd.dir/bench_ablation_conv_bwd.cc.o"
+  "CMakeFiles/bench_ablation_conv_bwd.dir/bench_ablation_conv_bwd.cc.o.d"
+  "bench_ablation_conv_bwd"
+  "bench_ablation_conv_bwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conv_bwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_edge.dir/bench_ablation_edge.cc.o"
+  "CMakeFiles/bench_ablation_edge.dir/bench_ablation_edge.cc.o.d"
+  "bench_ablation_edge"
+  "bench_ablation_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_maxpool_forward.dir/bench_fig7a_maxpool_forward.cc.o"
+  "CMakeFiles/bench_fig7a_maxpool_forward.dir/bench_fig7a_maxpool_forward.cc.o.d"
+  "bench_fig7a_maxpool_forward"
+  "bench_fig7a_maxpool_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_maxpool_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

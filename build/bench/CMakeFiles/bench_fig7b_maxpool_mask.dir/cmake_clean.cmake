@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_maxpool_mask.dir/bench_fig7b_maxpool_mask.cc.o"
+  "CMakeFiles/bench_fig7b_maxpool_mask.dir/bench_fig7b_maxpool_mask.cc.o.d"
+  "bench_fig7b_maxpool_mask"
+  "bench_fig7b_maxpool_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_maxpool_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

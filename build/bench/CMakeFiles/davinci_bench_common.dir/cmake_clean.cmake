@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_bench_common.dir/harness.cc.o"
+  "CMakeFiles/davinci_bench_common.dir/harness.cc.o.d"
+  "libdavinci_bench_common.a"
+  "libdavinci_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

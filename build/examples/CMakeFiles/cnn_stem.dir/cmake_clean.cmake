@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_stem.dir/cnn_stem.cpp.o"
+  "CMakeFiles/cnn_stem.dir/cnn_stem.cpp.o.d"
+  "cnn_stem"
+  "cnn_stem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_stem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

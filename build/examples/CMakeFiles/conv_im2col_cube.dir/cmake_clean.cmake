@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_im2col_cube.dir/conv_im2col_cube.cpp.o"
+  "CMakeFiles/conv_im2col_cube.dir/conv_im2col_cube.cpp.o.d"
+  "conv_im2col_cube"
+  "conv_im2col_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_im2col_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

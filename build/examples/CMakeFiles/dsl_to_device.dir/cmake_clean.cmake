@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_to_device.dir/dsl_to_device.cpp.o"
+  "CMakeFiles/dsl_to_device.dir/dsl_to_device.cpp.o.d"
+  "dsl_to_device"
+  "dsl_to_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_to_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inception_pooling.dir/inception_pooling.cpp.o"
+  "CMakeFiles/inception_pooling.dir/inception_pooling.cpp.o.d"
+  "inception_pooling"
+  "inception_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inception_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_lowering.dir/inspect_lowering.cpp.o"
+  "CMakeFiles/inspect_lowering.dir/inspect_lowering.cpp.o.d"
+  "inspect_lowering"
+  "inspect_lowering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_lowering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_pooling_layer.dir/train_pooling_layer.cpp.o"
+  "CMakeFiles/train_pooling_layer.dir/train_pooling_layer.cpp.o.d"
+  "train_pooling_layer"
+  "train_pooling_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_pooling_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_akg.dir/dsl.cc.o"
+  "CMakeFiles/davinci_akg.dir/dsl.cc.o.d"
+  "CMakeFiles/davinci_akg.dir/tiling.cc.o"
+  "CMakeFiles/davinci_akg.dir/tiling.cc.o.d"
+  "libdavinci_akg.a"
+  "libdavinci_akg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_akg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

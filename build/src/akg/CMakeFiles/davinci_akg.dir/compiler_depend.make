@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for davinci_akg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/avgpool.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/avgpool.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/avgpool.cc.o.d"
+  "/root/repo/src/kernels/conv2d.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/conv2d.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/conv2d.cc.o.d"
+  "/root/repo/src/kernels/conv2d_bwd.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/conv2d_bwd.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/conv2d_bwd.cc.o.d"
+  "/root/repo/src/kernels/extra_pooling.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/extra_pooling.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/extra_pooling.cc.o.d"
+  "/root/repo/src/kernels/fused_conv_pool.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/fused_conv_pool.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/fused_conv_pool.cc.o.d"
+  "/root/repo/src/kernels/lower.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/lower.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/lower.cc.o.d"
+  "/root/repo/src/kernels/maxpool_bwd.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_bwd.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_bwd.cc.o.d"
+  "/root/repo/src/kernels/maxpool_fwd.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_fwd.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_fwd.cc.o.d"
+  "/root/repo/src/kernels/maxpool_mask.cc" "src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_mask.cc.o" "gcc" "src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_mask.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/davinci_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/akg/CMakeFiles/davinci_akg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/davinci_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_kernels.dir/avgpool.cc.o"
+  "CMakeFiles/davinci_kernels.dir/avgpool.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/conv2d.cc.o"
+  "CMakeFiles/davinci_kernels.dir/conv2d.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/conv2d_bwd.cc.o"
+  "CMakeFiles/davinci_kernels.dir/conv2d_bwd.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/extra_pooling.cc.o"
+  "CMakeFiles/davinci_kernels.dir/extra_pooling.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/fused_conv_pool.cc.o"
+  "CMakeFiles/davinci_kernels.dir/fused_conv_pool.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/lower.cc.o"
+  "CMakeFiles/davinci_kernels.dir/lower.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/maxpool_bwd.cc.o"
+  "CMakeFiles/davinci_kernels.dir/maxpool_bwd.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/maxpool_fwd.cc.o"
+  "CMakeFiles/davinci_kernels.dir/maxpool_fwd.cc.o.d"
+  "CMakeFiles/davinci_kernels.dir/maxpool_mask.cc.o"
+  "CMakeFiles/davinci_kernels.dir/maxpool_mask.cc.o.d"
+  "libdavinci_kernels.a"
+  "libdavinci_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_nets.dir/cnn_tables.cc.o"
+  "CMakeFiles/davinci_nets.dir/cnn_tables.cc.o.d"
+  "CMakeFiles/davinci_nets.dir/pipeline.cc.o"
+  "CMakeFiles/davinci_nets.dir/pipeline.cc.o.d"
+  "libdavinci_nets.a"
+  "libdavinci_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

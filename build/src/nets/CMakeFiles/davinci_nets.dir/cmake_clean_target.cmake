@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdavinci_nets.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ref/conv_ref.cc" "src/ref/CMakeFiles/davinci_ref.dir/conv_ref.cc.o" "gcc" "src/ref/CMakeFiles/davinci_ref.dir/conv_ref.cc.o.d"
+  "/root/repo/src/ref/im2col_ref.cc" "src/ref/CMakeFiles/davinci_ref.dir/im2col_ref.cc.o" "gcc" "src/ref/CMakeFiles/davinci_ref.dir/im2col_ref.cc.o.d"
+  "/root/repo/src/ref/pooling_ref.cc" "src/ref/CMakeFiles/davinci_ref.dir/pooling_ref.cc.o" "gcc" "src/ref/CMakeFiles/davinci_ref.dir/pooling_ref.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/davinci_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

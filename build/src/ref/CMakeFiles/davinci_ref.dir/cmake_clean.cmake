@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_ref.dir/conv_ref.cc.o"
+  "CMakeFiles/davinci_ref.dir/conv_ref.cc.o.d"
+  "CMakeFiles/davinci_ref.dir/im2col_ref.cc.o"
+  "CMakeFiles/davinci_ref.dir/im2col_ref.cc.o.d"
+  "CMakeFiles/davinci_ref.dir/pooling_ref.cc.o"
+  "CMakeFiles/davinci_ref.dir/pooling_ref.cc.o.d"
+  "libdavinci_ref.a"
+  "libdavinci_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

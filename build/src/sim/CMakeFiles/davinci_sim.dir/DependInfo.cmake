@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ai_core.cc" "src/sim/CMakeFiles/davinci_sim.dir/ai_core.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/ai_core.cc.o.d"
+  "/root/repo/src/sim/cube_unit.cc" "src/sim/CMakeFiles/davinci_sim.dir/cube_unit.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/cube_unit.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/davinci_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/scu.cc" "src/sim/CMakeFiles/davinci_sim.dir/scu.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/scu.cc.o.d"
+  "/root/repo/src/sim/vector_unit.cc" "src/sim/CMakeFiles/davinci_sim.dir/vector_unit.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/vector_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/davinci_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

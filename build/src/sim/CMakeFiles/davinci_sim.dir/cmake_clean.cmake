@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_sim.dir/ai_core.cc.o"
+  "CMakeFiles/davinci_sim.dir/ai_core.cc.o.d"
+  "CMakeFiles/davinci_sim.dir/cube_unit.cc.o"
+  "CMakeFiles/davinci_sim.dir/cube_unit.cc.o.d"
+  "CMakeFiles/davinci_sim.dir/device.cc.o"
+  "CMakeFiles/davinci_sim.dir/device.cc.o.d"
+  "CMakeFiles/davinci_sim.dir/scu.cc.o"
+  "CMakeFiles/davinci_sim.dir/scu.cc.o.d"
+  "CMakeFiles/davinci_sim.dir/vector_unit.cc.o"
+  "CMakeFiles/davinci_sim.dir/vector_unit.cc.o.d"
+  "libdavinci_sim.a"
+  "libdavinci_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_tensor.dir/fractal.cc.o"
+  "CMakeFiles/davinci_tensor.dir/fractal.cc.o.d"
+  "libdavinci_tensor.a"
+  "libdavinci_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_akg_tiling.dir/test_akg_tiling.cc.o"
+  "CMakeFiles/test_akg_tiling.dir/test_akg_tiling.cc.o.d"
+  "test_akg_tiling"
+  "test_akg_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_akg_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

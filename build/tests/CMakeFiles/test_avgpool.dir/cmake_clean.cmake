@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avgpool.dir/test_avgpool.cc.o"
+  "CMakeFiles/test_avgpool.dir/test_avgpool.cc.o.d"
+  "test_avgpool"
+  "test_avgpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avgpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

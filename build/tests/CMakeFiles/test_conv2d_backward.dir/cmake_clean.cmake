@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv2d_backward.dir/test_conv2d_backward.cc.o"
+  "CMakeFiles/test_conv2d_backward.dir/test_conv2d_backward.cc.o.d"
+  "test_conv2d_backward"
+  "test_conv2d_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv2d_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

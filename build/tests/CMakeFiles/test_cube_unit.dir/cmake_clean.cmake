@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube_unit.dir/test_cube_unit.cc.o"
+  "CMakeFiles/test_cube_unit.dir/test_cube_unit.cc.o.d"
+  "test_cube_unit"
+  "test_cube_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differential_sweep.dir/test_differential_sweep.cc.o"
+  "CMakeFiles/test_differential_sweep.dir/test_differential_sweep.cc.o.d"
+  "test_differential_sweep"
+  "test_differential_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differential_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_pooling.dir/test_extra_pooling.cc.o"
+  "CMakeFiles/test_extra_pooling.dir/test_extra_pooling.cc.o.d"
+  "test_extra_pooling"
+  "test_extra_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

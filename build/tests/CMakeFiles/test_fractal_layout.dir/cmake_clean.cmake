@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fractal_layout.dir/test_fractal_layout.cc.o"
+  "CMakeFiles/test_fractal_layout.dir/test_fractal_layout.cc.o.d"
+  "test_fractal_layout"
+  "test_fractal_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fractal_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fused_conv_pool.dir/test_fused_conv_pool.cc.o"
+  "CMakeFiles/test_fused_conv_pool.dir/test_fused_conv_pool.cc.o.d"
+  "test_fused_conv_pool"
+  "test_fused_conv_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fused_conv_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

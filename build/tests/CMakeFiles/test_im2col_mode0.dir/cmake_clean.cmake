@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_im2col_mode0.dir/test_im2col_mode0.cc.o"
+  "CMakeFiles/test_im2col_mode0.dir/test_im2col_mode0.cc.o.d"
+  "test_im2col_mode0"
+  "test_im2col_mode0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_im2col_mode0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_helpers.dir/test_kernel_helpers.cc.o"
+  "CMakeFiles/test_kernel_helpers.dir/test_kernel_helpers.cc.o.d"
+  "test_kernel_helpers"
+  "test_kernel_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxpool_backward.dir/test_maxpool_backward.cc.o"
+  "CMakeFiles/test_maxpool_backward.dir/test_maxpool_backward.cc.o.d"
+  "test_maxpool_backward"
+  "test_maxpool_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxpool_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxpool_forward.dir/test_maxpool_forward.cc.o"
+  "CMakeFiles/test_maxpool_forward.dir/test_maxpool_forward.cc.o.d"
+  "test_maxpool_forward"
+  "test_maxpool_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxpool_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

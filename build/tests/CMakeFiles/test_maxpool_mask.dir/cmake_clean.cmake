@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxpool_mask.dir/test_maxpool_mask.cc.o"
+  "CMakeFiles/test_maxpool_mask.dir/test_maxpool_mask.cc.o.d"
+  "test_maxpool_mask"
+  "test_maxpool_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxpool_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

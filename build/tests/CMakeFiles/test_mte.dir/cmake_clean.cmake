@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mte.dir/test_mte.cc.o"
+  "CMakeFiles/test_mte.dir/test_mte.cc.o.d"
+  "test_mte"
+  "test_mte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_padded_properties.dir/test_padded_properties.cc.o"
+  "CMakeFiles/test_padded_properties.dir/test_padded_properties.cc.o.d"
+  "test_padded_properties"
+  "test_padded_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_padded_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_conv.dir/test_ref_conv.cc.o"
+  "CMakeFiles/test_ref_conv.dir/test_ref_conv.cc.o.d"
+  "test_ref_conv"
+  "test_ref_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_pooling.dir/test_ref_pooling.cc.o"
+  "CMakeFiles/test_ref_pooling.dir/test_ref_pooling.cc.o.d"
+  "test_ref_pooling"
+  "test_ref_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scratch.dir/test_scratch.cc.o"
+  "CMakeFiles/test_scratch.dir/test_scratch.cc.o.d"
+  "test_scratch"
+  "test_scratch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scratch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

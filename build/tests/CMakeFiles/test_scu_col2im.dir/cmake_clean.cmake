@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scu_col2im.dir/test_scu_col2im.cc.o"
+  "CMakeFiles/test_scu_col2im.dir/test_scu_col2im.cc.o.d"
+  "test_scu_col2im"
+  "test_scu_col2im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scu_col2im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

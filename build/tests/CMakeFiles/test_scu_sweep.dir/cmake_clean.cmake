@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scu_sweep.dir/test_scu_sweep.cc.o"
+  "CMakeFiles/test_scu_sweep.dir/test_scu_sweep.cc.o.d"
+  "test_scu_sweep"
+  "test_scu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

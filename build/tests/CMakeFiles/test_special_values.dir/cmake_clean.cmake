@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_special_values.dir/test_special_values.cc.o"
+  "CMakeFiles/test_special_values.dir/test_special_values.cc.o.d"
+  "test_special_values"
+  "test_special_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_special_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_unit.dir/test_vector_unit.cc.o"
+  "CMakeFiles/test_vector_unit.dir/test_vector_unit.cc.o.d"
+  "test_vector_unit"
+  "test_vector_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davinci_pool_cli.dir/davinci_pool_cli.cc.o"
+  "CMakeFiles/davinci_pool_cli.dir/davinci_pool_cli.cc.o.d"
+  "davinci_pool_cli"
+  "davinci_pool_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davinci_pool_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
