@@ -50,24 +50,28 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kConv: {
         auto r = kernels::conv2d_cube(dev, cur, layer.weights, layer.window);
         run.cycles = r.cycles();
+        result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
       }
       case Kind::kMaxPool: {
         auto r = kernels::maxpool_forward(dev, cur, layer.window, pool_impl);
         run.cycles = r.cycles();
+        result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
       }
       case Kind::kAvgPool: {
         auto r = kernels::avgpool_forward(dev, cur, layer.window, pool_impl);
         run.cycles = r.cycles();
+        result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
       }
       case Kind::kGlobalAvg: {
         auto r = kernels::global_avgpool(dev, cur);
         run.cycles = r.cycles();
+        result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
       }
@@ -78,6 +82,26 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
   }
   result.out = std::move(cur);
   return result;
+}
+
+Pipeline::Result Pipeline::run_resilient(Device& dev, const TensorF16& input,
+                                         PoolingStack stack,
+                                         const ResilienceOptions& opts) const {
+  // Install the policy for the duration of the run, restoring whatever was
+  // there before even if a layer throws RetryExhausted.
+  struct Restore {
+    Device& dev;
+    std::optional<ResilienceOptions> prev;
+    ~Restore() {
+      if (prev) {
+        dev.set_resilience(*prev);
+      } else {
+        dev.clear_resilience();
+      }
+    }
+  } restore{dev, dev.resilience()};
+  dev.set_resilience(opts);
+  return run(dev, input, stack);
 }
 
 namespace {

@@ -43,10 +43,21 @@ class Pipeline {
     TensorF16 out;
     std::vector<LayerRun> layers;
     std::int64_t total_cycles = 0;
+    FaultStats faults;  // summed over layers; all-zero without injection
   };
 
-  // Runs the whole pipeline on `input` ((N=1, C1, H, W, C0) fp16).
+  // Runs the whole pipeline on `input` ((N=1, C1, H, W, C0) fp16). If a
+  // resilience policy is installed on `dev` (Device::set_resilience),
+  // every layer executes under it and Result::faults aggregates the
+  // per-layer fault reports.
   Result run(Device& dev, const TensorF16& input, PoolingStack stack) const;
+
+  // Runs the pipeline with fault injection / retry per `opts`: installs
+  // the policy on `dev` for the duration of the call and restores the
+  // previous policy afterwards (exception-safe). Throws RetryExhausted if
+  // any layer cannot complete within its retry budget.
+  Result run_resilient(Device& dev, const TensorF16& input, PoolingStack stack,
+                       const ResilienceOptions& opts) const;
 
   // Reference forward pass (NCHW fp32 in, fp16-rounded activations
   // between layers so it tracks the device pipeline), for validation.

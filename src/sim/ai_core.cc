@@ -14,7 +14,20 @@ AiCore::AiCore(int id, const ArchConfig& arch, const CostModel& cost)
       vec_(arch_, cost_, &stats_, &trace_),
       mte_(cost_, &stats_, &trace_),
       scu_(arch_, cost_, &stats_, &trace_),
-      cube_(arch_, cost_, &stats_, &trace_) {}
+      cube_(arch_, cost_, &stats_, &trace_) {
+  l1_.set_owner_core(id_);
+  l0a_.set_owner_core(id_);
+  l0b_.set_owner_core(id_);
+  l0c_.set_owner_core(id_);
+  ub_.set_owner_core(id_);
+}
+
+void AiCore::set_fault_state(CoreFaultState* fault) {
+  fault_ = fault;
+  mte_.set_fault_state(fault);
+  scu_.set_fault_state(fault);
+  vec_.set_fault_state(fault);
+}
 
 void AiCore::reset_scratch() {
   l1_.reset();
@@ -22,6 +35,14 @@ void AiCore::reset_scratch() {
   l0b_.reset();
   l0c_.reset();
   ub_.reset();
+}
+
+void AiCore::scrub_scratch(std::byte pattern) {
+  l1_.scrub(pattern);
+  l0a_.scrub(pattern);
+  l0b_.scrub(pattern);
+  l0c_.scrub(pattern);
+  ub_.scrub(pattern);
 }
 
 void AiCore::scalar_loop(std::int64_t iterations) {

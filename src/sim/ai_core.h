@@ -15,6 +15,7 @@
 #include "arch/cost_model.h"
 #include "common/float16.h"
 #include "sim/cube_unit.h"
+#include "sim/fault.h"
 #include "sim/mte.h"
 #include "sim/scratch.h"
 #include "sim/scu.h"
@@ -52,7 +53,16 @@ class AiCore {
 
   // Frees every scratch allocation (tile-iteration boundary).
   void reset_scratch();
+  // Overwrites every scratch buffer with `pattern` (see
+  // ScratchBuffer::scrub); a host-side simulation step, charges no cycles.
+  void scrub_scratch(std::byte pattern);
   void reset_stats() { stats_ = CycleStats{}; }
+
+  // Attaches (or detaches, with nullptr) a fault-injection stream to this
+  // core and all its units. Owned by Device::run_resilient; a core with no
+  // stream attached pays zero overhead.
+  void set_fault_state(CoreFaultState* fault);
+  CoreFaultState* fault_state() { return fault_; }
 
   // Charges the Scalar Unit for `iterations` loop iterations of control
   // flow / address arithmetic around other instructions.
@@ -86,6 +96,7 @@ class AiCore {
   CostModel cost_;
   CycleStats stats_;
   Trace trace_;
+  CoreFaultState* fault_ = nullptr;
 
   ScratchBuffer l1_;
   ScratchBuffer l0a_;

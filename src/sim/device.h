@@ -10,16 +10,27 @@
 //
 // The device-level time of a kernel is the *maximum* per-core cycle count
 // (cores run concurrently) plus a per-core launch overhead.
+//
+// Resilient execution (run_resilient / set_resilience) adds the RAS layer
+// a production fleet needs on top of that: deterministic fault injection
+// (sim/fault.h), bounded per-block retry, quarantine of hard-failed cores
+// with redistribution of their remaining blocks, and optional
+// redundant-execution verification of each block's global-memory stores.
+// Blocks must be idempotent -- recompute their output region from inputs
+// rather than accumulate into it -- which every kernel here already
+// satisfies (a retried block simply overwrites its region).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arch/arch_config.h"
 #include "arch/cost_model.h"
 #include "sim/ai_core.h"
+#include "sim/fault.h"
 #include "sim/stats.h"
 
 namespace davinci {
@@ -42,6 +53,7 @@ class Device {
     CycleStats aggregate;                 // sum over used cores
     std::vector<std::int64_t> core_cycles;
     int cores_used = 0;
+    FaultStats faults;                    // all-zero outside resilient runs
   };
 
   // Executes blocks [0, num_blocks) with `fn(core, block_index)`, block b
@@ -49,14 +61,65 @@ class Device {
   // core stats are reset before the run. `parallel` false forces serial
   // execution (deterministic debugging; results are identical either way
   // because blocks touch disjoint global memory).
+  //
+  // In the parallel path every worker failure is recorded -- not just the
+  // first -- and the rethrown Error aggregates (core id, block index,
+  // message) for each failed core. When a resilience policy is installed
+  // (set_resilience), the call routes through run_resilient instead.
   RunResult run(std::int64_t num_blocks,
                 const std::function<void(AiCore&, std::int64_t)>& fn,
                 bool parallel = true);
 
+  // Fault-tolerant execution under `opts`:
+  //  * the fault plan is armed on every core for the duration of the run;
+  //  * a block whose execution throws a detected fault (TransientFault) is
+  //    retried on the same core with fresh scratch;
+  //  * a core that throws CoreFailed is quarantined and its unfinished
+  //    blocks are redistributed round-robin over the healthy cores, so the
+  //    run completes with fewer cores and honestly larger device_cycles;
+  //  * with opts.verify, each block's global-memory stores are checksummed
+  //    on the MTE store path and the block re-executed until two
+  //    executions agree (majority vote over attempts) -- silent
+  //    corruption becomes a detected-and-retried fault;
+  //  * every block has a bounded execution budget,
+  //    (max_retries + 1) * (verify ? 2 : 1); exhausting it, or running
+  //    out of healthy cores, throws RetryExhausted with the fault report
+  //    in the message.
+  //
+  // With an empty plan and verification off, the result (output bits,
+  // per-core cycles, device_cycles) is identical to run() -- the
+  // resilience layer costs nothing when disabled. Fault injection is
+  // deterministic per core; see docs/RESILIENCE.md for the replay
+  // guarantees.
+  RunResult run_resilient(std::int64_t num_blocks,
+                          const std::function<void(AiCore&, std::int64_t)>& fn,
+                          const ResilienceOptions& opts);
+
+  // Installs a resilience policy that makes every subsequent run() (and
+  // therefore every kernel executed on this device) go through
+  // run_resilient with `opts`. This is how whole pooling workloads and
+  // pipelines run under fault injection without changing kernel code.
+  void set_resilience(const ResilienceOptions& opts) { resilience_ = opts; }
+  void clear_resilience() { resilience_.reset(); }
+  const std::optional<ResilienceOptions>& resilience() const {
+    return resilience_;
+  }
+
  private:
+  struct Sched;  // shared scheduling state of one resilient run
+
+  // Runs one block (with retries / verification) on core `c`. Returns
+  // true if the worker should keep pulling blocks, false if it must exit
+  // (quarantined or run failed).
+  bool process_block(int c, std::int64_t block, Sched& s,
+                     const std::function<void(AiCore&, std::int64_t)>& fn,
+                     const ResilienceOptions& opts,
+                     CoreFaultState& fault_state);
+
   ArchConfig arch_;
   CostModel cost_;
   std::vector<std::unique_ptr<AiCore>> cores_;
+  std::optional<ResilienceOptions> resilience_;
 };
 
 }  // namespace davinci

@@ -11,6 +11,7 @@
 #include "arch/cost_model.h"
 #include "common/check.h"
 #include "common/float16.h"
+#include "sim/fault.h"
 #include "sim/scratch.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -22,6 +23,9 @@ class Mte {
   Mte(const CostModel& cost, CycleStats* stats, Trace* trace = nullptr)
       : cost_(cost), stats_(stats), trace_(trace) {}
 
+  // Attaches/detaches the core's fault stream (resilient runs only).
+  void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
+
   // Contiguous copy of `count` elements. Exactly the legal datapaths are
   // accepted (see allowed()).
   template <typename T>
@@ -31,7 +35,22 @@ class Mte {
         << to_string(dst.kind());
     DV_CHECK_LE(count, src.size());
     DV_CHECK_LE(count, dst.size());
-    for (std::int64_t i = 0; i < count; ++i) dst.at(i) = src.at(i);
+    const std::int64_t moved = fault_ ? fault_->admit_transfer(count) : count;
+    for (std::int64_t i = 0; i < moved; ++i) dst.at(i) = src.at(i);
+    if (fault_) {
+      fault_->on_landing(dst.kind(), reinterpret_cast<std::byte*>(dst.data()),
+                         moved * static_cast<std::int64_t>(sizeof(T)));
+      // The store-path CRC covers the *addressed* region as it now stands
+      // plus the delivered length, so a truncated transfer hashes
+      // differently from a complete one -- and from a truncation of a
+      // different length, even when the region contents coincide (the
+      // correct prefix grows monotonically across retries).
+      if (dst.kind() == BufferKind::kGlobal && fault_->crc_enabled()) {
+        fault_->crc_update(dst.data(),
+                           count * static_cast<std::int64_t>(sizeof(T)));
+        fault_->crc_note(static_cast<std::uint64_t>(moved));
+      }
+    }
     charge(src.kind(), dst.kind(), count * static_cast<std::int64_t>(sizeof(T)),
            /*bursts=*/1);
   }
@@ -47,9 +66,28 @@ class Mte {
         << to_string(dst.kind());
     DV_CHECK_GE(rows, 0);
     DV_CHECK_GE(row_elems, 0);
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t i = 0; i < row_elems; ++i) {
+    const std::int64_t total = rows * row_elems;
+    const std::int64_t moved = fault_ ? fault_->admit_transfer(total) : total;
+    std::int64_t copied = 0;
+    for (std::int64_t r = 0; r < rows && copied < moved; ++r) {
+      for (std::int64_t i = 0; i < row_elems && copied < moved; ++i) {
         dst.at(r * dst_stride + i) = src.at(r * src_stride + i);
+        ++copied;
+      }
+    }
+    if (fault_) {
+      if (rows > 0 && row_elems > 0) {
+        const std::int64_t extent = (rows - 1) * dst_stride + row_elems;
+        fault_->on_landing(dst.kind(),
+                           reinterpret_cast<std::byte*>(dst.data()),
+                           extent * static_cast<std::int64_t>(sizeof(T)));
+      }
+      if (dst.kind() == BufferKind::kGlobal && fault_->crc_enabled()) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          fault_->crc_update(dst.data() + r * dst_stride,
+                             row_elems * static_cast<std::int64_t>(sizeof(T)));
+        }
+        fault_->crc_note(static_cast<std::uint64_t>(moved));
       }
     }
     charge(src.kind(), dst.kind(),
@@ -64,7 +102,12 @@ class Mte {
         << "converting copy is L0C -> UB only";
     DV_CHECK_LE(count, src.size());
     DV_CHECK_LE(count, dst.size());
-    for (std::int64_t i = 0; i < count; ++i) dst.at(i) = Float16(src.at(i));
+    const std::int64_t moved = fault_ ? fault_->admit_transfer(count) : count;
+    for (std::int64_t i = 0; i < moved; ++i) dst.at(i) = Float16(src.at(i));
+    if (fault_) {
+      fault_->on_landing(dst.kind(), reinterpret_cast<std::byte*>(dst.data()),
+                         moved * 2);
+    }
     charge(src.kind(), dst.kind(), count * 4, /*bursts=*/1);
   }
 
@@ -78,10 +121,19 @@ class Mte {
              dst.kind() == BufferKind::kUnified)
         << "converting copy is L0C -> UB only";
     DV_CHECK_GE(rows, 0);
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t i = 0; i < row_elems; ++i) {
+    const std::int64_t total = rows * row_elems;
+    const std::int64_t moved = fault_ ? fault_->admit_transfer(total) : total;
+    std::int64_t copied = 0;
+    for (std::int64_t r = 0; r < rows && copied < moved; ++r) {
+      for (std::int64_t i = 0; i < row_elems && copied < moved; ++i) {
         dst.at(r * dst_stride + i) = Float16(src.at(r * src_stride + i));
+        ++copied;
       }
+    }
+    if (fault_ && rows > 0 && row_elems > 0) {
+      const std::int64_t extent = (rows - 1) * dst_stride + row_elems;
+      fault_->on_landing(dst.kind(), reinterpret_cast<std::byte*>(dst.data()),
+                         extent * 2);
     }
     charge(src.kind(), dst.kind(), rows * row_elems * 4, rows);
   }
@@ -123,6 +175,7 @@ class Mte {
   const CostModel& cost_;
   CycleStats* stats_;
   Trace* trace_;
+  CoreFaultState* fault_ = nullptr;
 };
 
 }  // namespace davinci

@@ -8,6 +8,7 @@
 // being enforced exactly.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -95,6 +96,11 @@ class ScratchBuffer {
   ScratchBuffer(BufferKind kind, std::int64_t capacity_bytes)
       : kind_(kind), storage_(static_cast<std::size_t>(capacity_bytes)) {}
 
+  // Which AI Core owns this buffer; -1 for free-standing buffers (tests).
+  // Only used to make overflow diagnostics actionable on a 32-core run.
+  void set_owner_core(int core) { owner_core_ = core; }
+  int owner_core() const { return owner_core_; }
+
   BufferKind kind() const { return kind_; }
   std::int64_t capacity_bytes() const {
     return static_cast<std::int64_t>(storage_.size());
@@ -112,9 +118,11 @@ class ScratchBuffer {
     const std::int64_t bytes = count * static_cast<std::int64_t>(sizeof(T));
     const std::int64_t aligned = (offset_ + 31) / 32 * 32;
     DV_CHECK_LE(aligned + bytes, capacity_bytes())
-        << to_string(kind_) << " overflow: want " << bytes << " B at offset "
-        << aligned << ", capacity " << capacity_bytes()
-        << " B (tile too large; adjust the tiling plan)";
+        << to_string(kind_) << " overflow on core " << owner_core_
+        << ": requested " << bytes << " B at aligned offset " << aligned
+        << ", available " << (capacity_bytes() - aligned) << " B of "
+        << capacity_bytes() << " B capacity"
+        << " (tile too large; adjust the tiling plan)";
     T* p = reinterpret_cast<T*>(storage_.data() + aligned);
     offset_ = aligned + bytes;
     if (offset_ > high_water_) high_water_ = offset_;
@@ -126,8 +134,17 @@ class ScratchBuffer {
   void reset() { offset_ = 0; }
   void reset_high_water() { high_water_ = 0; }
 
+  // Overwrites the whole buffer with `pattern`. Used by the resilient
+  // scheduler between verified attempts of a block: without scrubbing, a
+  // truncated reload is masked by the previous attempt's (identical)
+  // stale data and redundant execution cannot detect it.
+  void scrub(std::byte pattern) {
+    std::fill(storage_.begin(), storage_.end(), pattern);
+  }
+
  private:
   BufferKind kind_;
+  int owner_core_ = -1;
   std::vector<std::byte> storage_;
   std::int64_t offset_ = 0;
   std::int64_t high_water_ = 0;

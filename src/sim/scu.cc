@@ -2,6 +2,14 @@
 
 namespace davinci {
 
+void Scu::maybe_fault_result(Span<Float16> dst, std::int64_t elems) {
+  if (!fault_ || elems <= 0) return;
+  // SCU datapath corruption is its own site (scu_err); the bitflip sites
+  // model upsets on MTE-landed data and do not double-dip here.
+  auto* bytes = reinterpret_cast<std::byte*>(dst.data());
+  fault_->on_scu_result(bytes, elems * 2);
+}
+
 void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
                       const Im2colArgs& args) {
   args.validate();
@@ -67,6 +75,7 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
                        " fractals=" + std::to_string(fractals),
                    cycles);
   }
+  maybe_fault_result(dst, args.output_elems());
 }
 
 void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
@@ -130,6 +139,7 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
                        " fractals=" + std::to_string(fractals),
                    cycles);
   }
+  maybe_fault_result(dst, args.output_elems());
 }
 
 void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
@@ -187,6 +197,7 @@ void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
                        " fractals=" + std::to_string(fractals),
                    cycles);
   }
+  maybe_fault_result(out, args.input_elems());
 }
 
 }  // namespace davinci

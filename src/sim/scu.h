@@ -27,6 +27,7 @@
 #include "arch/cost_model.h"
 #include "common/align.h"
 #include "common/float16.h"
+#include "sim/fault.h"
 #include "sim/scratch.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -71,6 +72,9 @@ class Scu {
       Trace* trace = nullptr)
       : arch_(arch), cost_(cost), stats_(stats), trace_(trace) {}
 
+  // Attaches/detaches the core's fault stream (resilient runs only).
+  void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
+
   // Im2Col load, repeat mode 1, transposed order. `src` is an L1 tile of
   // (ih, iw, C0) contiguous elements (one N/C1 slice); `dst` receives
   // (Kh, Kw, padded_patches, C0) and must live in UB, L0A or L0B.
@@ -95,10 +99,16 @@ class Scu {
   void col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args);
 
  private:
+  // Fault hook shared by all three instructions: the produced region may
+  // take a landing bit flip (it just arrived in a scratch buffer) or a
+  // site-specific fractal corruption.
+  void maybe_fault_result(Span<Float16> dst, std::int64_t elems);
+
   const ArchConfig& arch_;
   const CostModel& cost_;
   CycleStats* stats_;
   Trace* trace_;
+  CoreFaultState* fault_ = nullptr;
 };
 
 }  // namespace davinci

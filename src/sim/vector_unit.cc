@@ -57,6 +57,9 @@ void VectorUnit::charge(const char* op, const VecConfig& cfg) {
                        " lanes=" + std::to_string(cfg.mask.count()),
                    cycles);
   }
+  // The cycles above were really spent before the parity check tripped, so
+  // the fault hook runs after the ledger update. May throw TransientFault.
+  if (fault_) fault_->on_vector_instr(op);
 }
 
 namespace {

@@ -21,6 +21,7 @@
 #include "arch/arch_config.h"
 #include "arch/cost_model.h"
 #include "common/float16.h"
+#include "sim/fault.h"
 #include "sim/scratch.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -68,6 +69,9 @@ class VectorUnit {
              Trace* trace = nullptr)
       : arch_(arch), cost_(cost), stats_(stats), trace_(trace) {}
 
+  // Attaches/detaches the core's fault stream (resilient runs only).
+  void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
+
   // dst[i] = op(src0[i], src1[i]) per active lane, per repeat.
   void binary(VecOp op, Span<Float16> dst, Span<Float16> src0,
               Span<Float16> src1, const VecConfig& cfg);
@@ -103,6 +107,7 @@ class VectorUnit {
   const CostModel& cost_;
   CycleStats* stats_;
   Trace* trace_;
+  CoreFaultState* fault_ = nullptr;
 };
 
 }  // namespace davinci

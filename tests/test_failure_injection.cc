@@ -135,5 +135,23 @@ TEST(FailureInjection, ErrorMessageIsActionable) {
   }
 }
 
+TEST(FailureInjection, ScratchOverflowMessageIsActionable) {
+  // A raw buffer overflow (bypassing the tiling layer) must name the
+  // buffer, the owning core, and the requested vs. available bytes.
+  Device dev;
+  try {
+    dev.run(1, [](AiCore& core, std::int64_t) {
+      core.ub().alloc<Float16>(1 << 20);  // 2 MiB into a 256 KiB UB
+    });
+    FAIL() << "expected an overflow error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("UB overflow"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("core 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("requested 2097152 B"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("available 262144 B"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace davinci

@@ -4,6 +4,7 @@
 //
 //   davinci_pool_cli --op=maxpool --impl=im2col --h=71 --w=71 --c=192
 //                    --k=3 --s=2 [--pad=1] [--trace] [--compare]
+//                    [--inject=<spec>] [--retries=N] [--seed=S]
 //
 //   --op       maxpool | maxpool_mask | maxpool_bwd | avgpool |
 //              avgpool_bwd | minpool | global_avgpool
@@ -11,6 +12,24 @@
 //              vadd | col2im                           (backward ops)
 //   --compare  also run the baseline implementation and print the speedup
 //   --trace    print the first instructions executed on core 0
+//
+// Fault injection (see docs/RESILIENCE.md for the full grammar):
+//   --inject   comma-separated fault spec, e.g.
+//              core_fail@2,bitflip:ub:1e-6 -- runs every kernel through
+//              Device::run_resilient and prints a fault report. Output
+//              verification by redundant execution is enabled
+//              automatically when the plan contains silent-corruption
+//              sites.
+//   --retries  per-block retry allowance (default 3)
+//   --seed     fault-stream seed (default 0); same spec + seed replays
+//              the same faults
+//
+// Exit codes:
+//   0  success (device output bit-exact against the reference)
+//   2  usage error (unknown flag/op/impl, malformed --inject spec)
+//   3  verification mismatch (device output differs from the reference)
+//   4  execution error (unschedulable tiling, kernel failure, ...)
+//   5  retry budget exhausted under fault injection (RetryExhausted)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +37,7 @@
 
 #include "kernels/pooling.h"
 #include "ref/pooling_ref.h"
+#include "sim/fault.h"
 #include "tensor/fractal.h"
 
 using namespace davinci;
@@ -28,6 +48,9 @@ struct Options {
   std::string op = "maxpool";
   std::string impl = "im2col";
   std::int64_t h = 35, w = 35, c = 288, k = 3, s = 2, pad = 0;
+  std::string inject;
+  std::int64_t retries = 3;
+  std::int64_t seed = 0;
   bool trace = false;
   bool compare = false;
 };
@@ -55,12 +78,15 @@ akg::PoolImpl parse_impl(const std::string& s) {
   std::exit(2);
 }
 
-void report(const char* what, const Device::RunResult& run) {
+void report(const char* what, const Device::RunResult& run, bool show_faults) {
   std::printf("%-14s %10lld cycles  (pipelined bound %lld)\n", what,
               static_cast<long long>(run.device_cycles),
               static_cast<long long>(run.device_cycles_pipelined));
   std::printf("  %s\n", run.aggregate.summary().c_str());
   std::printf("  cores used: %d\n", run.cores_used);
+  if (show_faults) {
+    std::printf("  fault report: %s\n", run.faults.summary().c_str());
+  }
 }
 
 }  // namespace
@@ -72,7 +98,10 @@ int main(int argc, char** argv) {
     if (parse_str(a, "--op=", &opt.op) || parse_str(a, "--impl=", &opt.impl) ||
         parse_int(a, "--h=", &opt.h) || parse_int(a, "--w=", &opt.w) ||
         parse_int(a, "--c=", &opt.c) || parse_int(a, "--k=", &opt.k) ||
-        parse_int(a, "--s=", &opt.s) || parse_int(a, "--pad=", &opt.pad)) {
+        parse_int(a, "--s=", &opt.s) || parse_int(a, "--pad=", &opt.pad) ||
+        parse_str(a, "--inject=", &opt.inject) ||
+        parse_int(a, "--retries=", &opt.retries) ||
+        parse_int(a, "--seed=", &opt.seed)) {
       continue;
     }
     if (std::strcmp(a, "--trace") == 0) {
@@ -94,88 +123,121 @@ int main(int argc, char** argv) {
   Device dev;
   if (opt.trace) dev.core(0).trace().enable();
 
+  const bool injecting = !opt.inject.empty();
+  if (injecting) {
+    ResilienceOptions ropts;
+    try {
+      ropts.plan = FaultPlan::parse(
+          opt.inject, static_cast<std::uint64_t>(opt.seed));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad --inject spec: %s\n", e.what());
+      return 2;
+    }
+    if (opt.retries < 0) {
+      std::fprintf(stderr, "--retries must be >= 0\n");
+      return 2;
+    }
+    ropts.max_retries = static_cast<int>(opt.retries);
+    ropts.verify = ropts.plan.has_silent_sites();
+    dev.set_resilience(ropts);
+    std::printf("fault injection: %s  (retries=%lld, verify=%s)\n",
+                ropts.plan.to_string().c_str(),
+                static_cast<long long>(opt.retries),
+                ropts.verify ? "on" : "off");
+  }
+
   std::printf("op=%s input=%lldx%lldx%lld %s\n", opt.op.c_str(),
               static_cast<long long>(opt.h), static_cast<long long>(opt.w),
               static_cast<long long>(opt.c), window.to_string().c_str());
 
   bool ok = true;
-  if (opt.op == "maxpool" || opt.op == "avgpool" || opt.op == "minpool") {
-    const akg::PoolImpl impl = parse_impl(opt.impl);
-    auto run_op = [&](akg::PoolImpl i) {
-      if (opt.op == "avgpool") return kernels::avgpool_forward(dev, in, window, i);
-      if (opt.op == "minpool") return kernels::minpool_forward(dev, in, window, i);
-      return kernels::maxpool_forward(dev, in, window, i);
-    };
-    auto r = run_op(impl);
-    const TensorF16 want = opt.op == "avgpool"
-                               ? ref::avgpool_fwd(in, window)
-                               : (opt.op == "minpool"
-                                      ? ref::minpool_fwd(in, window)
-                                      : ref::maxpool_fwd(in, window));
-    for (std::int64_t i = 0; i < want.size(); ++i) {
-      ok &= r.out.flat(i) == want.flat(i);
-    }
-    report(opt.impl.c_str(), r.run);
-    if (opt.compare) {
-      auto base = run_op(akg::PoolImpl::kDirect);
-      report("direct", base.run);
-      std::printf("speedup: %.2fx\n",
-                  static_cast<double>(base.cycles()) /
-                      static_cast<double>(r.cycles()));
-    }
-  } else if (opt.op == "maxpool_mask") {
-    auto r = kernels::maxpool_forward_with_mask(dev, in, window,
-                                                parse_impl(opt.impl));
-    const TensorF16 want = ref::maxpool_fwd(in, window);
-    for (std::int64_t i = 0; i < want.size(); ++i) {
-      ok &= r.out.flat(i) == want.flat(i);
-    }
-    report(opt.impl.c_str(), r.run);
-  } else if (opt.op == "maxpool_bwd" || opt.op == "avgpool_bwd") {
-    const kernels::MergeImpl merge = opt.impl == "vadd"
-                                         ? kernels::MergeImpl::kVadd
-                                         : kernels::MergeImpl::kCol2im;
-    TensorF16 grad(
-        Shape{1, c1, window.out_h(opt.h), window.out_w(opt.w), kC0});
-    grad.fill_random_ints(2, 0, 5);
-    if (opt.op == "maxpool_bwd") {
-      const TensorF16 mask = ref::maxpool_argmax_mask(in, window);
-      auto r = kernels::maxpool_backward(dev, mask, grad, window, opt.h,
-                                         opt.w, merge);
-      const TensorF16 want =
-          ref::maxpool_bwd(mask, grad, window, opt.h, opt.w);
+  try {
+    if (opt.op == "maxpool" || opt.op == "avgpool" || opt.op == "minpool") {
+      const akg::PoolImpl impl = parse_impl(opt.impl);
+      auto run_op = [&](akg::PoolImpl i) {
+        if (opt.op == "avgpool")
+          return kernels::avgpool_forward(dev, in, window, i);
+        if (opt.op == "minpool")
+          return kernels::minpool_forward(dev, in, window, i);
+        return kernels::maxpool_forward(dev, in, window, i);
+      };
+      auto r = run_op(impl);
+      const TensorF16 want = opt.op == "avgpool"
+                                 ? ref::avgpool_fwd(in, window)
+                                 : (opt.op == "minpool"
+                                        ? ref::minpool_fwd(in, window)
+                                        : ref::maxpool_fwd(in, window));
       for (std::int64_t i = 0; i < want.size(); ++i) {
-        ok &= r.grad_in.flat(i) == want.flat(i);
+        ok &= r.out.flat(i) == want.flat(i);
       }
-      report(kernels::to_string(merge), r.run);
+      report(opt.impl.c_str(), r.run, injecting);
       if (opt.compare) {
-        auto base = kernels::maxpool_backward(dev, mask, grad, window, opt.h,
-                                              opt.w,
-                                              kernels::MergeImpl::kVadd);
-        report("vadd", base.run);
+        auto base = run_op(akg::PoolImpl::kDirect);
+        report("direct", base.run, injecting);
         std::printf("speedup: %.2fx\n",
                     static_cast<double>(base.cycles()) /
                         static_cast<double>(r.cycles()));
       }
-    } else {
-      auto r = kernels::avgpool_backward(dev, grad, window, opt.h, opt.w,
-                                         merge);
-      const TensorF16 want = ref::avgpool_bwd(grad, window, opt.h, opt.w);
+    } else if (opt.op == "maxpool_mask") {
+      auto r = kernels::maxpool_forward_with_mask(dev, in, window,
+                                                  parse_impl(opt.impl));
+      const TensorF16 want = ref::maxpool_fwd(in, window);
       for (std::int64_t i = 0; i < want.size(); ++i) {
-        ok &= r.grad_in.flat(i) == want.flat(i);
+        ok &= r.out.flat(i) == want.flat(i);
       }
-      report(kernels::to_string(merge), r.run);
+      report(opt.impl.c_str(), r.run, injecting);
+    } else if (opt.op == "maxpool_bwd" || opt.op == "avgpool_bwd") {
+      const kernels::MergeImpl merge = opt.impl == "vadd"
+                                           ? kernels::MergeImpl::kVadd
+                                           : kernels::MergeImpl::kCol2im;
+      TensorF16 grad(
+          Shape{1, c1, window.out_h(opt.h), window.out_w(opt.w), kC0});
+      grad.fill_random_ints(2, 0, 5);
+      if (opt.op == "maxpool_bwd") {
+        const TensorF16 mask = ref::maxpool_argmax_mask(in, window);
+        auto r = kernels::maxpool_backward(dev, mask, grad, window, opt.h,
+                                           opt.w, merge);
+        const TensorF16 want =
+            ref::maxpool_bwd(mask, grad, window, opt.h, opt.w);
+        for (std::int64_t i = 0; i < want.size(); ++i) {
+          ok &= r.grad_in.flat(i) == want.flat(i);
+        }
+        report(kernels::to_string(merge), r.run, injecting);
+        if (opt.compare) {
+          auto base = kernels::maxpool_backward(dev, mask, grad, window,
+                                                opt.h, opt.w,
+                                                kernels::MergeImpl::kVadd);
+          report("vadd", base.run, injecting);
+          std::printf("speedup: %.2fx\n",
+                      static_cast<double>(base.cycles()) /
+                          static_cast<double>(r.cycles()));
+        }
+      } else {
+        auto r = kernels::avgpool_backward(dev, grad, window, opt.h, opt.w,
+                                           merge);
+        const TensorF16 want = ref::avgpool_bwd(grad, window, opt.h, opt.w);
+        for (std::int64_t i = 0; i < want.size(); ++i) {
+          ok &= r.grad_in.flat(i) == want.flat(i);
+        }
+        report(kernels::to_string(merge), r.run, injecting);
+      }
+    } else if (opt.op == "global_avgpool") {
+      auto r = kernels::global_avgpool(dev, in);
+      const TensorF16 want = ref::global_avgpool(in);
+      for (std::int64_t i = 0; i < want.size(); ++i) {
+        ok &= r.out.flat(i) == want.flat(i);
+      }
+      report("global", r.run, injecting);
+    } else {
+      std::fprintf(stderr, "unknown --op=%s\n", opt.op.c_str());
+      return 2;
     }
-  } else if (opt.op == "global_avgpool") {
-    auto r = kernels::global_avgpool(dev, in);
-    const TensorF16 want = ref::global_avgpool(in);
-    for (std::int64_t i = 0; i < want.size(); ++i) {
-      ok &= r.out.flat(i) == want.flat(i);
-    }
-    report("global", r.run);
-  } else {
-    std::fprintf(stderr, "unknown --op=%s\n", opt.op.c_str());
-    return 2;
+  } catch (const RetryExhausted& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 5;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
   }
 
   std::printf("verification: %s\n", ok ? "bit-exact" : "MISMATCH");
@@ -183,5 +245,5 @@ int main(int argc, char** argv) {
     std::printf("\ncore 0 instruction trace (first 48):\n%s",
                 dev.core(0).trace().to_string(48).c_str());
   }
-  return ok ? 0 : 1;
+  return ok ? 0 : 3;
 }
