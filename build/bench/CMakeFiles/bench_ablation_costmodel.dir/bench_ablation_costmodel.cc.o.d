@@ -210,7 +210,7 @@ bench/CMakeFiles/bench_ablation_costmodel.dir/bench_ablation_costmodel.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/arch/arch_config.h /root/repo/src/arch/cost_model.h \
  /root/repo/src/common/align.h /usr/include/c++/12/cstddef \
  /root/repo/src/common/check.h /usr/include/c++/12/sstream \
@@ -219,11 +219,15 @@ bench/CMakeFiles/bench_ablation_costmodel.dir/bench_ablation_costmodel.cc.o: \
  /root/repo/src/common/float16.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/limits \
  /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/prng.h \
  /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
  /root/repo/src/tensor/fractal.h /root/repo/src/tensor/tensor.h \
- /root/repo/src/common/prng.h /root/repo/src/tensor/shape.h \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/tensor/shape.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/pool_geometry.h /root/repo/src/sim/vector_unit.h \
  /root/repo/src/kernels/pooling.h /root/repo/src/akg/tiling.h \

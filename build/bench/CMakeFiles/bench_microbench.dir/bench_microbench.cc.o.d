@@ -227,8 +227,9 @@ bench/CMakeFiles/bench_microbench.dir/bench_microbench.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/sim/ai_core.h \
- /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
- /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
+ /root/repo/src/sim/ai_core.h /root/repo/src/sim/cube_unit.h \
+ /root/repo/src/sim/scratch.h /root/repo/src/sim/stats.h \
+ /root/repo/src/sim/trace.h /root/repo/src/sim/fault.h \
  /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
  /root/repo/src/sim/vector_unit.h

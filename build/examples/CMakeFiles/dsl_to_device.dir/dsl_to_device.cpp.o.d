@@ -222,8 +222,12 @@ examples/CMakeFiles/dsl_to_device.dir/dsl_to_device.cpp.o: \
  /root/repo/src/arch/arch_config.h /root/repo/src/common/align.h \
  /usr/include/c++/12/cstddef /root/repo/src/tensor/fractal.h \
  /root/repo/src/tensor/pool_geometry.h /root/repo/src/kernels/pooling.h \
- /root/repo/src/sim/device.h /root/repo/src/arch/cost_model.h \
- /root/repo/src/sim/ai_core.h /root/repo/src/sim/cube_unit.h \
- /root/repo/src/sim/scratch.h /root/repo/src/sim/stats.h \
- /root/repo/src/sim/trace.h /root/repo/src/sim/mte.h \
+ /root/repo/src/sim/device.h /usr/include/c++/12/optional \
+ /root/repo/src/arch/cost_model.h /root/repo/src/sim/ai_core.h \
+ /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/fault.h /root/repo/src/sim/mte.h \
  /root/repo/src/sim/scu.h /root/repo/src/sim/vector_unit.h

@@ -220,9 +220,12 @@ examples/CMakeFiles/inspect_lowering.dir/inspect_lowering.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /root/repo/src/arch/cost_model.h /root/repo/src/sim/ai_core.h \
  /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
- /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
- /root/repo/src/sim/vector_unit.h
+ /root/repo/src/sim/fault.h /root/repo/src/sim/mte.h \
+ /root/repo/src/sim/scu.h /root/repo/src/sim/vector_unit.h

@@ -211,8 +211,16 @@ src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_mask.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/arch/cost_model.h /root/repo/src/sim/cube_unit.h \
- /root/repo/src/sim/scratch.h /root/repo/src/sim/stats.h \
- /root/repo/src/sim/trace.h /root/repo/src/sim/mte.h \
+ /root/repo/src/sim/scratch.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/fault.h /root/repo/src/sim/mte.h \
  /root/repo/src/sim/scu.h /root/repo/src/sim/vector_unit.h \
  /root/repo/src/kernels/pooling.h /root/repo/src/sim/device.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -221,7 +229,4 @@ src/kernels/CMakeFiles/davinci_kernels.dir/maxpool_mask.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional

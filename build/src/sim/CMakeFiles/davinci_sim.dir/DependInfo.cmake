@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/ai_core.cc" "src/sim/CMakeFiles/davinci_sim.dir/ai_core.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/ai_core.cc.o.d"
   "/root/repo/src/sim/cube_unit.cc" "src/sim/CMakeFiles/davinci_sim.dir/cube_unit.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/cube_unit.cc.o.d"
   "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/davinci_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/sim/CMakeFiles/davinci_sim.dir/fault.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/fault.cc.o.d"
   "/root/repo/src/sim/scu.cc" "src/sim/CMakeFiles/davinci_sim.dir/scu.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/scu.cc.o.d"
   "/root/repo/src/sim/vector_unit.cc" "src/sim/CMakeFiles/davinci_sim.dir/vector_unit.cc.o" "gcc" "src/sim/CMakeFiles/davinci_sim.dir/vector_unit.cc.o.d"
   )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/davinci_sim.dir/cube_unit.cc.o.d"
   "CMakeFiles/davinci_sim.dir/device.cc.o"
   "CMakeFiles/davinci_sim.dir/device.cc.o.d"
+  "CMakeFiles/davinci_sim.dir/fault.cc.o"
+  "CMakeFiles/davinci_sim.dir/fault.cc.o.d"
   "CMakeFiles/davinci_sim.dir/scu.cc.o"
   "CMakeFiles/davinci_sim.dir/scu.cc.o.d"
   "CMakeFiles/davinci_sim.dir/vector_unit.cc.o"

@@ -207,7 +207,7 @@ src/sim/CMakeFiles/davinci_sim.dir/device.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/arch/arch_config.h /root/repo/src/arch/cost_model.h \
  /root/repo/src/common/align.h /usr/include/c++/12/cstddef \
  /root/repo/src/common/check.h /usr/include/c++/12/sstream \
@@ -216,23 +216,26 @@ src/sim/CMakeFiles/davinci_sim.dir/device.cc.o: \
  /root/repo/src/common/float16.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/limits \
  /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
- /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
- /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
- /root/repo/src/tensor/fractal.h /root/repo/src/tensor/tensor.h \
- /root/repo/src/common/prng.h /root/repo/src/tensor/shape.h \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/tensor/pool_geometry.h /root/repo/src/sim/vector_unit.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/prng.h \
+ /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
+ /root/repo/src/tensor/fractal.h /root/repo/src/tensor/tensor.h \
+ /root/repo/src/tensor/shape.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/tensor/pool_geometry.h /root/repo/src/sim/vector_unit.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

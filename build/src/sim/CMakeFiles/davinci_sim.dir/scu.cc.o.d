@@ -159,15 +159,25 @@ src/sim/CMakeFiles/davinci_sim.dir/scu.cc.o: /root/repo/src/sim/scu.cc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/float16.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/limits /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/limits /root/repo/src/sim/fault.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/stats.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/prng.h \
+ /root/repo/src/sim/scratch.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/stats.h \
  /root/repo/src/sim/trace.h /root/repo/src/tensor/fractal.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/common/prng.h \
- /root/repo/src/tensor/shape.h /usr/include/c++/12/array \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/bit /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/tensor/tensor.h /root/repo/src/tensor/shape.h \
+ /usr/include/c++/12/array /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/pool_geometry.h

@@ -220,12 +220,16 @@ tests/CMakeFiles/test_conv2d_backward.dir/test_conv2d_backward.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /root/repo/src/arch/cost_model.h /root/repo/src/sim/ai_core.h \
  /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
- /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
- /root/repo/src/sim/vector_unit.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/sim/fault.h /root/repo/src/sim/mte.h \
+ /root/repo/src/sim/scu.h /root/repo/src/sim/vector_unit.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \
@@ -252,8 +256,7 @@ tests/CMakeFiles/test_conv2d_backward.dir/test_conv2d_backward.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/c++/12/variant \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \

@@ -304,11 +304,15 @@ tests/CMakeFiles/test_extra_pooling.dir/test_extra_pooling.cc.o: \
  /root/repo/src/tensor/pool_geometry.h /root/repo/src/sim/device.h \
  /root/repo/src/arch/cost_model.h /root/repo/src/sim/ai_core.h \
  /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
- /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
- /root/repo/src/sim/vector_unit.h /root/repo/src/ref/pooling_ref.h \
- /root/repo/tests/test_util.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sim/fault.h /root/repo/src/sim/mte.h \
+ /root/repo/src/sim/scu.h /root/repo/src/sim/vector_unit.h \
+ /root/repo/src/ref/pooling_ref.h /root/repo/tests/test_util.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

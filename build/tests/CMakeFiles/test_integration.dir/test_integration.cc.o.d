@@ -298,10 +298,14 @@ tests/CMakeFiles/test_integration.dir/test_integration.cc.o: \
  /root/repo/src/common/align.h /root/repo/src/common/check.h \
  /root/repo/src/sim/ai_core.h /root/repo/src/common/float16.h \
  /usr/include/c++/12/cstring /root/repo/src/sim/cube_unit.h \
- /root/repo/src/sim/scratch.h /root/repo/src/sim/stats.h \
- /root/repo/src/sim/trace.h /root/repo/src/sim/mte.h \
- /root/repo/src/sim/scu.h /root/repo/src/tensor/fractal.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/common/prng.h \
+ /root/repo/src/sim/scratch.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/stats.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/prng.h \
+ /root/repo/src/sim/mte.h /root/repo/src/sim/scu.h \
+ /root/repo/src/tensor/fractal.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/tensor/shape.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \

@@ -202,14 +202,22 @@ tests/CMakeFiles/test_kernel_helpers.dir/test_kernel_helpers.cc.o: \
  /root/repo/src/common/float16.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/limits \
  /root/repo/src/sim/cube_unit.h /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/stats.h \
- /root/repo/src/sim/trace.h /root/repo/src/sim/mte.h \
+ /root/repo/src/sim/trace.h /root/repo/src/sim/fault.h \
+ /root/repo/src/common/prng.h /root/repo/src/sim/mte.h \
  /root/repo/src/sim/scu.h /root/repo/src/tensor/fractal.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/common/prng.h \
- /root/repo/src/tensor/shape.h /usr/include/c++/12/array \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/tensor/tensor.h /root/repo/src/tensor/shape.h \
+ /usr/include/c++/12/array /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/pool_geometry.h /root/repo/src/sim/vector_unit.h \
  /root/miniconda/include/gtest/gtest.h \
@@ -289,11 +297,7 @@ tests/CMakeFiles/test_kernel_helpers.dir/test_kernel_helpers.cc.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \

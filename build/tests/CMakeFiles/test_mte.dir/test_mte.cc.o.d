@@ -159,13 +159,24 @@ tests/CMakeFiles/test_mte.dir/test_mte.cc.o: /root/repo/tests/test_mte.cc \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/float16.h \
- /usr/include/c++/12/limits /root/repo/src/sim/scratch.h \
+ /usr/include/c++/12/limits /root/repo/src/sim/fault.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/stats.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/prng.h \
+ /root/repo/src/sim/scratch.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/stats.h \
  /root/repo/src/sim/trace.h /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -201,10 +212,8 @@ tests/CMakeFiles/test_mte.dir/test_mte.cc.o: /root/repo/tests/test_mte.cc \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \
@@ -282,11 +291,7 @@ tests/CMakeFiles/test_mte.dir/test_mte.cc.o: /root/repo/tests/test_mte.cc \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_resilience.cc" "tests/CMakeFiles/test_resilience.dir/test_resilience.cc.o" "gcc" "tests/CMakeFiles/test_resilience.dir/test_resilience.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/davinci_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/akg/CMakeFiles/davinci_akg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/davinci_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/davinci_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/nets/CMakeFiles/davinci_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/davinci_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -302,7 +302,10 @@ tests/CMakeFiles/test_scu_im2col.dir/test_scu_im2col.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/pool_geometry.h /root/repo/src/sim/scratch.h \
- /root/repo/src/sim/scu.h /root/repo/src/sim/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/sim/scu.h \
+ /root/repo/src/sim/fault.h /root/repo/src/sim/stats.h \
  /root/repo/src/sim/trace.h /root/repo/tests/test_util.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
