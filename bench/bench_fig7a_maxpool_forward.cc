@@ -10,10 +10,12 @@
 
 using namespace davinci;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_preamble("MaxPool forward: standard vs Im2col-based",
                         "Figure 7a (IPDPSW 2021)");
   Device dev;
+  const std::string profile = bench::profile_arg(argc, argv);
+  if (!profile.empty()) bench::enable_profiling(dev);
   bench::Table table("Figure 7a -- cycle count by input size",
                      {"input (HWC)", "Maxpool", "Maxpool with Im2col",
                       "speedup", "verified"});
@@ -44,5 +46,6 @@ int main() {
   table.print();
   std::printf(
       "\nPaper reports a 3.2x speedup at the largest input (Section VI-A).\n");
+  if (!profile.empty()) bench::write_profile(dev, profile);
   return 0;
 }

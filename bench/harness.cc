@@ -1,6 +1,9 @@
 #include "harness.h"
 
 #include <cstdio>
+#include <cstring>
+
+#include "sim/trace_export.h"
 
 namespace davinci::bench {
 
@@ -51,6 +54,26 @@ std::string fmt_ratio(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2fx", v);
   return buf;
+}
+
+std::string profile_arg(int argc, char** argv) {
+  static constexpr char kFlag[] = "--profile=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  return "";
+}
+
+void enable_profiling(Device& dev) {
+  for (int c = 0; c < dev.num_cores(); ++c) dev.core(c).trace().enable();
+}
+
+void write_profile(Device& dev, const std::string& path) {
+  write_chrome_trace(path, dev);
+  std::printf("\nprofile: wrote Chrome trace to %s (open in chrome://tracing "
+              "or ui.perfetto.dev)\n", path.c_str());
 }
 
 void print_preamble(const std::string& what, const std::string& paper_ref) {

@@ -42,4 +42,18 @@ std::string fmt_ratio(double v);
 // Shared banner explaining the metric.
 void print_preamble(const std::string& what, const std::string& paper_ref);
 
+// --- Profiling support (see docs/PROFILING.md) ---
+// Benches that take (argc, argv) accept --profile=<out.json>: the device
+// records every core's instruction timeline and the bench writes it as
+// Chrome trace_event JSON on exit.
+
+// Returns the path of a --profile=<path> argument, or "" when absent.
+std::string profile_arg(int argc, char** argv);
+
+// Enables the per-core instruction trace on every core of `dev`.
+void enable_profiling(Device& dev);
+
+// Writes dev's Chrome-trace JSON to `path` and prints where it went.
+void write_profile(Device& dev, const std::string& path);
+
 }  // namespace davinci::bench

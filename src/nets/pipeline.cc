@@ -1,5 +1,8 @@
 #include "nets/pipeline.h"
 
+#include <cstdio>
+#include <cstring>
+
 #include "common/check.h"
 #include "kernels/conv2d.h"
 #include "ref/conv_ref.h"
@@ -50,6 +53,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kConv: {
         auto r = kernels::conv2d_cube(dev, cur, layer.weights, layer.window);
         run.cycles = r.cycles();
+        run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
@@ -57,6 +61,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kMaxPool: {
         auto r = kernels::maxpool_forward(dev, cur, layer.window, pool_impl);
         run.cycles = r.cycles();
+        run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
@@ -64,6 +69,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kAvgPool: {
         auto r = kernels::avgpool_forward(dev, cur, layer.window, pool_impl);
         run.cycles = r.cycles();
+        run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
@@ -71,6 +77,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kGlobalAvg: {
         auto r = kernels::global_avgpool(dev, cur);
         run.cycles = r.cycles();
+        run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
         break;
@@ -78,10 +85,48 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
     }
     run.out_shape = cur.shape();
     result.total_cycles += run.cycles;
+    result.profile += run.profile;
     result.layers.push_back(std::move(run));
   }
   result.out = std::move(cur);
   return result;
+}
+
+namespace {
+
+void append_utilization_row(std::string* out, const std::string& name,
+                            std::int64_t cycles, const Profile& p) {
+  auto cell = [](const UnitOccupancy& u) -> std::string {
+    if (u.instrs == 0) return "-";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%", u.occupancy() * 100.0);
+    return buf;
+  };
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-18s %12lld  %9s %8.0f%%  %7s %7s %6s %6s\n", name.c_str(),
+                static_cast<long long>(cycles),
+                cell(p.vec).c_str(), p.vec.saturation() * 100.0,
+                cell(p.im2col).c_str(), cell(p.col2im).c_str(),
+                cell(p.cube).c_str(), cell(p.mte).c_str());
+  *out += line;
+}
+
+}  // namespace
+
+std::string Pipeline::Result::utilization_table() const {
+  std::string out;
+  char header[160];
+  std::snprintf(header, sizeof(header), "%-18s %12s  %9s %9s  %7s %7s %6s %6s\n",
+                "layer", "cycles", "vec-lanes", "vec-sat", "im2col", "col2im",
+                "cube", "mte");
+  out += header;
+  out += std::string(std::strlen(header) - 1, '-') + "\n";
+  for (const LayerRun& run : layers) {
+    append_utilization_row(&out, run.name, run.cycles, run.profile);
+  }
+  append_utilization_row(&out, "total", total_cycles, profile);
+  return out;
 }
 
 Pipeline::Result Pipeline::run_resilient(Device& dev, const TensorF16& input,

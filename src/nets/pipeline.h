@@ -37,13 +37,21 @@ class Pipeline {
     std::string name;
     Shape out_shape;
     std::int64_t cycles = 0;
+    Profile profile;  // per-instruction occupancy, merged over cores
   };
 
   struct Result {
     TensorF16 out;
     std::vector<LayerRun> layers;
     std::int64_t total_cycles = 0;
+    Profile profile;    // summed over layers
     FaultStats faults;  // summed over layers; all-zero without injection
+
+    // Per-layer utilization table (one row per layer plus a total row):
+    // cycles, mean vector-lane utilization, fraction of full-mask vector
+    // instructions, and SCU / MTE occupancy -- the quantities Section V
+    // of the paper reasons about, per layer.
+    std::string utilization_table() const;
   };
 
   // Runs the whole pipeline on `input` ((N=1, C1, H, W, C0) fp16). If a

@@ -11,10 +11,10 @@ AiCore::AiCore(int id, const ArchConfig& arch, const CostModel& cost)
       l0b_(BufferKind::kL0B, arch.l0b_bytes),
       l0c_(BufferKind::kL0C, arch.l0c_bytes),
       ub_(BufferKind::kUnified, arch.ub_bytes),
-      vec_(arch_, cost_, &stats_, &trace_),
-      mte_(cost_, &stats_, &trace_),
-      scu_(arch_, cost_, &stats_, &trace_),
-      cube_(arch_, cost_, &stats_, &trace_) {
+      vec_(arch_, cost_, &stats_, &trace_, &profile_),
+      mte_(cost_, &stats_, &trace_, &profile_),
+      scu_(arch_, cost_, &stats_, &trace_, &profile_),
+      cube_(arch_, cost_, &stats_, &trace_, &profile_) {
   l1_.set_owner_core(id_);
   l0a_.set_owner_core(id_);
   l0b_.set_owner_core(id_);

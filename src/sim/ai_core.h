@@ -36,6 +36,9 @@ class AiCore {
   const ArchConfig& arch() const { return arch_; }
   const CostModel& cost() const { return cost_; }
   CycleStats& stats() { return stats_; }
+  // Per-instruction occupancy counters (always recorded; see sim/stats.h).
+  Profile& profile() { return profile_; }
+  const Profile& profile() const { return profile_; }
 
   ScratchBuffer& l1() { return l1_; }
   ScratchBuffer& l0a() { return l0a_; }
@@ -56,7 +59,10 @@ class AiCore {
   // Overwrites every scratch buffer with `pattern` (see
   // ScratchBuffer::scrub); a host-side simulation step, charges no cycles.
   void scrub_scratch(std::byte pattern);
-  void reset_stats() { stats_ = CycleStats{}; }
+  void reset_stats() {
+    stats_ = CycleStats{};
+    profile_ = Profile{};
+  }
 
   // Attaches (or detaches, with nullptr) a fault-injection stream to this
   // core and all its units. Owned by Device::run_resilient; a core with no
@@ -95,6 +101,7 @@ class AiCore {
   ArchConfig arch_;
   CostModel cost_;
   CycleStats stats_;
+  Profile profile_;
   Trace trace_;
   CoreFaultState* fault_ = nullptr;
 

@@ -50,11 +50,19 @@ void CubeUnit::mmad(Span<float> l0c, Span<Float16> l0a, Span<Float16> l0b,
   stats_->cube_fractal_macs += macs;
   const std::int64_t cycles = cost_.cube_mmad(macs);
   stats_->cube_cycles += cycles;
+  // Occupancy: fractal-MAC cycles vs charged cycles -- how well the
+  // instruction amortizes its issue overhead over the MAC array.
+  const std::int64_t mac_cycles = macs * cost_.cube_cycles_per_fractal_mac;
+  if (profile_) {
+    profile_->cube.instrs += 1;
+    profile_->cube.slots_used += mac_cycles;
+    profile_->cube.slots_capacity += cycles;
+  }
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kCube,
                    "mmad m=" + std::to_string(m_frac) + " k=" +
                        std::to_string(k_frac) + " n=" + std::to_string(n_frac),
-                   cycles);
+                   cycles, mac_cycles, cycles);
   }
 }
 

@@ -24,8 +24,9 @@ namespace davinci {
 class CubeUnit {
  public:
   CubeUnit(const ArchConfig& arch, const CostModel& cost, CycleStats* stats,
-           Trace* trace = nullptr)
-      : arch_(arch), cost_(cost), stats_(stats), trace_(trace) {}
+           Trace* trace = nullptr, Profile* profile = nullptr)
+      : arch_(arch), cost_(cost), stats_(stats), trace_(trace),
+        profile_(profile) {}
 
   // C (+)= A x B on fractal-tiled operands:
   //   A: L0A, (m_frac x k_frac) fractals, each 16x16 row-major
@@ -45,6 +46,7 @@ class CubeUnit {
   const CostModel& cost_;
   CycleStats* stats_;
   Trace* trace_;
+  Profile* profile_;
 };
 
 }  // namespace davinci

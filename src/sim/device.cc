@@ -46,15 +46,11 @@ Device::RunResult Device::run(
   std::vector<WorkerFailure> failures;
   std::mutex failures_mutex;
 
-  auto run_core = [&](int c, bool record_failures) {
+  auto run_core = [&](int c) {
     AiCore& core = *cores_[static_cast<std::size_t>(c)];
     core.stats().launch_cycles += cost_.core_launch_cycles;
     for (std::int64_t b = c; b < num_blocks; b += num_cores()) {
       core.reset_scratch();
-      if (!record_failures) {
-        fn(core, b);
-        continue;
-      }
       try {
         fn(core, b);
       } catch (const std::exception& e) {
@@ -73,7 +69,7 @@ Device::RunResult Device::run(
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(cores_used));
     for (int c = 0; c < cores_used; ++c) {
-      workers.emplace_back([&, c] { run_core(c, /*record_failures=*/true); });
+      workers.emplace_back([&, c] { run_core(c); });
     }
     for (auto& w : workers) w.join();
     if (!failures.empty()) {
@@ -90,18 +86,45 @@ Device::RunResult Device::run(
       throw Error(os.str());
     }
   } else {
-    // Serial path keeps raw exception propagation (deterministic
-    // debugging: the first failure aborts with its original type).
-    for (int c = 0; c < cores_used; ++c) run_core(c, false);
+    // Serial path (deterministic debugging): the first failure aborts,
+    // annotated with the same "core C at block B" context as the parallel
+    // path but keeping the original exception type (callers dispatch on
+    // the Error hierarchy).
+    auto context = [](int c, std::int64_t b, const char* what) {
+      return "core " + std::to_string(c) + " at block " + std::to_string(b) +
+             ": " + what;
+    };
+    for (int c = 0; c < cores_used; ++c) {
+      AiCore& core = *cores_[static_cast<std::size_t>(c)];
+      core.stats().launch_cycles += cost_.core_launch_cycles;
+      for (std::int64_t b = c; b < num_blocks; b += num_cores()) {
+        core.reset_scratch();
+        try {
+          fn(core, b);
+        } catch (const TransientFault& e) {
+          throw TransientFault(context(c, b, e.what()));
+        } catch (const CoreFailed& e) {
+          throw CoreFailed(e.core(), context(c, b, e.what()));
+        } catch (const RetryExhausted& e) {
+          throw RetryExhausted(context(c, b, e.what()));
+        } catch (const Error& e) {
+          throw Error(context(c, b, e.what()));
+        } catch (const std::exception& e) {
+          throw Error(context(c, b, e.what()));
+        }
+      }
+    }
   }
 
   RunResult result;
   result.cores_used = cores_used;
   result.core_cycles.resize(static_cast<std::size_t>(cores_used));
   for (int c = 0; c < cores_used; ++c) {
-    const CycleStats& s = cores_[static_cast<std::size_t>(c)]->stats();
+    AiCore& core = *cores_[static_cast<std::size_t>(c)];
+    const CycleStats& s = core.stats();
     result.core_cycles[static_cast<std::size_t>(c)] = s.total_cycles();
     result.aggregate += s;
+    result.profile += core.profile();
     result.device_cycles = std::max(result.device_cycles, s.total_cycles());
     result.device_cycles_pipelined =
         std::max(result.device_cycles_pipelined, s.pipelined_cycles());
@@ -374,9 +397,11 @@ Device::RunResult Device::run_resilient(
   result.faults = total;
   result.core_cycles.resize(static_cast<std::size_t>(cores_used));
   for (int c = 0; c < cores_used; ++c) {
-    const CycleStats& cs = cores_[static_cast<std::size_t>(c)]->stats();
+    AiCore& core = *cores_[static_cast<std::size_t>(c)];
+    const CycleStats& cs = core.stats();
     result.core_cycles[static_cast<std::size_t>(c)] = cs.total_cycles();
     result.aggregate += cs;
+    result.profile += core.profile();
     result.device_cycles = std::max(result.device_cycles, cs.total_cycles());
     result.device_cycles_pipelined =
         std::max(result.device_cycles_pipelined, cs.pipelined_cycles());

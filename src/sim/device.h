@@ -51,6 +51,7 @@ class Device {
     std::int64_t device_cycles_pipelined = 0;  // optimistic pipe-overlap
                                                // bound (see CycleStats)
     CycleStats aggregate;                 // sum over used cores
+    Profile profile;                      // occupancy, merged over used cores
     std::vector<std::int64_t> core_cycles;
     int cores_used = 0;
     FaultStats faults;                    // all-zero outside resilient runs
@@ -64,8 +65,10 @@ class Device {
   //
   // In the parallel path every worker failure is recorded -- not just the
   // first -- and the rethrown Error aggregates (core id, block index,
-  // message) for each failed core. When a resilience policy is installed
-  // (set_resilience), the call routes through run_resilient instead.
+  // message) for each failed core; the serial path stops at the first
+  // failure and reports it as an Error with the same core/block context.
+  // When a resilience policy is installed (set_resilience), the call
+  // routes through run_resilient instead.
   RunResult run(std::int64_t num_blocks,
                 const std::function<void(AiCore&, std::int64_t)>& fn,
                 bool parallel = true);

@@ -20,8 +20,9 @@ namespace davinci {
 
 class Mte {
  public:
-  Mte(const CostModel& cost, CycleStats* stats, Trace* trace = nullptr)
-      : cost_(cost), stats_(stats), trace_(trace) {}
+  Mte(const CostModel& cost, CycleStats* stats, Trace* trace = nullptr,
+      Profile* profile = nullptr)
+      : cost_(cost), stats_(stats), trace_(trace), profile_(profile) {}
 
   // Attaches/detaches the core's fault stream (resilient runs only).
   void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
@@ -163,18 +164,28 @@ class Mte {
     stats_->mte_bytes += bytes;
     const std::int64_t cycles = cost_.mte_copy(bytes, bursts);
     stats_->mte_cycles += cycles;
+    // Occupancy: payload bandwidth cycles vs charged cycles -- the
+    // fraction of the transfer time not spent on startup latency or
+    // per-burst (strided-row) overhead.
+    const std::int64_t payload = ceil_div(bytes, cost_.mte_bytes_per_cycle);
+    if (profile_) {
+      profile_->mte.instrs += 1;
+      profile_->mte.slots_used += payload;
+      profile_->mte.slots_capacity += cycles;
+    }
     if (trace_ && trace_->enabled()) {
       trace_->record(TraceKind::kMte,
                      std::string(to_string(src)) + "->" + to_string(dst) +
                          " bytes=" + std::to_string(bytes) +
                          " bursts=" + std::to_string(bursts),
-                     cycles);
+                     cycles, payload, cycles);
     }
   }
 
   const CostModel& cost_;
   CycleStats* stats_;
   Trace* trace_;
+  Profile* profile_ = nullptr;
   CoreFaultState* fault_ = nullptr;
 };
 

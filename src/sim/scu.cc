@@ -2,6 +2,34 @@
 
 namespace davinci {
 
+namespace {
+
+// The (xk, yk) -> (y, x) source-coordinate mapping shared by both Im2Col
+// iteration orders and Col2Im: patch p's (xk, yk) element comes from input
+// position (p / Ow * Sh + xk - pad_top, p % Ow * Sw + yk - pad_left), and
+// positions outside the input image are the virtual zero-padding border.
+struct PatchCoords {
+  explicit PatchCoords(const Im2colArgs& args)
+      : w(args.window), ow(args.ow()), ih(args.ih), iw(args.iw) {}
+
+  // Returns true (and the source position) when patch p's (xk, yk)
+  // element lies inside the input image, false when it falls into the
+  // padding border.
+  bool source(std::int64_t p, std::int64_t xk, std::int64_t yk,
+              std::int64_t* y, std::int64_t* x) const {
+    *y = (p / ow) * w.sh + xk - w.pt;
+    *x = (p % ow) * w.sw + yk - w.pl;
+    return *y >= 0 && *y < ih && *x >= 0 && *x < iw;
+  }
+
+  const Window2d& w;
+  std::int64_t ow;
+  std::int64_t ih;
+  std::int64_t iw;
+};
+
+}  // namespace
+
 void Scu::maybe_fault_result(Span<Float16> dst, std::int64_t elems) {
   if (!fault_ || elems <= 0) return;
   // SCU datapath corruption is its own site (scu_err); the bitflip sites
@@ -22,8 +50,7 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
   DV_CHECK_LE(args.output_elems(), dst.size());
 
   const Window2d& w = args.window;
-  const std::int64_t oh = args.oh();
-  const std::int64_t ow = args.ow();
+  const PatchCoords coords(args);
   const std::int64_t patches = args.patches();
   const std::int64_t padded = args.padded_patches();
   const std::int64_t fractals_per_plane = args.patch_fractals();
@@ -40,12 +67,9 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
           for (std::int64_t c = 0; c < kC0; ++c) dst.at(dbase + c) = Float16();
           continue;
         }
-        const std::int64_t po = p / ow;  // patch coordinates
-        const std::int64_t pw = p % ow;
-        const std::int64_t y = po * w.sh + xk - w.pt;  // input row
-        const std::int64_t x = pw * w.sw + yk - w.pl;  // input col
-        const bool inside = y >= 0 && y < args.ih && x >= 0 && x < args.iw;
-        if (!inside) {  // zero padding applied during the load
+        std::int64_t y, x;
+        if (!coords.source(p, xk, yk, &y, &x)) {
+          // Zero padding applied during the load.
           for (std::int64_t c = 0; c < kC0; ++c) dst.at(dbase + c) = Float16();
           continue;
         }
@@ -56,7 +80,6 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
       }
     }
   }
-  (void)oh;
 
   // Timing: in repeat mode 1 one instruction covers up to max_repeat
   // fractals of one (c1, xk, yk) plane; changing (xk, yk) needs a new
@@ -67,13 +90,20 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
   const std::int64_t fractals = w.kh * w.kw * fractals_per_plane;
   stats_->im2col_instrs += instrs;
   stats_->im2col_fractals += fractals;
+  if (profile_) {
+    profile_->im2col.instrs += instrs;
+    profile_->im2col.slots_used += fractals;
+    profile_->im2col.slots_capacity += instrs * arch_.max_repeat;
+    profile_->im2col.saturated_instrs +=
+        w.kh * w.kw * (fractals_per_plane / arch_.max_repeat);
+  }
   const std::int64_t cycles = cost_.im2col(instrs, fractals);
   stats_->scu_cycles += cycles;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kIm2col,
                    "mode1 instrs=" + std::to_string(instrs) +
                        " fractals=" + std::to_string(fractals),
-                   cycles);
+                   cycles, fractals, instrs * arch_.max_repeat);
   }
   maybe_fault_result(dst, args.output_elems());
 }
@@ -90,7 +120,7 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
   DV_CHECK_LE(args.output_elems(), dst.size());
 
   const Window2d& w = args.window;
-  const std::int64_t ow = args.ow();
+  const PatchCoords coords(args);
   const std::int64_t patches = args.patches();
   const std::int64_t groups = args.patch_fractals();
   const std::int64_t kk = w.kh * w.kw;
@@ -111,9 +141,8 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
             }
             continue;
           }
-          const std::int64_t y = (p / ow) * w.sh + xk - w.pt;
-          const std::int64_t x = (p % ow) * w.sw + yk - w.pl;
-          const bool inside = y >= 0 && y < args.ih && x >= 0 && x < args.iw;
+          std::int64_t y, x;
+          const bool inside = coords.source(p, xk, yk, &y, &x);
           for (std::int64_t c = 0; c < kC0; ++c) {
             dst.at(dbase + c) =
                 inside ? src.at((y * args.iw + x) * kC0 + c) : Float16();
@@ -131,13 +160,19 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
   const std::int64_t fractals = groups * kk;
   stats_->im2col_instrs += instrs;
   stats_->im2col_fractals += fractals;
+  if (profile_) {
+    profile_->im2col.instrs += instrs;
+    profile_->im2col.slots_used += fractals;
+    profile_->im2col.slots_capacity += instrs * arch_.max_repeat;
+    profile_->im2col.saturated_instrs += groups * (kk / arch_.max_repeat);
+  }
   const std::int64_t cycles = cost_.im2col(instrs, fractals);
   stats_->scu_cycles += cycles;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kIm2col,
                    "mode0 instrs=" + std::to_string(instrs) +
                        " fractals=" + std::to_string(fractals),
-                   cycles);
+                   cycles, fractals, instrs * arch_.max_repeat);
   }
   maybe_fault_result(dst, args.output_elems());
 }
@@ -151,7 +186,7 @@ void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
   DV_CHECK_LE(args.output_elems(), src.size());
 
   const Window2d& w = args.window;
-  const std::int64_t ow = args.ow();
+  const PatchCoords coords(args);
   const std::int64_t patches = args.patches();
   const std::int64_t padded = args.padded_patches();
   const std::int64_t fractals_per_plane = args.patch_fractals();
@@ -164,11 +199,8 @@ void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
     for (std::int64_t yk = 0; yk < w.kw; ++yk) {
       const std::int64_t plane = (xk * w.kw + yk) * padded * kC0;
       for (std::int64_t p = 0; p < patches; ++p) {
-        const std::int64_t po = p / ow;
-        const std::int64_t pw = p % ow;
-        const std::int64_t y = po * w.sh + xk - w.pt;
-        const std::int64_t x = pw * w.sw + yk - w.pl;
-        if (y < 0 || y >= args.ih || x < 0 || x >= args.iw) {
+        std::int64_t y, x;
+        if (!coords.source(p, xk, yk, &y, &x)) {
           continue;  // gradient into the zero-padding border is dropped
         }
         const std::int64_t obase = (y * args.iw + x) * kC0;
@@ -189,13 +221,20 @@ void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
   const std::int64_t fractals = w.kh * w.kw * fractals_per_plane;
   stats_->col2im_instrs += instrs;
   stats_->col2im_fractals += fractals;
+  if (profile_) {
+    profile_->col2im.instrs += instrs;
+    profile_->col2im.slots_used += fractals;
+    profile_->col2im.slots_capacity += instrs * arch_.max_repeat;
+    profile_->col2im.saturated_instrs +=
+        w.kh * w.kw * (fractals_per_plane / arch_.max_repeat);
+  }
   const std::int64_t cycles = cost_.col2im(instrs, fractals);
   stats_->scu_cycles += cycles;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kCol2im,
                    "instrs=" + std::to_string(instrs) +
                        " fractals=" + std::to_string(fractals),
-                   cycles);
+                   cycles, fractals, instrs * arch_.max_repeat);
   }
   maybe_fault_result(out, args.input_elems());
 }

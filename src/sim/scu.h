@@ -69,8 +69,9 @@ struct Im2colArgs {
 class Scu {
  public:
   Scu(const ArchConfig& arch, const CostModel& cost, CycleStats* stats,
-      Trace* trace = nullptr)
-      : arch_(arch), cost_(cost), stats_(stats), trace_(trace) {}
+      Trace* trace = nullptr, Profile* profile = nullptr)
+      : arch_(arch), cost_(cost), stats_(stats), trace_(trace),
+        profile_(profile) {}
 
   // Attaches/detaches the core's fault stream (resilient runs only).
   void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
@@ -108,6 +109,7 @@ class Scu {
   const CostModel& cost_;
   CycleStats* stats_;
   Trace* trace_;
+  Profile* profile_;
   CoreFaultState* fault_ = nullptr;
 };
 

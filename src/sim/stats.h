@@ -12,6 +12,112 @@
 
 namespace davinci {
 
+// Occupancy ledger of one execution unit: how full each issue was relative
+// to what the unit could have done in the same issue. The slot currency is
+// unit-specific (see Profile below); the ratio slots_used / slots_capacity
+// is always "fraction of the unit's capacity doing useful work".
+struct UnitOccupancy {
+  std::int64_t instrs = 0;           // instructions issued
+  std::int64_t slots_used = 0;       // occupied slots, summed over instrs
+  std::int64_t slots_capacity = 0;   // available slots, summed over instrs
+  std::int64_t saturated_instrs = 0; // instrs issued at full occupancy
+
+  // Mean fraction of the unit's slots doing useful work (0 when idle).
+  double occupancy() const {
+    if (slots_capacity == 0) return 0.0;
+    return static_cast<double>(slots_used) /
+           static_cast<double>(slots_capacity);
+  }
+
+  // Fraction of instructions issued at full occupancy (0 when idle).
+  double saturation() const {
+    if (instrs == 0) return 0.0;
+    return static_cast<double>(saturated_instrs) /
+           static_cast<double>(instrs);
+  }
+
+  UnitOccupancy& operator+=(const UnitOccupancy& o) {
+    instrs += o.instrs;
+    slots_used += o.slots_used;
+    slots_capacity += o.slots_capacity;
+    saturated_instrs += o.saturated_instrs;
+    return *this;
+  }
+};
+
+// Per-instruction utilization breakdown of one AI Core (merged over cores
+// in Device::RunResult). This is the paper's Section V evidence in counter
+// form: direct pooling issues Oh*Ow*Kh vector instructions at 16 of 128
+// lanes, the Im2col formulation issues Kh*Kw at 128 of 128 -- `vec`
+// measures exactly that. Slot currencies:
+//
+//   vec     lanes: used = active mask lanes per repeat iteration,
+//           capacity = 128 per repeat iteration; saturated = full mask.
+//   im2col/ fractals: used = fractals covered, capacity = max_repeat per
+//   col2im  instruction; saturated = instruction carrying max_repeat
+//           fractals (the repeat parameter fully absorbing the loop).
+//   cube    busy cycles: used = fractal-MAC cycles, capacity = charged
+//           cycles including issue overhead (amortization; no
+//           architectural full mark, saturated stays 0).
+//   mte     busy cycles: used = payload bandwidth cycles, capacity =
+//           charged cycles including startup and per-burst costs
+//           (achieved-bandwidth fraction; saturated stays 0).
+struct Profile {
+  // Histogram of the per-instruction active-lane count of the Vector
+  // Unit, in eight 16-lane buckets: bucket 0 counts instructions with
+  // 1..16 active lanes, bucket 7 counts 113..128 (the saturated bucket).
+  static constexpr int kLaneBuckets = 8;
+
+  UnitOccupancy vec;
+  UnitOccupancy im2col;
+  UnitOccupancy col2im;
+  UnitOccupancy cube;
+  UnitOccupancy mte;
+  std::int64_t vec_lane_hist[kLaneBuckets] = {};
+
+  void count_vec_instr(int lanes, int total_lanes, std::int64_t repeat) {
+    vec.instrs += 1;
+    vec.slots_used += static_cast<std::int64_t>(lanes) * repeat;
+    vec.slots_capacity += static_cast<std::int64_t>(total_lanes) * repeat;
+    if (lanes == total_lanes) vec.saturated_instrs += 1;
+    if (lanes > 0) {
+      int bucket = (lanes - 1) / 16;
+      if (bucket >= kLaneBuckets) bucket = kLaneBuckets - 1;
+      vec_lane_hist[bucket] += 1;
+    }
+  }
+
+  // The paper's headline metric: mean fraction of the 128 vector lanes
+  // doing useful work per repeat iteration.
+  double vec_lane_utilization() const { return vec.occupancy(); }
+
+  Profile& operator+=(const Profile& o) {
+    vec += o.vec;
+    im2col += o.im2col;
+    col2im += o.col2im;
+    cube += o.cube;
+    mte += o.mte;
+    for (int i = 0; i < kLaneBuckets; ++i) {
+      vec_lane_hist[i] += o.vec_lane_hist[i];
+    }
+    return *this;
+  }
+
+  std::string summary() const {
+    auto pct = [](double v) {
+      return std::to_string(static_cast<int>(v * 100.0 + 0.5)) + "%";
+    };
+    std::string s;
+    s += "vec=" + pct(vec.occupancy()) + " (sat " + pct(vec.saturation()) +
+         " of " + std::to_string(vec.instrs) + " instr)";
+    s += " im2col=" + pct(im2col.occupancy());
+    s += " col2im=" + pct(col2im.occupancy());
+    s += " cube=" + pct(cube.occupancy());
+    s += " mte=" + pct(mte.occupancy());
+    return s;
+  }
+};
+
 struct CycleStats {
   // Cycles by pipe. The simulator executes a single in-order timeline, so
   // total_cycles is the sum of the pipe cycles plus barrier costs; the

@@ -39,6 +39,10 @@ struct TraceEvent {
   TraceKind kind;
   std::string detail;
   std::int64_t cycles = 0;
+  // Occupancy of the instruction(s) behind this event, in the unit's slot
+  // currency (see Profile in sim/stats.h); 0/0 when not recorded.
+  std::int64_t slots_used = 0;
+  std::int64_t slots_capacity = 0;
 };
 
 class Trace {
@@ -54,13 +58,16 @@ class Trace {
     truncated_ = false;
   }
 
-  void record(TraceKind kind, std::string detail, std::int64_t cycles) {
+  void record(TraceKind kind, std::string detail, std::int64_t cycles,
+              std::int64_t slots_used = 0, std::int64_t slots_capacity = 0) {
     if (!enabled_) return;
     if (events_.size() >= kMaxEvents) {
       truncated_ = true;
       return;
     }
-    events_.push_back(TraceEvent{kind, std::move(detail), cycles});
+    events_.push_back(
+        TraceEvent{kind, std::move(detail), cycles, slots_used,
+                   slots_capacity});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

@@ -1,0 +1,175 @@
+#include "sim/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "sim/device.h"
+
+namespace davinci {
+
+namespace {
+
+// Thread rows inside one core's process track.
+constexpr int kTidVector = 0;
+constexpr int kTidMte = 1;
+constexpr int kTidScu = 2;
+constexpr int kTidCube = 3;
+constexpr int kTidSync = 4;
+
+int tid_of(TraceKind k) {
+  switch (k) {
+    case TraceKind::kVector: return kTidVector;
+    case TraceKind::kMte: return kTidMte;
+    case TraceKind::kIm2col:
+    case TraceKind::kCol2im: return kTidScu;
+    case TraceKind::kCube: return kTidCube;
+    case TraceKind::kBarrier: return kTidSync;
+  }
+  return kTidSync;
+}
+
+void append_escaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void append_meta(std::string* out, int pid, int tid, const char* key,
+                 const std::string& value) {
+  *out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (tid >= 0) *out += ",\"tid\":" + std::to_string(tid);
+  *out += ",\"name\":\"";
+  *out += key;
+  *out += "\",\"args\":{\"name\":\"";
+  append_escaped(out, value);
+  *out += "\"}},\n";
+}
+
+// The event's display name: the first token of the detail string (the
+// mnemonic), or the trace-kind label when the detail is empty.
+std::string event_name(const TraceEvent& e) {
+  const std::size_t sp = e.detail.find(' ');
+  if (e.detail.empty()) return to_string(e.kind);
+  return sp == std::string::npos ? e.detail : e.detail.substr(0, sp);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<const Trace*>& traces,
+                              const std::vector<int>& core_ids) {
+  DV_CHECK_EQ(traces.size(), core_ids.size());
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\n";
+  out += "\"otherData\":{\"generator\":\"davinci-sim\","
+         "\"time_unit\":\"1 event microsecond = 1 simulated cycle\"},\n";
+  out += "\"traceEvents\":[\n";
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const Trace& trace = *traces[i];
+    const int pid = core_ids[i];
+    if (trace.events().empty()) continue;
+
+    append_meta(&out, pid, -1, "process_name",
+                "AI Core " + std::to_string(pid));
+    append_meta(&out, pid, kTidVector, "thread_name", "Vector Unit");
+    append_meta(&out, pid, kTidMte, "thread_name", "MTE");
+    append_meta(&out, pid, kTidScu, "thread_name", "SCU (Im2col/Col2im)");
+    append_meta(&out, pid, kTidCube, "thread_name", "Cube Unit");
+    append_meta(&out, pid, kTidSync, "thread_name", "Sync");
+
+    // Serial in-order timeline: each event starts where the previous one
+    // on this core ended.
+    std::int64_t ts = 0;
+    for (const TraceEvent& e : trace.events()) {
+      out += "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(tid_of(e.kind)) +
+             ",\"ts\":" + std::to_string(ts) +
+             ",\"dur\":" + std::to_string(e.cycles) + ",\"name\":\"";
+      append_escaped(&out, event_name(e));
+      out += "\",\"cat\":\"";
+      out += to_string(e.kind);
+      out += "\",\"args\":{\"detail\":\"";
+      append_escaped(&out, e.detail);
+      out += "\",\"cycles\":" + std::to_string(e.cycles);
+      if (e.slots_capacity > 0) {
+        char occ[32];
+        std::snprintf(occ, sizeof(occ), "%.4f",
+                      static_cast<double>(e.slots_used) /
+                          static_cast<double>(e.slots_capacity));
+        out += ",\"slots_used\":" + std::to_string(e.slots_used) +
+               ",\"slots_capacity\":" + std::to_string(e.slots_capacity) +
+               ",\"occupancy\":" + occ;
+      }
+      out += "}},\n";
+
+      if (e.kind == TraceKind::kVector && e.slots_capacity > 0) {
+        // Counter track: mean active lanes of this instruction, dropping
+        // to zero when the Vector Unit goes idle.
+        const double lanes = 128.0 * static_cast<double>(e.slots_used) /
+                             static_cast<double>(e.slots_capacity);
+        char val[32];
+        std::snprintf(val, sizeof(val), "%.1f", lanes);
+        out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
+               ",\"ts\":" + std::to_string(ts) +
+               ",\"name\":\"vec active lanes\",\"args\":{\"lanes\":" + val +
+               "}},\n";
+        out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
+               ",\"ts\":" + std::to_string(ts + e.cycles) +
+               ",\"name\":\"vec active lanes\",\"args\":{\"lanes\":0}},\n";
+      }
+      ts += e.cycles;
+    }
+
+    if (trace.truncated()) {
+      out += "{\"ph\":\"i\",\"s\":\"p\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(kTidSync) +
+             ",\"ts\":" + std::to_string(ts) +
+             ",\"name\":\"trace truncated (kMaxEvents reached)\"},\n";
+    }
+  }
+
+  // Strip the trailing ",\n" so the array is valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string chrome_trace_json(Device& dev) {
+  std::vector<const Trace*> traces;
+  std::vector<int> ids;
+  for (int c = 0; c < dev.num_cores(); ++c) {
+    const Trace& t = dev.core(c).trace();
+    if (!t.events().empty()) {
+      traces.push_back(&t);
+      ids.push_back(c);
+    }
+  }
+  return chrome_trace_json(traces, ids);
+}
+
+void write_chrome_trace(const std::string& path, Device& dev) {
+  std::ofstream f(path, std::ios::binary);
+  DV_CHECK(f.good()) << "cannot open trace output file " << path;
+  const std::string json = chrome_trace_json(dev);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  DV_CHECK(f.good()) << "failed writing trace output file " << path;
+}
+
+}  // namespace davinci

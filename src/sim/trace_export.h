@@ -1,0 +1,41 @@
+// Chrome trace_event ("chrome://tracing" / Perfetto) export of the
+// per-core instruction traces.
+//
+// Each AI Core becomes one process track (pid = core id) and each
+// execution unit one thread row inside it (Vector, MTE, SCU, Cube, Sync).
+// The simulator executes a single in-order timeline per core, so an
+// event's timestamp is the running sum of the cycle costs of everything
+// the core executed before it; one simulated cycle is exported as one
+// microsecond of trace time. Events carry their detail string, cycle cost
+// and slot occupancy in args, and every Vector Unit instruction also emits
+// an "active lanes" counter sample so the 16-vs-128-lane difference the
+// paper argues about is visible as a counter track.
+//
+// Tracing must be enabled per core (AiCore::trace().enable()) before the
+// run; cores with empty traces are skipped. A truncated trace (see
+// Trace::kMaxEvents) is exported with a terminal instant event marking
+// the cutoff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace davinci {
+
+class Device;
+
+// Serializes the given per-core traces; entry i is rendered as the track
+// of core `core_ids[i]`. Returns a complete JSON object (trace_event
+// "JSON Object Format": {"traceEvents": [...], ...}).
+std::string chrome_trace_json(const std::vector<const Trace*>& traces,
+                              const std::vector<int>& core_ids);
+
+// Serializes every core of `dev` that recorded at least one event.
+std::string chrome_trace_json(Device& dev);
+
+// Writes chrome_trace_json(dev) to `path`. Throws Error on I/O failure.
+void write_chrome_trace(const std::string& path, Device& dev);
+
+}  // namespace davinci

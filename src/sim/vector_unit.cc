@@ -45,17 +45,22 @@ void VectorUnit::validate(const Span<Float16>& s, const VecConfig& cfg,
 }
 
 void VectorUnit::charge(const char* op, const VecConfig& cfg) {
+  const int lanes = cfg.mask.count();
   stats_->vector_instrs += 1;
   stats_->vector_repeats += cfg.repeat;
   stats_->vector_active_lanes +=
-      static_cast<std::int64_t>(cfg.mask.count()) * cfg.repeat;
+      static_cast<std::int64_t>(lanes) * cfg.repeat;
+  if (profile_) {
+    profile_->count_vec_instr(lanes, arch_.vector_lanes, cfg.repeat);
+  }
   const std::int64_t cycles = cost_.vector_instr(cfg.repeat);
   stats_->vector_cycles += cycles;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kVector,
                    std::string(op) + " repeat=" + std::to_string(cfg.repeat) +
-                       " lanes=" + std::to_string(cfg.mask.count()),
-                   cycles);
+                       " lanes=" + std::to_string(lanes),
+                   cycles, static_cast<std::int64_t>(lanes) * cfg.repeat,
+                   static_cast<std::int64_t>(arch_.vector_lanes) * cfg.repeat);
   }
   // The cycles above were really spent before the parity check tripped, so
   // the fault hook runs after the ledger update. May throw TransientFault.

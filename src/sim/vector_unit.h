@@ -66,8 +66,9 @@ const char* to_string(VecOp op);
 class VectorUnit {
  public:
   VectorUnit(const ArchConfig& arch, const CostModel& cost, CycleStats* stats,
-             Trace* trace = nullptr)
-      : arch_(arch), cost_(cost), stats_(stats), trace_(trace) {}
+             Trace* trace = nullptr, Profile* profile = nullptr)
+      : arch_(arch), cost_(cost), stats_(stats), trace_(trace),
+        profile_(profile) {}
 
   // Attaches/detaches the core's fault stream (resilient runs only).
   void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
@@ -107,6 +108,7 @@ class VectorUnit {
   const CostModel& cost_;
   CycleStats* stats_;
   Trace* trace_;
+  Profile* profile_;
   CoreFaultState* fault_ = nullptr;
 };
 

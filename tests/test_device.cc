@@ -130,6 +130,21 @@ TEST(Device, ExceptionsPropagateFromWorkers) {
                Error);
 }
 
+TEST(Device, SerialFailureReportsCoreAndBlock) {
+  Device dev;
+  try {
+    dev.run(40,
+            [](AiCore& core, std::int64_t b) {
+              if (b == 17) core.ub().alloc<Float16>(1 << 20);
+            },
+            /*parallel=*/false);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("core 17 at block 17"), std::string::npos) << msg;
+  }
+}
+
 TEST(Device, StatsResetBetweenRuns) {
   Device dev;
   auto r1 = dev.run(1, [](AiCore& core, std::int64_t) {

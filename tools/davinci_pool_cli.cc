@@ -4,6 +4,7 @@
 //
 //   davinci_pool_cli --op=maxpool --impl=im2col --h=71 --w=71 --c=192
 //                    --k=3 --s=2 [--pad=1] [--trace] [--compare]
+//                    [--profile=<out.json>]
 //                    [--inject=<spec>] [--retries=N] [--seed=S]
 //
 //   --op       maxpool | maxpool_mask | maxpool_bwd | avgpool |
@@ -12,6 +13,10 @@
 //              vadd | col2im                           (backward ops)
 //   --compare  also run the baseline implementation and print the speedup
 //   --trace    print the first instructions executed on core 0
+//   --profile  record the instruction timeline of every core and write it
+//              as Chrome trace_event JSON, viewable in chrome://tracing or
+//              https://ui.perfetto.dev (see docs/PROFILING.md); with
+//              --compare the file contains both runs back to back
 //
 // Fault injection (see docs/RESILIENCE.md for the full grammar):
 //   --inject   comma-separated fault spec, e.g.
@@ -38,6 +43,7 @@
 #include "kernels/pooling.h"
 #include "ref/pooling_ref.h"
 #include "sim/fault.h"
+#include "sim/trace_export.h"
 #include "tensor/fractal.h"
 
 using namespace davinci;
@@ -49,6 +55,7 @@ struct Options {
   std::string impl = "im2col";
   std::int64_t h = 35, w = 35, c = 288, k = 3, s = 2, pad = 0;
   std::string inject;
+  std::string profile;
   std::int64_t retries = 3;
   std::int64_t seed = 0;
   bool trace = false;
@@ -83,6 +90,7 @@ void report(const char* what, const Device::RunResult& run, bool show_faults) {
               static_cast<long long>(run.device_cycles),
               static_cast<long long>(run.device_cycles_pipelined));
   std::printf("  %s\n", run.aggregate.summary().c_str());
+  std::printf("  occupancy: %s\n", run.profile.summary().c_str());
   std::printf("  cores used: %d\n", run.cores_used);
   if (show_faults) {
     std::printf("  fault report: %s\n", run.faults.summary().c_str());
@@ -100,6 +108,7 @@ int main(int argc, char** argv) {
         parse_int(a, "--c=", &opt.c) || parse_int(a, "--k=", &opt.k) ||
         parse_int(a, "--s=", &opt.s) || parse_int(a, "--pad=", &opt.pad) ||
         parse_str(a, "--inject=", &opt.inject) ||
+        parse_str(a, "--profile=", &opt.profile) ||
         parse_int(a, "--retries=", &opt.retries) ||
         parse_int(a, "--seed=", &opt.seed)) {
       continue;
@@ -122,6 +131,10 @@ int main(int argc, char** argv) {
 
   Device dev;
   if (opt.trace) dev.core(0).trace().enable();
+  if (!opt.profile.empty()) {
+    // The Chrome-trace export needs every core's instruction stream.
+    for (int c = 0; c < dev.num_cores(); ++c) dev.core(c).trace().enable();
+  }
 
   const bool injecting = !opt.inject.empty();
   if (injecting) {
@@ -241,6 +254,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf("verification: %s\n", ok ? "bit-exact" : "MISMATCH");
+  if (!opt.profile.empty()) {
+    try {
+      write_chrome_trace(opt.profile, dev);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 4;
+    }
+    std::printf("profile: wrote Chrome trace to %s (open in chrome://tracing "
+                "or ui.perfetto.dev)\n", opt.profile.c_str());
+  }
   if (opt.trace) {
     std::printf("\ncore 0 instruction trace (first 48):\n%s",
                 dev.core(0).trace().to_string(48).c_str());
