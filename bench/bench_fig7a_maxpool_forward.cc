@@ -1,6 +1,11 @@
 // Figure 7a: MaxPool forward, standard TVM lowering vs Im2Col-based, on
 // the three InceptionV3 input sizes (147,147,64), (71,71,192), (35,35,288)
 // with K(3,3), S(2,2), no padding, NC1HWC0, 32-core device.
+//
+// Cycles are the pipe-overlap makespan (double-buffered schedule); the
+// serial column is the same instruction stream charged in order. Pass
+// --no-double-buffer to run the legacy single-buffer schedule (the two
+// cycle columns then agree) and --json=<path> for machine-readable rows.
 #include <cstdio>
 
 #include "harness.h"
@@ -16,9 +21,14 @@ int main(int argc, char** argv) {
   Device dev;
   const std::string profile = bench::profile_arg(argc, argv);
   if (!profile.empty()) bench::enable_profiling(dev);
+  const bool db = !bench::no_double_buffer_arg(argc, argv);
+  dev.set_double_buffer(db);
+  const std::string json_path = bench::json_arg(argc, argv);
+  bench::JsonReport report("fig7a_maxpool_forward");
+
   bench::Table table("Figure 7a -- cycle count by input size",
                      {"input (HWC)", "Maxpool", "Maxpool with Im2col",
-                      "speedup", "verified"});
+                      "speedup", "im2col serial", "im2col host", "verified"});
   for (const auto& layer : nets::inception_v3_fig7_layers()) {
     const std::int64_t c1 = c1_of(layer.c);
     const TensorF16 in = bench::make_input(1, c1, layer.h, layer.w);
@@ -41,11 +51,26 @@ int main(int argc, char** argv) {
                    bench::fmt_int(im2col.cycles()),
                    bench::fmt_ratio(static_cast<double>(direct.cycles()) /
                                     static_cast<double>(im2col.cycles())),
+                   bench::fmt_int(im2col.run.device_cycles_serial),
+                   bench::fmt_ns(im2col.run.host_ns),
                    ok ? "bit-exact" : "MISMATCH"});
+    report.row()
+        .field("shape", std::string(shape))
+        .field("impl", std::string("direct"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(direct.run);
+    report.row()
+        .field("shape", std::string(shape))
+        .field("impl", std::string("im2col"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(im2col.run);
   }
   table.print();
   std::printf(
       "\nPaper reports a 3.2x speedup at the largest input (Section VI-A).\n");
+  if (!json_path.empty()) report.write(json_path);
   if (!profile.empty()) bench::write_profile(dev, profile);
   return 0;
 }

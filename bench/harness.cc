@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
+#include "common/check.h"
 #include "sim/trace_export.h"
 
 namespace davinci::bench {
@@ -54,6 +56,123 @@ std::string fmt_ratio(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2fx", v);
   return buf;
+}
+
+std::string fmt_ns(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fus",
+                static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+namespace {
+
+void append_json_escaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+JsonReport& JsonReport::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+JsonReport& JsonReport::field(const std::string& key,
+                              const std::string& value) {
+  DV_CHECK(!rows_.empty()) << "field() before row()";
+  std::string& r = rows_.back();
+  if (!r.empty()) r += ",";
+  r += "\"";
+  append_json_escaped(&r, key);
+  r += "\":\"";
+  append_json_escaped(&r, value);
+  r += "\"";
+  return *this;
+}
+
+JsonReport& JsonReport::field(const std::string& key, std::int64_t value) {
+  DV_CHECK(!rows_.empty()) << "field() before row()";
+  std::string& r = rows_.back();
+  if (!r.empty()) r += ",";
+  r += "\"";
+  append_json_escaped(&r, key);
+  r += "\":" + std::to_string(value);
+  return *this;
+}
+
+JsonReport& JsonReport::field(const std::string& key, bool value) {
+  DV_CHECK(!rows_.empty()) << "field() before row()";
+  std::string& r = rows_.back();
+  if (!r.empty()) r += ",";
+  r += "\"";
+  append_json_escaped(&r, key);
+  r += value ? "\":true" : "\":false";
+  return *this;
+}
+
+JsonReport& JsonReport::run_fields(const Device::RunResult& run) {
+  field("cycles", run.device_cycles);
+  field("cycles_serial", run.device_cycles_serial);
+  field("busiest_unit_cycles", run.busiest_unit_cycles);
+  field("pipelined_bound", run.device_cycles_pipelined);
+  field("host_ns", run.host_ns);
+  return *this;
+}
+
+std::string JsonReport::to_json() const {
+  std::string out = "{\"bench\":\"";
+  append_json_escaped(&out, bench_);
+  out += "\",\"rows\":[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += "{" + rows_[i] + "}";
+    if (i + 1 < rows_.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void JsonReport::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  DV_CHECK(f.good()) << "cannot open bench JSON output file " << path;
+  const std::string json = to_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  DV_CHECK(f.good()) << "failed writing bench JSON output file " << path;
+  std::printf("\njson: wrote bench results to %s\n", path.c_str());
+}
+
+std::string json_arg(int argc, char** argv) {
+  static constexpr char kFlag[] = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  return "";
+}
+
+bool no_double_buffer_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-double-buffer") == 0) return true;
+  }
+  return false;
 }
 
 std::string profile_arg(int argc, char** argv) {

@@ -38,9 +38,46 @@ class Table {
 
 std::string fmt_int(std::int64_t v);
 std::string fmt_ratio(double v);
+// Host wall-clock, printed as microseconds with one decimal.
+std::string fmt_ns(std::int64_t ns);
 
 // Shared banner explaining the metric.
 void print_preamble(const std::string& what, const std::string& paper_ref);
+
+// --- Machine-readable results (the cross-PR perf trajectory) ---
+// Benches append one flat JSON object per configuration and write
+// {"bench": ..., "rows": [...]} to a file (BENCH_pipeline.json by
+// convention; CI parses it). Rows always carry the simulated cycle
+// numbers AND the host wall-clock of the run, so both the model and the
+// simulator's own speed are trackable across PRs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench);
+
+  // Starts a new row; subsequent field() calls land on it.
+  JsonReport& row();
+  JsonReport& field(const std::string& key, const std::string& value);
+  JsonReport& field(const std::string& key, std::int64_t value);
+  JsonReport& field(const std::string& key, bool value);
+  // The standard per-run fields: cycles (overlapped makespan),
+  // cycles_serial, busiest_unit_cycles, pipelined_bound, host_ns.
+  JsonReport& run_fields(const Device::RunResult& run);
+
+  // Serializes the report; write() also prints where it went.
+  std::string to_json() const;
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::string> rows_;  // serialized "k":v pairs per row
+};
+
+// Returns the path of a --json=<path> argument, or "" when absent.
+std::string json_arg(int argc, char** argv);
+
+// True when --no-double-buffer was passed; benches then call
+// Device::set_double_buffer(false) and report the serial schedule.
+bool no_double_buffer_arg(int argc, char** argv);
 
 // --- Profiling support (see docs/PROFILING.md) ---
 // Benches that take (argc, argv) accept --profile=<out.json>: the device

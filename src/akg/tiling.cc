@@ -109,32 +109,69 @@ PoolPlan plan_common(std::int64_t oh, FitsFn&& fits, const char* what) {
 
 }  // namespace
 
+namespace {
+
+// Shared slot-upgrade policy: keep the single-buffer tile if two slots of
+// it fit; with `allow_retile`, otherwise re-search with the doubled
+// footprint; otherwise stay single-buffered. Overlap only pays off across
+// tiles, so an untiled plan keeps one slot.
+//
+// Re-tiling moves the tile boundaries, which is fine for the forward
+// kernels (each output element is computed entirely within one tile, in
+// the same order regardless of the split) but NOT for the backward
+// merges: input cells near a seam accumulate contributions from both
+// sides, so a different oh_tile changes the fp16 accumulation order and
+// the output bits. Backward plans therefore never re-tile -- they take a
+// second slot only when the serial tile fits twice, keeping outputs
+// bit-identical to the single-buffer schedule.
+template <typename FitsFn>
+PoolPlan plan_with_slots(std::int64_t oh, FitsFn&& fits, bool double_buffer,
+                         bool allow_retile, const char* what) {
+  PoolPlan plan =
+      plan_common(oh, [&](std::int64_t t) { return fits(t, 1); }, what);
+  if (!double_buffer || plan.num_h_tiles <= 1) return plan;
+  if (fits(plan.oh_tile, 2)) {
+    plan.ub_slots = 2;
+  } else if (allow_retile && fits(std::int64_t{1}, 2)) {
+    plan = plan_common(oh, [&](std::int64_t t) { return fits(t, 2); }, what);
+    plan.ub_slots = 2;
+  }
+  return plan;
+}
+
+}  // namespace
+
 PoolPlan plan_fwd(PoolImpl impl, const ArchConfig& arch, const Window2d& w,
-                  std::int64_t ih, std::int64_t iw, bool with_mask) {
+                  std::int64_t ih, std::int64_t iw, bool with_mask,
+                  bool double_buffer) {
   w.validate();
   const std::int64_t oh = w.out_h(ih);
-  auto fits = [&](std::int64_t oh_tile) {
-    if (ub_bytes_fwd(impl, w, oh_tile, iw, with_mask) > arch.ub_bytes) {
+  auto fits = [&](std::int64_t oh_tile, int slots) {
+    if (slots * ub_bytes_fwd(impl, w, oh_tile, iw, with_mask) >
+        arch.ub_bytes) {
       return false;
     }
     if (impl == PoolImpl::kIm2col) {
-      // The Im2Col source slice must fit L1 (Figure 4 path 2 -> 8).
+      // The Im2Col source slice must fit L1 (Figure 4 path 2 -> 8); in
+      // ping-pong mode both slots' slices live there at once.
       const std::int64_t ih_t = (oh_tile - 1) * w.sh + w.kh;
-      if (ih_t * iw * kC0 * 2 > arch.l1_bytes) return false;
+      if (slots * ih_t * iw * kC0 * 2 > arch.l1_bytes) return false;
     }
     return true;
   };
-  return plan_common(oh, fits, to_string(impl));
+  return plan_with_slots(oh, fits, double_buffer, /*allow_retile=*/true,
+                         to_string(impl));
 }
 
 PoolPlan plan_bwd(const ArchConfig& arch, const Window2d& w, std::int64_t ih,
-                  std::int64_t iw) {
+                  std::int64_t iw, bool double_buffer) {
   w.validate();
   const std::int64_t oh = w.out_h(ih);
-  auto fits = [&](std::int64_t oh_tile) {
-    return ub_bytes_bwd(oh_tile, iw, w) <= arch.ub_bytes;
+  auto fits = [&](std::int64_t oh_tile, int slots) {
+    return slots * ub_bytes_bwd(oh_tile, iw, w) <= arch.ub_bytes;
   };
-  return plan_common(oh, fits, "backward");
+  return plan_with_slots(oh, fits, double_buffer, /*allow_retile=*/false,
+                         "backward");
 }
 
 HTile h_tile(const Window2d& w, std::int64_t ih, std::int64_t oh,

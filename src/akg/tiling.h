@@ -56,16 +56,32 @@ std::int64_t ub_bytes_bwd(std::int64_t oh_tile, std::int64_t iw,
 struct PoolPlan {
   std::int64_t oh_tile = 0;    // output rows per tile
   std::int64_t num_h_tiles = 0;
+  int ub_slots = 1;            // UB tile slots: 1 = single, 2 = ping-pong
   bool tiled() const { return num_h_tiles > 1; }
+  bool double_buffered() const { return ub_slots > 1; }
 };
 
 // Chooses the largest oh_tile whose UB footprint fits. Throws if even a
 // single output row does not fit (the workload is then out of scope for
 // this schedule, as in the paper's Figure 8 cut-off).
+//
+// With `double_buffer` and more than one H tile, the planner tries to
+// carve TWO tile slots out of the same UB budget (and, for kIm2col, two
+// L1 input slices) so consecutive tiles can overlap in ping-pong mode:
+// first at the single-buffer oh_tile, then -- if that doubles past the
+// budget -- at the largest oh_tile whose doubled footprint fits. When
+// even one doubled output row does not fit, the plan falls back to a
+// single slot (ub_slots == 1) and the kernel runs single-buffered.
+//
+// plan_bwd never shrinks oh_tile for the second slot: the backward merges
+// accumulate across tile seams, so moving the seam would change the fp16
+// accumulation order and the output bits relative to the single-buffer
+// schedule. It takes two slots only when the serial tile fits twice.
 PoolPlan plan_fwd(PoolImpl impl, const ArchConfig& arch, const Window2d& w,
-                  std::int64_t ih, std::int64_t iw, bool with_mask);
+                  std::int64_t ih, std::int64_t iw, bool with_mask,
+                  bool double_buffer = false);
 PoolPlan plan_bwd(const ArchConfig& arch, const Window2d& w, std::int64_t ih,
-                  std::int64_t iw);
+                  std::int64_t iw, bool double_buffer = false);
 
 // The t-th horizontal tile of a plan (forward and backward use the same
 // geometry).

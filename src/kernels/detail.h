@@ -10,6 +10,26 @@
 
 namespace davinci::kernels::detail {
 
+// Runs `body` as one pipelined stage on `pipe` when `on`, plain (serial
+// timeline, no stage) when not. Returns the stage's completion event --
+// 0 in serial mode, so chaining `std::max` over events stays correct and
+// a dependency on "nothing" costs nothing. This is how the pooling
+// kernels keep ONE code path for both the single-buffer serial schedule
+// and the ping-pong overlapped one: the functional calls inside `body`
+// are identical either way, only their placement on the pipe timeline
+// changes (see sim/pipe_schedule.h).
+template <typename Body>
+inline PipeScheduler::Event staged(AiCore& core, bool on, Pipe pipe,
+                                   PipeScheduler::Event after, Body&& body) {
+  if (!on) {
+    body();
+    return 0;
+  }
+  core.begin_stage(pipe, after);
+  body();
+  return core.end_stage();
+}
+
 // Global-memory view of a tensor's storage. Input tensors are logically
 // read-only; kernels only pass their spans as MTE copy sources.
 inline Span<Float16> gm_view(const TensorF16& t) {

@@ -53,6 +53,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kConv: {
         auto r = kernels::conv2d_cube(dev, cur, layer.weights, layer.window);
         run.cycles = r.cycles();
+        run.serial_cycles = r.run.device_cycles_serial;
         run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
@@ -61,6 +62,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kMaxPool: {
         auto r = kernels::maxpool_forward(dev, cur, layer.window, pool_impl);
         run.cycles = r.cycles();
+        run.serial_cycles = r.run.device_cycles_serial;
         run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
@@ -69,6 +71,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kAvgPool: {
         auto r = kernels::avgpool_forward(dev, cur, layer.window, pool_impl);
         run.cycles = r.cycles();
+        run.serial_cycles = r.run.device_cycles_serial;
         run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
@@ -77,6 +80,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       case Kind::kGlobalAvg: {
         auto r = kernels::global_avgpool(dev, cur);
         run.cycles = r.cycles();
+        run.serial_cycles = r.run.device_cycles_serial;
         run.profile = r.run.profile;
         result.faults += r.run.faults;
         cur = std::move(r.out);
@@ -85,6 +89,7 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
     }
     run.out_shape = cur.shape();
     result.total_cycles += run.cycles;
+    result.total_serial_cycles += run.serial_cycles;
     result.profile += run.profile;
     result.layers.push_back(std::move(run));
   }

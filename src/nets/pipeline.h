@@ -36,7 +36,8 @@ class Pipeline {
   struct LayerRun {
     std::string name;
     Shape out_shape;
-    std::int64_t cycles = 0;
+    std::int64_t cycles = 0;         // overlapped makespan
+    std::int64_t serial_cycles = 0;  // same instructions charged in order
     Profile profile;  // per-instruction occupancy, merged over cores
   };
 
@@ -44,6 +45,7 @@ class Pipeline {
     TensorF16 out;
     std::vector<LayerRun> layers;
     std::int64_t total_cycles = 0;
+    std::int64_t total_serial_cycles = 0;
     Profile profile;    // summed over layers
     FaultStats faults;  // summed over layers; all-zero without injection
 

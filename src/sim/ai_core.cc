@@ -11,10 +11,10 @@ AiCore::AiCore(int id, const ArchConfig& arch, const CostModel& cost)
       l0b_(BufferKind::kL0B, arch.l0b_bytes),
       l0c_(BufferKind::kL0C, arch.l0c_bytes),
       ub_(BufferKind::kUnified, arch.ub_bytes),
-      vec_(arch_, cost_, &stats_, &trace_, &profile_),
-      mte_(cost_, &stats_, &trace_, &profile_),
-      scu_(arch_, cost_, &stats_, &trace_, &profile_),
-      cube_(arch_, cost_, &stats_, &trace_, &profile_) {
+      vec_(arch_, cost_, &stats_, &trace_, &profile_, &sched_),
+      mte_(cost_, &stats_, &trace_, &profile_, &sched_),
+      scu_(arch_, cost_, &stats_, &trace_, &profile_, &sched_),
+      cube_(arch_, cost_, &stats_, &trace_, &profile_, &sched_) {
   l1_.set_owner_core(id_);
   l0a_.set_owner_core(id_);
   l0b_.set_owner_core(id_);
@@ -47,15 +47,39 @@ void AiCore::scrub_scratch(std::byte pattern) {
 
 void AiCore::scalar_loop(std::int64_t iterations) {
   DV_CHECK_GE(iterations, 0);
-  stats_.scalar_cycles += iterations * cost_.scalar_loop_cycles;
+  const std::int64_t cycles = iterations * cost_.scalar_loop_cycles;
+  stats_.scalar_cycles += cycles;
+  // Scalar control flow rides the Vector pipe on the overlap timeline,
+  // matching the compute = vector + scalar grouping of pipelined_cycles.
+  sched_.issue(Pipe::kVector, cycles);
 }
 
 void AiCore::pipe_barrier() {
   stats_.barrier_cycles += cost_.pipe_barrier_cycles;
+  const PipeScheduler::Interval iv =
+      sched_.barrier(cost_.pipe_barrier_cycles);
   if (trace_.enabled()) {
     trace_.record(TraceKind::kBarrier, "pipe_barrier",
-                  cost_.pipe_barrier_cycles);
+                  cost_.pipe_barrier_cycles, 0, 0, iv.start);
   }
+}
+
+void AiCore::begin_stage(Pipe pipe, PipeScheduler::Event after) {
+  if (after > 0) {
+    // The cross-pipe dependency costs one flag-wait, exactly what
+    // pipe_barrier charges -- but it only delays this stage's pipe
+    // instead of synchronizing all of them.
+    stats_.barrier_cycles += cost_.pipe_barrier_cycles;
+    after += cost_.pipe_barrier_cycles;
+  }
+  sched_.begin_stage(pipe, after);
+}
+
+PipeScheduler::Event AiCore::end_stage() { return sched_.end_stage(); }
+
+void AiCore::launch(std::int64_t cycles) {
+  stats_.launch_cycles += cycles;
+  sched_.issue(Pipe::kSync, cycles);
 }
 
 template <typename F>

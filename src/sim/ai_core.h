@@ -17,6 +17,7 @@
 #include "sim/cube_unit.h"
 #include "sim/fault.h"
 #include "sim/mte.h"
+#include "sim/pipe_schedule.h"
 #include "sim/scratch.h"
 #include "sim/scu.h"
 #include "sim/stats.h"
@@ -54,6 +55,26 @@ class AiCore {
   // Optional instruction trace (disabled by default; see sim/trace.h).
   Trace& trace() { return trace_; }
 
+  // Pipe-overlap timeline of this core (see sim/pipe_schedule.h). Every
+  // charged cost is placed on it; kernels that never open a stage keep a
+  // makespan equal to their serial cycle total.
+  PipeScheduler& sched() { return sched_; }
+  const PipeScheduler& sched() const { return sched_; }
+
+  // Opens a pipelined stage on `pipe`: until end_stage(), every cost this
+  // core charges queues on that pipe in issue order, starting no earlier
+  // than `after` (a completion event returned by a previous end_stage; 0 =
+  // no dependency). Combine multiple dependencies with std::max. A nonzero
+  // dependency charges one pipe_barrier_cycles flag-wait, the
+  // set_flag/wait_flag pair a CCE kernel issues at that point.
+  void begin_stage(Pipe pipe, PipeScheduler::Event after = 0);
+  // Closes the stage and returns its completion event.
+  PipeScheduler::Event end_stage();
+
+  // Charges the per-core kernel-launch overhead (called by Device at the
+  // start of a run; on the Sync row of the overlap timeline).
+  void launch(std::int64_t cycles);
+
   // Frees every scratch allocation (tile-iteration boundary).
   void reset_scratch();
   // Overwrites every scratch buffer with `pattern` (see
@@ -62,6 +83,7 @@ class AiCore {
   void reset_stats() {
     stats_ = CycleStats{};
     profile_ = Profile{};
+    sched_.reset();
   }
 
   // Attaches (or detaches, with nullptr) a fault-injection stream to this
@@ -103,6 +125,7 @@ class AiCore {
   CycleStats stats_;
   Profile profile_;
   Trace trace_;
+  PipeScheduler sched_;
   CoreFaultState* fault_ = nullptr;
 
   ScratchBuffer l1_;

@@ -50,6 +50,8 @@ void CubeUnit::mmad(Span<float> l0c, Span<Float16> l0a, Span<Float16> l0b,
   stats_->cube_fractal_macs += macs;
   const std::int64_t cycles = cost_.cube_mmad(macs);
   stats_->cube_cycles += cycles;
+  std::int64_t start = -1;
+  if (sched_) start = sched_->issue(Pipe::kCube, cycles).start;
   // Occupancy: fractal-MAC cycles vs charged cycles -- how well the
   // instruction amortizes its issue overhead over the MAC array.
   const std::int64_t mac_cycles = macs * cost_.cube_cycles_per_fractal_mac;
@@ -62,7 +64,7 @@ void CubeUnit::mmad(Span<float> l0c, Span<Float16> l0a, Span<Float16> l0b,
     trace_->record(TraceKind::kCube,
                    "mmad m=" + std::to_string(m_frac) + " k=" +
                        std::to_string(k_frac) + " n=" + std::to_string(n_frac),
-                   cycles, mac_cycles, cycles);
+                   cycles, mac_cycles, cycles, start);
   }
 }
 

@@ -16,6 +16,7 @@
 #include "arch/cost_model.h"
 #include "common/float16.h"
 #include "sim/scratch.h"
+#include "sim/pipe_schedule.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
@@ -24,9 +25,10 @@ namespace davinci {
 class CubeUnit {
  public:
   CubeUnit(const ArchConfig& arch, const CostModel& cost, CycleStats* stats,
-           Trace* trace = nullptr, Profile* profile = nullptr)
+           Trace* trace = nullptr, Profile* profile = nullptr,
+           PipeScheduler* sched = nullptr)
       : arch_(arch), cost_(cost), stats_(stats), trace_(trace),
-        profile_(profile) {}
+        profile_(profile), sched_(sched) {}
 
   // C (+)= A x B on fractal-tiled operands:
   //   A: L0A, (m_frac x k_frac) fractals, each 16x16 row-major
@@ -47,6 +49,7 @@ class CubeUnit {
   CycleStats* stats_;
   Trace* trace_;
   Profile* profile_;
+  PipeScheduler* sched_ = nullptr;
 };
 
 }  // namespace davinci

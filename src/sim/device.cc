@@ -1,6 +1,7 @@
 #include "sim/device.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -8,6 +9,16 @@
 #include <sstream>
 #include <string>
 #include <thread>
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 namespace davinci {
 
@@ -30,6 +41,7 @@ Device::RunResult Device::run(
   }
 
   DV_CHECK_GE(num_blocks, 0);
+  const std::int64_t t0 = now_ns();
   const int cores_used =
       static_cast<int>(std::min<std::int64_t>(num_blocks, num_cores()));
 
@@ -46,32 +58,32 @@ Device::RunResult Device::run(
   std::vector<WorkerFailure> failures;
   std::mutex failures_mutex;
 
+  // One lane per simulated core: the lane executes that core's blocks in
+  // increasing order (BlockOrder invariant in device.h), regardless of
+  // which pool worker picks the lane up.
   auto run_core = [&](int c) {
     AiCore& core = *cores_[static_cast<std::size_t>(c)];
-    core.stats().launch_cycles += cost_.core_launch_cycles;
-    for (std::int64_t b = c; b < num_blocks; b += num_cores()) {
+    core.launch(cost_.core_launch_cycles);
+    bool lane_failed = false;
+    BlockOrder::for_core(c, num_blocks, num_cores(), [&](std::int64_t b) {
+      if (lane_failed) return;
       core.reset_scratch();
       try {
         fn(core, b);
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(failures_mutex);
         failures.push_back({c, b, e.what()});
-        return;
+        lane_failed = true;
       } catch (...) {
         std::lock_guard<std::mutex> lock(failures_mutex);
         failures.push_back({c, b, "unknown exception"});
-        return;
+        lane_failed = true;
       }
-    }
+    });
   };
 
   if (parallel && cores_used > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(cores_used));
-    for (int c = 0; c < cores_used; ++c) {
-      workers.emplace_back([&, c] { run_core(c); });
-    }
-    for (auto& w : workers) w.join();
+    pool_.run(cores_used, run_core);
     if (!failures.empty()) {
       std::sort(failures.begin(), failures.end(),
                 [](const WorkerFailure& a, const WorkerFailure& b) {
@@ -96,8 +108,8 @@ Device::RunResult Device::run(
     };
     for (int c = 0; c < cores_used; ++c) {
       AiCore& core = *cores_[static_cast<std::size_t>(c)];
-      core.stats().launch_cycles += cost_.core_launch_cycles;
-      for (std::int64_t b = c; b < num_blocks; b += num_cores()) {
+      core.launch(cost_.core_launch_cycles);
+      BlockOrder::for_core(c, num_blocks, num_cores(), [&](std::int64_t b) {
         core.reset_scratch();
         try {
           fn(core, b);
@@ -112,22 +124,33 @@ Device::RunResult Device::run(
         } catch (const std::exception& e) {
           throw Error(context(c, b, e.what()));
         }
-      }
+      });
     }
   }
 
+  RunResult result = collect_result(cores_used);
+  result.host_ns = now_ns() - t0;
+  return result;
+}
+
+Device::RunResult Device::collect_result(int cores_used) {
   RunResult result;
   result.cores_used = cores_used;
   result.core_cycles.resize(static_cast<std::size_t>(cores_used));
   for (int c = 0; c < cores_used; ++c) {
     AiCore& core = *cores_[static_cast<std::size_t>(c)];
     const CycleStats& s = core.stats();
-    result.core_cycles[static_cast<std::size_t>(c)] = s.total_cycles();
+    const std::int64_t makespan = core.sched().makespan();
+    result.core_cycles[static_cast<std::size_t>(c)] = makespan;
     result.aggregate += s;
     result.profile += core.profile();
-    result.device_cycles = std::max(result.device_cycles, s.total_cycles());
+    result.device_cycles = std::max(result.device_cycles, makespan);
+    result.device_cycles_serial =
+        std::max(result.device_cycles_serial, s.total_cycles());
     result.device_cycles_pipelined =
         std::max(result.device_cycles_pipelined, s.pipelined_cycles());
+    result.busiest_unit_cycles = std::max(
+        result.busiest_unit_cycles, core.sched().busiest_unit_busy());
   }
   return result;
 }
@@ -199,6 +222,7 @@ bool Device::process_block(
       // Hard failure: quarantine this core and hand the current block plus
       // everything left in its queue to the healthy cores, round-robin in
       // block order (deterministic given the quarantine point).
+      core.sched().abandon_stage();
       std::lock_guard<std::mutex> lk(s.m);
       st.stats().faults_detected += 1;
       s.run_stats.cores_quarantined += 1;
@@ -237,6 +261,7 @@ bool Device::process_block(
     } catch (const TransientFault&) {
       // Detected transient: same core retries with fresh scratch. The
       // aborted execution contributes no CRC vote.
+      core.sched().abandon_stage();
       st.stats().faults_detected += 1;
       st.stats().retries += 1;
       continue;
@@ -286,6 +311,7 @@ Device::RunResult Device::run_resilient(
     const ResilienceOptions& opts) {
   DV_CHECK_GE(num_blocks, 0);
   DV_CHECK_GE(opts.max_retries, 0);
+  const std::int64_t t0 = now_ns();
   for (const CoreFailTrigger& t : opts.plan.core_failures) {
     DV_CHECK(t.core >= 0 && t.core < num_cores())
         << "core_fail trigger targets core " << t.core << " but the device "
@@ -319,14 +345,15 @@ Device::RunResult Device::run_resilient(
   s.execs.assign(static_cast<std::size_t>(num_blocks), 0);
   s.quarantined.assign(static_cast<std::size_t>(cores_used), 0);
   for (std::int64_t b = 0; b < num_blocks; ++b) {
-    // Identical initial assignment to run(): block b on core b mod N.
-    s.queue[static_cast<std::size_t>(b % num_cores())].push_back(b);
+    // Identical initial assignment to run(): the BlockOrder home core.
+    s.queue[static_cast<std::size_t>(BlockOrder::home_core(b, num_cores()))]
+        .push_back(b);
   }
 
   auto worker = [&](int c) {
     AiCore& core = *cores_[static_cast<std::size_t>(c)];
     CoreFaultState& st = *states[static_cast<std::size_t>(c)];
-    core.stats().launch_cycles += cost_.core_launch_cycles;
+    core.launch(cost_.core_launch_cycles);
     while (true) {
       std::int64_t b;
       {
@@ -355,8 +382,7 @@ Device::RunResult Device::run_resilient(
     // redistributed blocks still execute. Per-core order -- and therefore
     // every fault stream -- matches the parallel path.
     for (int c = 0; c < cores_used; ++c) {
-      cores_[static_cast<std::size_t>(c)]->stats().launch_cycles +=
-          cost_.core_launch_cycles;
+      cores_[static_cast<std::size_t>(c)]->launch(cost_.core_launch_cycles);
     }
     bool progress = true;
     while (!s.failed && s.blocks_done < num_blocks && progress) {
@@ -392,20 +418,9 @@ Device::RunResult Device::run_resilient(
     throw Error(msg);
   }
 
-  RunResult result;
-  result.cores_used = cores_used;
+  RunResult result = collect_result(cores_used);
   result.faults = total;
-  result.core_cycles.resize(static_cast<std::size_t>(cores_used));
-  for (int c = 0; c < cores_used; ++c) {
-    AiCore& core = *cores_[static_cast<std::size_t>(c)];
-    const CycleStats& cs = core.stats();
-    result.core_cycles[static_cast<std::size_t>(c)] = cs.total_cycles();
-    result.aggregate += cs;
-    result.profile += core.profile();
-    result.device_cycles = std::max(result.device_cycles, cs.total_cycles());
-    result.device_cycles_pipelined =
-        std::max(result.device_cycles_pipelined, cs.pipelined_cycles());
-  }
+  result.host_ns = now_ns() - t0;
   return result;
 }
 

@@ -9,7 +9,24 @@
 // in this repository guarantee by construction.
 //
 // The device-level time of a kernel is the *maximum* per-core cycle count
-// (cores run concurrently) plus a per-core launch overhead.
+// (cores run concurrently) plus a per-core launch overhead. Per-core time
+// is the makespan of the core's pipe-overlap schedule
+// (sim/pipe_schedule.h); for kernels that never open a stage it equals
+// the serial cycle sum, which stays reported as device_cycles_serial.
+//
+// Block-ordering invariant (every execution path):
+//   * block b is *accounted* to simulated core (b mod num_cores) --
+//     BlockOrder::home_core -- and each core executes its blocks in
+//     increasing block order (BlockOrder::for_core);
+//   * which HOST THREAD runs a core's lane is a free variable: the
+//     work-stealing pool (parallel run), the serial fallback and the
+//     resilient scheduler's workers all produce identical per-core
+//     scratch/stats/fault-stream histories, so outputs and cycle
+//     accounting are bit-identical regardless of host scheduling.
+//   The one sanctioned exception is quarantine redistribution in
+//   run_resilient, which reassigns the remaining blocks of a failed core
+//   round-robin over the healthy ones -- deterministically, given the
+//   quarantine point.
 //
 // Resilient execution (run_resilient / set_resilience) adds the RAS layer
 // a production fleet needs on top of that: deterministic fault injection
@@ -30,10 +47,26 @@
 #include "arch/arch_config.h"
 #include "arch/cost_model.h"
 #include "sim/ai_core.h"
+#include "sim/executor.h"
 #include "sim/fault.h"
 #include "sim/stats.h"
 
 namespace davinci {
+
+// The canonical block -> core accounting rule (see the invariant above),
+// shared by Device::run's pool and serial paths and by run_resilient's
+// initial queue fill.
+struct BlockOrder {
+  static int home_core(std::int64_t block, int num_cores) {
+    return static_cast<int>(block % num_cores);
+  }
+  // Invokes fn(block) for every block of `core`, in execution order.
+  template <typename Fn>
+  static void for_core(int core, std::int64_t num_blocks, int num_cores,
+                       Fn&& fn) {
+    for (std::int64_t b = core; b < num_blocks; b += num_cores) fn(b);
+  }
+};
 
 class Device {
  public:
@@ -46,13 +79,20 @@ class Device {
   const CostModel& cost() const { return cost_; }
 
   struct RunResult {
-    std::int64_t device_cycles = 0;       // max over used cores (serial
-                                          // in-order timeline per core)
+    std::int64_t device_cycles = 0;       // max over used cores of the
+                                          // modeled overlapped makespan
+                                          // (== serial for unstaged code)
+    std::int64_t device_cycles_serial = 0;  // max over used cores of the
+                                            // strictly serial cycle sum
     std::int64_t device_cycles_pipelined = 0;  // optimistic pipe-overlap
                                                // bound (see CycleStats)
+    std::int64_t busiest_unit_cycles = 0;  // max over used cores of the
+                                           // busiest single unit's busy
+                                           // time (sandwich lower bound)
+    std::int64_t host_ns = 0;             // host wall-clock of the run
     CycleStats aggregate;                 // sum over used cores
     Profile profile;                      // occupancy, merged over used cores
-    std::vector<std::int64_t> core_cycles;
+    std::vector<std::int64_t> core_cycles;  // per-core overlapped makespan
     int cores_used = 0;
     FaultStats faults;                    // all-zero outside resilient runs
   };
@@ -108,6 +148,14 @@ class Device {
     return resilience_;
   }
 
+  // Ping-pong (double) buffering policy consulted by the tiled kernels:
+  // on (the default), they plan two UB tile slots when the budget allows
+  // and issue their tile loops as overlapping stages; off, they run the
+  // strictly serial single-buffer schedule (device_cycles then equals
+  // device_cycles_serial). Outputs are bit-identical either way.
+  void set_double_buffer(bool on) { double_buffer_ = on; }
+  bool double_buffer() const { return double_buffer_; }
+
  private:
   struct Sched;  // shared scheduling state of one resilient run
 
@@ -119,10 +167,18 @@ class Device {
                      const ResilienceOptions& opts,
                      CoreFaultState& fault_state);
 
+  // Collects per-core results into a RunResult (shared by run and
+  // run_resilient).
+  RunResult collect_result(int cores_used);
+
   ArchConfig arch_;
   CostModel cost_;
   std::vector<std::unique_ptr<AiCore>> cores_;
   std::optional<ResilienceOptions> resilience_;
+  bool double_buffer_ = true;
+  // Lazily started on the first parallel run; workers persist for the
+  // Device's lifetime (see sim/executor.h).
+  WorkStealingPool pool_;
 };
 
 }  // namespace davinci

@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/float16.h"
 #include "sim/fault.h"
+#include "sim/pipe_schedule.h"
 #include "sim/scratch.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -21,8 +22,9 @@ namespace davinci {
 class Mte {
  public:
   Mte(const CostModel& cost, CycleStats* stats, Trace* trace = nullptr,
-      Profile* profile = nullptr)
-      : cost_(cost), stats_(stats), trace_(trace), profile_(profile) {}
+      Profile* profile = nullptr, PipeScheduler* sched = nullptr)
+      : cost_(cost), stats_(stats), trace_(trace), profile_(profile),
+        sched_(sched) {}
 
   // Attaches/detaches the core's fault stream (resilient runs only).
   void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
@@ -164,6 +166,14 @@ class Mte {
     stats_->mte_bytes += bytes;
     const std::int64_t cycles = cost_.mte_copy(bytes, bursts);
     stats_->mte_cycles += cycles;
+    // A transfer landing in global memory is an MTE-out (store) interval
+    // on the overlap timeline; everything else feeds the compute side.
+    std::int64_t start = -1;
+    if (sched_) {
+      const Pipe pipe =
+          dst == BufferKind::kGlobal ? Pipe::kMteOut : Pipe::kMteIn;
+      start = sched_->issue(pipe, cycles).start;
+    }
     // Occupancy: payload bandwidth cycles vs charged cycles -- the
     // fraction of the transfer time not spent on startup latency or
     // per-burst (strided-row) overhead.
@@ -178,7 +188,7 @@ class Mte {
                      std::string(to_string(src)) + "->" + to_string(dst) +
                          " bytes=" + std::to_string(bytes) +
                          " bursts=" + std::to_string(bursts),
-                     cycles, payload, cycles);
+                     cycles, payload, cycles, start);
     }
   }
 
@@ -186,6 +196,7 @@ class Mte {
   CycleStats* stats_;
   Trace* trace_;
   Profile* profile_ = nullptr;
+  PipeScheduler* sched_ = nullptr;
   CoreFaultState* fault_ = nullptr;
 };
 

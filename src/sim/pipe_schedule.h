@@ -1,0 +1,200 @@
+// Event-driven pipe-overlap scheduler for one AI Core.
+//
+// The simulator executes kernels functionally on the host, but every
+// charged cost also becomes an *interval* on a per-unit timeline here:
+// MTE-in, SCU, Vector (which absorbs the Scalar Unit, as in
+// CycleStats::pipelined_cycles), Cube, MTE-out, plus a Sync row for
+// barriers and launch overhead. The makespan of those intervals is the
+// modeled overlapped execution time that Device::RunResult reports as
+// device_cycles; the plain sum of charges stays available as
+// device_cycles_serial.
+//
+// Scheduling discipline:
+//
+//  * Outside a stage, every operation starts at the global frontier (the
+//    max ready time over all pipes) -- i.e. unannotated code executes on
+//    the strictly serial timeline the simulator always had, and its
+//    makespan equals its serial cycle total. Kernels that never open a
+//    stage are bit-for-bit unaffected by this class.
+//  * Inside a stage (AiCore::begin_stage / end_stage), operations queue
+//    in issue order on the stage's pipe, starting no earlier than the
+//    stage's dependency events. This is how the ping-pong kernels declare
+//    "the reduction of tile t needs the Im2Col of tile t, not the MTE
+//    load of tile t+1", and how cross-pipe overlap emerges.
+//  * A stage with a nonzero dependency pays one pipe_barrier_cycles
+//    flag-wait (charged by AiCore::begin_stage into CycleStats and into
+//    the stage's start time here), mirroring the set_flag/wait_flag pair
+//    a real CCE kernel issues at that dependency.
+//
+// Because every start time is bounded by the sum of all charges issued so
+// far, makespan() <= the serial cycle total always holds; and since busy
+// time accumulates per pipe, makespan() >= the busiest pipe's busy time.
+// Tests assert this sandwich for every kernel.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace davinci {
+
+enum class Pipe : std::uint8_t {
+  kMteIn = 0,  // GM/L1 -> scratch transfers
+  kScu,        // Im2Col / Col2Im
+  kVector,     // Vector Unit + Scalar Unit control flow
+  kCube,
+  kMteOut,     // scratch -> GM transfers
+  kSync,       // barriers, launch overhead
+  kCount,
+};
+
+inline const char* to_string(Pipe p) {
+  switch (p) {
+    case Pipe::kMteIn: return "MTE-in";
+    case Pipe::kScu: return "SCU";
+    case Pipe::kVector: return "Vector";
+    case Pipe::kCube: return "Cube";
+    case Pipe::kMteOut: return "MTE-out";
+    case Pipe::kSync: return "Sync";
+    case Pipe::kCount: break;
+  }
+  return "?";
+}
+
+class PipeScheduler {
+ public:
+  // A completion event: the cycle at which a stage (or interval) ends.
+  // Events are plain cycle counts so callers combine them with std::max.
+  using Event = std::int64_t;
+
+  struct Interval {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+  };
+
+  static constexpr int kNumPipes = static_cast<int>(Pipe::kCount);
+
+  // Opens a stage on `pipe`; operations issued until end_stage() land on
+  // that pipe in order, starting no earlier than `after` (0 = no
+  // dependency). The flag-wait cost of the dependency is folded into
+  // `after` by the caller (AiCore::begin_stage).
+  void begin_stage(Pipe pipe, Event after) {
+    DV_CHECK(!stage_open_) << "begin_stage inside an open stage";
+    DV_CHECK_GE(after, 0);
+    stage_open_ = true;
+    stage_pipe_ = pipe;
+    stage_dep_ = after;
+  }
+
+  // Closes the stage; returns its completion event (the dependency floor
+  // when the stage issued nothing).
+  Event end_stage() {
+    DV_CHECK(stage_open_) << "end_stage without begin_stage";
+    stage_open_ = false;
+    const std::int64_t done =
+        ready_[pipe_index(stage_pipe_)] > stage_dep_
+            ? ready_[pipe_index(stage_pipe_)]
+            : stage_dep_;
+    return done;
+  }
+
+  bool stage_open() const { return stage_open_; }
+
+  // Closes a stage a faulted block left open (the resilient scheduler
+  // calls this before retrying); the failed attempt's charges stay
+  // accounted, exactly like its CycleStats.
+  void abandon_stage() { stage_open_ = false; }
+
+  // Schedules `cycles` of work. Inside a stage the work lands on the
+  // stage's pipe after the stage dependency; outside, it lands on
+  // `natural_pipe` at the global frontier (serial semantics).
+  Interval issue(Pipe natural_pipe, std::int64_t cycles) {
+    DV_CHECK_GE(cycles, 0);
+    const Pipe pipe = stage_open_ ? stage_pipe_ : natural_pipe;
+    const int pi = pipe_index(pipe);
+    std::int64_t start = stage_open_
+                             ? (ready_[pi] > stage_dep_ ? ready_[pi]
+                                                        : stage_dep_)
+                             : frontier();
+    Interval iv{start, start + cycles};
+    ready_[pi] = iv.end;
+    busy_[pi] += cycles;
+    return iv;
+  }
+
+  // A full synchronization costing `cycles`: starts at the global
+  // frontier and holds *every* pipe until it completes (pipe_barrier).
+  Interval barrier(std::int64_t cycles) {
+    DV_CHECK(!stage_open_) << "pipe_barrier inside a stage";
+    const std::int64_t start = frontier();
+    Interval iv{start, start + cycles};
+    for (int i = 0; i < kNumPipes; ++i) ready_[i] = iv.end;
+    busy_[pipe_index(Pipe::kSync)] += cycles;
+    return iv;
+  }
+
+  // Modeled overlapped execution time so far.
+  std::int64_t makespan() const { return frontier(); }
+
+  // Busy (charged) cycles of one pipe.
+  std::int64_t busy(Pipe p) const { return busy_[pipe_index(p)]; }
+
+  // Busy time of the busiest real execution unit (Sync excluded) -- the
+  // lower half of the sandwich bound.
+  std::int64_t busiest_unit_busy() const {
+    std::int64_t best = 0;
+    for (int i = 0; i < kNumPipes; ++i) {
+      if (static_cast<Pipe>(i) == Pipe::kSync) continue;
+      if (busy_[i] > best) best = busy_[i];
+    }
+    return best;
+  }
+
+  // --- Ping-pong observability -------------------------------------------
+  // The double-buffered drivers mark tiles entering (+1, at the load's
+  // completion) and leaving (-1, at the store's completion) flight; the
+  // trace exporter renders the running sum as a queue-depth counter track.
+  // Bounded like the instruction trace so a huge run cannot grow without
+  // limit.
+  static constexpr std::size_t kMaxTileMarks = 1 << 16;
+
+  void note_tile(Event cycle, int delta) {
+    if (tile_marks_.size() >= kMaxTileMarks) return;
+    tile_marks_.emplace_back(cycle, delta);
+  }
+  const std::vector<std::pair<Event, int>>& tile_marks() const {
+    return tile_marks_;
+  }
+
+  void reset() {
+    for (int i = 0; i < kNumPipes; ++i) {
+      ready_[i] = 0;
+      busy_[i] = 0;
+    }
+    stage_open_ = false;
+    stage_dep_ = 0;
+    tile_marks_.clear();
+  }
+
+ private:
+  static int pipe_index(Pipe p) { return static_cast<int>(p); }
+
+  std::int64_t frontier() const {
+    std::int64_t f = 0;
+    for (int i = 0; i < kNumPipes; ++i) {
+      if (ready_[i] > f) f = ready_[i];
+    }
+    return f;
+  }
+
+  std::int64_t ready_[kNumPipes] = {};
+  std::int64_t busy_[kNumPipes] = {};
+  bool stage_open_ = false;
+  Pipe stage_pipe_ = Pipe::kVector;
+  std::int64_t stage_dep_ = 0;
+  std::vector<std::pair<Event, int>> tile_marks_;
+};
+
+}  // namespace davinci

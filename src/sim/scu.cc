@@ -99,11 +99,13 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
   }
   const std::int64_t cycles = cost_.im2col(instrs, fractals);
   stats_->scu_cycles += cycles;
+  std::int64_t start = -1;
+  if (sched_) start = sched_->issue(Pipe::kScu, cycles).start;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kIm2col,
                    "mode1 instrs=" + std::to_string(instrs) +
                        " fractals=" + std::to_string(fractals),
-                   cycles, fractals, instrs * arch_.max_repeat);
+                   cycles, fractals, instrs * arch_.max_repeat, start);
   }
   maybe_fault_result(dst, args.output_elems());
 }
@@ -168,11 +170,13 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
   }
   const std::int64_t cycles = cost_.im2col(instrs, fractals);
   stats_->scu_cycles += cycles;
+  std::int64_t start = -1;
+  if (sched_) start = sched_->issue(Pipe::kScu, cycles).start;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kIm2col,
                    "mode0 instrs=" + std::to_string(instrs) +
                        " fractals=" + std::to_string(fractals),
-                   cycles, fractals, instrs * arch_.max_repeat);
+                   cycles, fractals, instrs * arch_.max_repeat, start);
   }
   maybe_fault_result(dst, args.output_elems());
 }
@@ -230,11 +234,13 @@ void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
   }
   const std::int64_t cycles = cost_.col2im(instrs, fractals);
   stats_->scu_cycles += cycles;
+  std::int64_t start = -1;
+  if (sched_) start = sched_->issue(Pipe::kScu, cycles).start;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kCol2im,
                    "instrs=" + std::to_string(instrs) +
                        " fractals=" + std::to_string(fractals),
-                   cycles, fractals, instrs * arch_.max_repeat);
+                   cycles, fractals, instrs * arch_.max_repeat, start);
   }
   maybe_fault_result(out, args.input_elems());
 }

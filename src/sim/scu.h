@@ -29,6 +29,7 @@
 #include "common/float16.h"
 #include "sim/fault.h"
 #include "sim/scratch.h"
+#include "sim/pipe_schedule.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 #include "tensor/fractal.h"
@@ -69,9 +70,10 @@ struct Im2colArgs {
 class Scu {
  public:
   Scu(const ArchConfig& arch, const CostModel& cost, CycleStats* stats,
-      Trace* trace = nullptr, Profile* profile = nullptr)
+      Trace* trace = nullptr, Profile* profile = nullptr,
+      PipeScheduler* sched = nullptr)
       : arch_(arch), cost_(cost), stats_(stats), trace_(trace),
-        profile_(profile) {}
+        profile_(profile), sched_(sched) {}
 
   // Attaches/detaches the core's fault stream (resilient runs only).
   void set_fault_state(CoreFaultState* fault) { fault_ = fault; }
@@ -110,6 +112,7 @@ class Scu {
   CycleStats* stats_;
   Trace* trace_;
   Profile* profile_;
+  PipeScheduler* sched_ = nullptr;
   CoreFaultState* fault_ = nullptr;
 };
 

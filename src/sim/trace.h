@@ -43,6 +43,10 @@ struct TraceEvent {
   // currency (see Profile in sim/stats.h); 0/0 when not recorded.
   std::int64_t slots_used = 0;
   std::int64_t slots_capacity = 0;
+  // Scheduled start cycle on the pipe-overlap timeline (sim/pipe_schedule.h),
+  // or -1 for hand-built traces; the exporter then falls back to the
+  // serial running-sum placement.
+  std::int64_t start = -1;
 };
 
 class Trace {
@@ -59,7 +63,8 @@ class Trace {
   }
 
   void record(TraceKind kind, std::string detail, std::int64_t cycles,
-              std::int64_t slots_used = 0, std::int64_t slots_capacity = 0) {
+              std::int64_t slots_used = 0, std::int64_t slots_capacity = 0,
+              std::int64_t start = -1) {
     if (!enabled_) return;
     if (events_.size() >= kMaxEvents) {
       truncated_ = true;
@@ -67,7 +72,7 @@ class Trace {
     }
     events_.push_back(
         TraceEvent{kind, std::move(detail), cycles, slots_used,
-                   slots_capacity});
+                   slots_capacity, start});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

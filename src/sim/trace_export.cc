@@ -1,5 +1,6 @@
 #include "sim/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -71,8 +72,11 @@ std::string event_name(const TraceEvent& e) {
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<const Trace*>& traces,
-                              const std::vector<int>& core_ids) {
+                              const std::vector<int>& core_ids,
+                              const std::vector<const PipeScheduler*>&
+                                  scheds) {
   DV_CHECK_EQ(traces.size(), core_ids.size());
+  if (!scheds.empty()) DV_CHECK_EQ(scheds.size(), traces.size());
   std::string out;
   out += "{\"displayTimeUnit\":\"ms\",\n";
   out += "\"otherData\":{\"generator\":\"davinci-sim\","
@@ -92,13 +96,14 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
     append_meta(&out, pid, kTidCube, "thread_name", "Cube Unit");
     append_meta(&out, pid, kTidSync, "thread_name", "Sync");
 
-    // Serial in-order timeline: each event starts where the previous one
-    // on this core ended.
+    // Events placed by the pipe-overlap scheduler carry their real start
+    // cycle; hand-built traces fall back to the serial running sum.
     std::int64_t ts = 0;
     for (const TraceEvent& e : trace.events()) {
+      const std::int64_t ev_ts = e.start >= 0 ? e.start : ts;
       out += "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
              ",\"tid\":" + std::to_string(tid_of(e.kind)) +
-             ",\"ts\":" + std::to_string(ts) +
+             ",\"ts\":" + std::to_string(ev_ts) +
              ",\"dur\":" + std::to_string(e.cycles) + ",\"name\":\"";
       append_escaped(&out, event_name(e));
       out += "\",\"cat\":\"";
@@ -125,14 +130,32 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
         char val[32];
         std::snprintf(val, sizeof(val), "%.1f", lanes);
         out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
-               ",\"ts\":" + std::to_string(ts) +
+               ",\"ts\":" + std::to_string(ev_ts) +
                ",\"name\":\"vec active lanes\",\"args\":{\"lanes\":" + val +
                "}},\n";
         out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
-               ",\"ts\":" + std::to_string(ts + e.cycles) +
+               ",\"ts\":" + std::to_string(ev_ts + e.cycles) +
                ",\"name\":\"vec active lanes\",\"args\":{\"lanes\":0}},\n";
       }
       ts += e.cycles;
+    }
+
+    // Ping-pong queue depth: tiles loaded into a UB slot but not yet
+    // stored back to GM (see PipeScheduler::note_tile).
+    if (i < scheds.size() && scheds[i] != nullptr &&
+        !scheds[i]->tile_marks().empty()) {
+      auto marks = scheds[i]->tile_marks();
+      std::stable_sort(
+          marks.begin(), marks.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::int64_t depth = 0;
+      for (const auto& mark : marks) {
+        depth += mark.second;
+        out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
+               ",\"ts\":" + std::to_string(mark.first) +
+               ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":" +
+               std::to_string(depth) + "}},\n";
+      }
     }
 
     if (trace.truncated()) {
@@ -154,14 +177,16 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
 std::string chrome_trace_json(Device& dev) {
   std::vector<const Trace*> traces;
   std::vector<int> ids;
+  std::vector<const PipeScheduler*> scheds;
   for (int c = 0; c < dev.num_cores(); ++c) {
     const Trace& t = dev.core(c).trace();
     if (!t.events().empty()) {
       traces.push_back(&t);
       ids.push_back(c);
+      scheds.push_back(&dev.core(c).sched());
     }
   }
-  return chrome_trace_json(traces, ids);
+  return chrome_trace_json(traces, ids, scheds);
 }
 
 void write_chrome_trace(const std::string& path, Device& dev) {

@@ -3,13 +3,17 @@
 //
 // Each AI Core becomes one process track (pid = core id) and each
 // execution unit one thread row inside it (Vector, MTE, SCU, Cube, Sync).
-// The simulator executes a single in-order timeline per core, so an
-// event's timestamp is the running sum of the cycle costs of everything
-// the core executed before it; one simulated cycle is exported as one
-// microsecond of trace time. Events carry their detail string, cycle cost
-// and slot occupancy in args, and every Vector Unit instruction also emits
-// an "active lanes" counter sample so the 16-vs-128-lane difference the
-// paper argues about is visible as a counter track.
+// An event's timestamp is the start cycle assigned by the core's
+// pipe-overlap scheduler (sim/pipe_schedule.h), so double-buffered
+// kernels render with genuinely overlapping per-unit intervals; events
+// recorded without a scheduled start (hand-built traces) fall back to the
+// serial running sum. One simulated cycle is exported as one microsecond
+// of trace time. Events carry their detail string, cycle cost and slot
+// occupancy in args, every Vector Unit instruction also emits an "active
+// lanes" counter sample so the 16-vs-128-lane difference the paper argues
+// about is visible as a counter track, and ping-pong kernels add a
+// "ub tiles in flight" counter (tiles loaded but not yet stored) that
+// shows the double-buffer depth directly.
 //
 // Tracing must be enabled per core (AiCore::trace().enable()) before the
 // run; cores with empty traces are skipped. A truncated trace (see
@@ -20,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/pipe_schedule.h"
 #include "sim/trace.h"
 
 namespace davinci {
@@ -28,9 +33,13 @@ class Device;
 
 // Serializes the given per-core traces; entry i is rendered as the track
 // of core `core_ids[i]`. Returns a complete JSON object (trace_event
-// "JSON Object Format": {"traceEvents": [...], ...}).
+// "JSON Object Format": {"traceEvents": [...], ...}). When `scheds` is
+// non-empty, entry i supplies core i's tile marks for the
+// "ub tiles in flight" counter track (nullptr entries are skipped).
 std::string chrome_trace_json(const std::vector<const Trace*>& traces,
-                              const std::vector<int>& core_ids);
+                              const std::vector<int>& core_ids,
+                              const std::vector<const PipeScheduler*>&
+                                  scheds = {});
 
 // Serializes every core of `dev` that recorded at least one event.
 std::string chrome_trace_json(Device& dev);

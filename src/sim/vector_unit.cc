@@ -55,12 +55,15 @@ void VectorUnit::charge(const char* op, const VecConfig& cfg) {
   }
   const std::int64_t cycles = cost_.vector_instr(cfg.repeat);
   stats_->vector_cycles += cycles;
+  std::int64_t start = -1;
+  if (sched_) start = sched_->issue(Pipe::kVector, cycles).start;
   if (trace_ && trace_->enabled()) {
     trace_->record(TraceKind::kVector,
                    std::string(op) + " repeat=" + std::to_string(cfg.repeat) +
                        " lanes=" + std::to_string(lanes),
                    cycles, static_cast<std::int64_t>(lanes) * cfg.repeat,
-                   static_cast<std::int64_t>(arch_.vector_lanes) * cfg.repeat);
+                   static_cast<std::int64_t>(arch_.vector_lanes) * cfg.repeat,
+                   start);
   }
   // The cycles above were really spent before the parity check tripped, so
   // the fault hook runs after the ledger update. May throw TransientFault.

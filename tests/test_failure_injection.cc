@@ -93,14 +93,17 @@ TEST_P(HostileArch, BackwardStaysExact) {
 }
 
 TEST_P(HostileArch, TightArchCostsMoreCycles) {
-  // A hostile architecture must never be *faster* than the real one.
+  // A hostile architecture must never *charge less* than the real one.
+  // The comparison is on serial cycles: a tiny UB forces more, smaller
+  // tiles, and with double buffering more tiles can legitimately overlap
+  // into a shorter makespan even though every tile costs extra.
   Device hostile(GetParam().arch);
   Device normal;
   const TensorF16 in = testutil::random_int_nc1hwc0(1, 2, 33, 33, 905);
   const Window2d w = Window2d::pool(3, 2);
   auto a = kernels::maxpool_forward(hostile, in, w, PoolImpl::kIm2col);
   auto b = kernels::maxpool_forward(normal, in, w, PoolImpl::kIm2col);
-  EXPECT_GE(a.cycles(), b.cycles());
+  EXPECT_GE(a.run.device_cycles_serial, b.run.device_cycles_serial);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, HostileArch,

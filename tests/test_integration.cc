@@ -107,10 +107,15 @@ TEST(Integration, Figure7SpeedupsHoldOnAllThreeInputs) {
                                             layer.w, MergeImpl::kCol2im);
     EXPECT_LT(b_fast.cycles(), b_base.cycles());
 
-    const double fwd_speedup = static_cast<double>(f_base.cycles()) /
-                               static_cast<double>(f_fast.cycles());
-    const double bwd_speedup = static_cast<double>(b_base.cycles()) /
-                               static_cast<double>(b_fast.cycles());
+    // Speedup ratios on serial cycles -- the charge model calibrated
+    // against the paper's hardware counters; the overlapped makespan
+    // shifts forward and backward by different amounts.
+    const double fwd_speedup =
+        static_cast<double>(f_base.run.device_cycles_serial) /
+        static_cast<double>(f_fast.run.device_cycles_serial);
+    const double bwd_speedup =
+        static_cast<double>(b_base.run.device_cycles_serial) /
+        static_cast<double>(b_fast.run.device_cycles_serial);
     // Shape check: meaningful speedups in the single-digit range, with
     // backward the larger one (paper: 3.2x and 5.8x at the largest input).
     EXPECT_GT(fwd_speedup, 1.5) << layer.index;

@@ -1,0 +1,149 @@
+// Unit tests of the per-core pipe-overlap scheduler (sim/pipe_schedule.h):
+// serial semantics outside stages, overlap inside stages, the barrier, the
+// sandwich bound and the ping-pong tile marks.
+#include <gtest/gtest.h>
+
+#include "sim/pipe_schedule.h"
+
+namespace davinci {
+namespace {
+
+using Event = PipeScheduler::Event;
+
+TEST(PipeSchedule, UnstagedOpsSerialize) {
+  // Outside a stage every op starts at the global frontier, so the
+  // makespan equals the serial sum even across different pipes.
+  PipeScheduler s;
+  auto a = s.issue(Pipe::kMteIn, 10);
+  auto b = s.issue(Pipe::kVector, 7);
+  auto c = s.issue(Pipe::kMteOut, 5);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(b.start, 10);
+  EXPECT_EQ(c.start, 17);
+  EXPECT_EQ(s.makespan(), 22);
+}
+
+TEST(PipeSchedule, StagesOverlapAcrossPipes) {
+  // load (MTE-in, 10) then compute (Vector, 10) depending on the load,
+  // then a second independent load: the second load starts at cycle 10,
+  // concurrent with the compute.
+  PipeScheduler s;
+  s.begin_stage(Pipe::kMteIn, 0);
+  auto load1 = s.issue(Pipe::kMteIn, 10);
+  Event load1_done = s.end_stage();
+  EXPECT_EQ(load1_done, 10);
+
+  s.begin_stage(Pipe::kVector, load1_done);
+  auto comp = s.issue(Pipe::kVector, 10);
+  Event comp_done = s.end_stage();
+
+  s.begin_stage(Pipe::kMteIn, 0);
+  auto load2 = s.issue(Pipe::kMteIn, 10);
+  Event load2_done = s.end_stage();
+
+  EXPECT_EQ(comp.start, 10);
+  EXPECT_EQ(load2.start, 10);  // overlaps the compute
+  EXPECT_EQ(comp_done, 20);
+  EXPECT_EQ(load2_done, 20);
+  EXPECT_EQ(s.makespan(), 20);        // not the serial 30
+  EXPECT_EQ(load1.start, 0);
+}
+
+TEST(PipeSchedule, StageRespectsDependencyEvent) {
+  PipeScheduler s;
+  s.begin_stage(Pipe::kMteIn, 0);
+  s.issue(Pipe::kMteIn, 10);
+  Event load_done = s.end_stage();
+
+  // A stage whose dependency is later than its pipe's ready time waits.
+  s.begin_stage(Pipe::kVector, load_done + 5);
+  auto comp = s.issue(Pipe::kVector, 3);
+  s.end_stage();
+  EXPECT_EQ(comp.start, 15);
+}
+
+TEST(PipeSchedule, InStageOpsQueueInOrder) {
+  PipeScheduler s;
+  s.begin_stage(Pipe::kVector, 4);
+  auto a = s.issue(Pipe::kMteIn, 2);  // natural pipe overridden by stage
+  auto b = s.issue(Pipe::kVector, 3);
+  Event done = s.end_stage();
+  EXPECT_EQ(a.start, 4);
+  EXPECT_EQ(b.start, 6);
+  EXPECT_EQ(done, 9);
+  EXPECT_EQ(s.busy(Pipe::kVector), 5);
+  EXPECT_EQ(s.busy(Pipe::kMteIn), 0);
+}
+
+TEST(PipeSchedule, EmptyStageCompletesAtDependency) {
+  PipeScheduler s;
+  s.begin_stage(Pipe::kScu, 42);
+  EXPECT_EQ(s.end_stage(), 42);
+  EXPECT_EQ(s.makespan(), 0);  // nothing was charged
+}
+
+TEST(PipeSchedule, BarrierHoldsEveryPipe) {
+  PipeScheduler s;
+  s.begin_stage(Pipe::kMteIn, 0);
+  s.issue(Pipe::kMteIn, 10);
+  s.end_stage();
+  auto bar = s.barrier(2);
+  EXPECT_EQ(bar.start, 10);
+  // After the barrier nothing may start before cycle 12, even with no
+  // dependency.
+  s.begin_stage(Pipe::kVector, 0);
+  auto op = s.issue(Pipe::kVector, 1);
+  s.end_stage();
+  EXPECT_EQ(op.start, 12);
+  EXPECT_EQ(s.busy(Pipe::kSync), 2);
+}
+
+TEST(PipeSchedule, SandwichBound) {
+  // busiest unit busy <= makespan <= serial sum, on an arbitrary mix.
+  PipeScheduler s;
+  std::int64_t serial = 0;
+  const Pipe pipes[] = {Pipe::kMteIn, Pipe::kVector, Pipe::kScu,
+                        Pipe::kMteOut};
+  Event dep = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::int64_t cycles = 3 + (i % 5);
+    s.begin_stage(pipes[i % 4], i % 3 == 0 ? dep : 0);
+    s.issue(pipes[i % 4], cycles);
+    dep = s.end_stage();
+    serial += cycles;
+  }
+  EXPECT_LE(s.busiest_unit_busy(), s.makespan());
+  EXPECT_LE(s.makespan(), serial);
+}
+
+TEST(PipeSchedule, BusiestUnitExcludesSync) {
+  PipeScheduler s;
+  s.barrier(100);
+  s.issue(Pipe::kVector, 5);
+  EXPECT_EQ(s.busiest_unit_busy(), 5);
+}
+
+TEST(PipeSchedule, TileMarksRecordAndReset) {
+  PipeScheduler s;
+  s.note_tile(10, +1);
+  s.note_tile(25, -1);
+  ASSERT_EQ(s.tile_marks().size(), 2u);
+  EXPECT_EQ(s.tile_marks()[0].first, 10);
+  EXPECT_EQ(s.tile_marks()[0].second, 1);
+  EXPECT_EQ(s.tile_marks()[1].second, -1);
+  s.reset();
+  EXPECT_TRUE(s.tile_marks().empty());
+  EXPECT_EQ(s.makespan(), 0);
+  EXPECT_EQ(s.busiest_unit_busy(), 0);
+}
+
+TEST(PipeSchedule, ResetClearsReadyTimes) {
+  PipeScheduler s;
+  s.issue(Pipe::kVector, 9);
+  s.reset();
+  auto op = s.issue(Pipe::kMteIn, 1);
+  EXPECT_EQ(op.start, 0);
+}
+
+}  // namespace
+}  // namespace davinci

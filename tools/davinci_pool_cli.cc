@@ -4,7 +4,7 @@
 //
 //   davinci_pool_cli --op=maxpool --impl=im2col --h=71 --w=71 --c=192
 //                    --k=3 --s=2 [--pad=1] [--trace] [--compare]
-//                    [--profile=<out.json>]
+//                    [--no-double-buffer] [--profile=<out.json>]
 //                    [--inject=<spec>] [--retries=N] [--seed=S]
 //
 //   --op       maxpool | maxpool_mask | maxpool_bwd | avgpool |
@@ -13,6 +13,8 @@
 //              vadd | col2im                           (backward ops)
 //   --compare  also run the baseline implementation and print the speedup
 //   --trace    print the first instructions executed on core 0
+//   --no-double-buffer  run the legacy serial single-buffer schedule
+//              (device cycles then equal the serial cycle count)
 //   --profile  record the instruction timeline of every core and write it
 //              as Chrome trace_event JSON, viewable in chrome://tracing or
 //              https://ui.perfetto.dev (see docs/PROFILING.md); with
@@ -60,6 +62,7 @@ struct Options {
   std::int64_t seed = 0;
   bool trace = false;
   bool compare = false;
+  bool no_double_buffer = false;
 };
 
 bool parse_int(const char* arg, const char* name, std::int64_t* out) {
@@ -86,8 +89,9 @@ akg::PoolImpl parse_impl(const std::string& s) {
 }
 
 void report(const char* what, const Device::RunResult& run, bool show_faults) {
-  std::printf("%-14s %10lld cycles  (pipelined bound %lld)\n", what,
-              static_cast<long long>(run.device_cycles),
+  std::printf("%-14s %10lld cycles  (serial %lld, pipelined bound %lld)\n",
+              what, static_cast<long long>(run.device_cycles),
+              static_cast<long long>(run.device_cycles_serial),
               static_cast<long long>(run.device_cycles_pipelined));
   std::printf("  %s\n", run.aggregate.summary().c_str());
   std::printf("  occupancy: %s\n", run.profile.summary().c_str());
@@ -117,6 +121,8 @@ int main(int argc, char** argv) {
       opt.trace = true;
     } else if (std::strcmp(a, "--compare") == 0) {
       opt.compare = true;
+    } else if (std::strcmp(a, "--no-double-buffer") == 0) {
+      opt.no_double_buffer = true;
     } else {
       std::fprintf(stderr, "unknown argument %s (see header comment)\n", a);
       return 2;
@@ -130,6 +136,7 @@ int main(int argc, char** argv) {
   in.fill_random_ints(1);
 
   Device dev;
+  dev.set_double_buffer(!opt.no_double_buffer);
   if (opt.trace) dev.core(0).trace().enable();
   if (!opt.profile.empty()) {
     // The Chrome-trace export needs every core's instruction stream.
