@@ -15,6 +15,7 @@
 #include "kernels/pooling.h"
 #include "nets/cnn_tables.h"
 #include "ref/pooling_ref.h"
+#include "sim/metrics_registry.h"
 
 using namespace davinci;
 
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
   std::string json_path = bench::json_arg(argc, argv);
   if (json_path.empty()) json_path = "BENCH_pipeline.json";
   bench::JsonReport report("ablation_pipeline");
+  const std::string metrics_path = bench::metrics_arg(argc, argv);
+  MetricsRegistry metrics;
 
   bench::Table table(
       "speedups under both timing models",
@@ -46,11 +49,17 @@ int main(int argc, char** argv) {
     report.row()
         .field("experiment", std::string(name))
         .field("variant", std::string("base"))
-        .run_fields(base);
+        .run_fields(base)
+        .traffic_fields(base, dev.arch());
     report.row()
         .field("experiment", std::string(name))
         .field("variant", std::string("fast"))
-        .run_fields(fast);
+        .run_fields(fast)
+        .traffic_fields(fast, dev.arch());
+    if (!metrics_path.empty()) {
+      metrics.add(std::string(name) + " [base]", base, dev.arch());
+      metrics.add(std::string(name) + " [fast]", fast, dev.arch());
+    }
   };
 
   {  // Figure 7a, middle input.
@@ -93,5 +102,6 @@ int main(int argc, char** argv) {
       "MTE/SCU-bound and the baselines stay Vector-bound, so every\n"
       "ordering survives; the serial model is the conservative choice.\n");
   report.write(json_path);
+  if (!metrics_path.empty()) metrics.write(metrics_path);
   return 0;
 }

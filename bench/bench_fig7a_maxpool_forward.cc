@@ -59,13 +59,15 @@ int main(int argc, char** argv) {
         .field("impl", std::string("direct"))
         .field("double_buffer", db)
         .field("verified", ok)
-        .run_fields(direct.run);
+        .run_fields(direct.run)
+        .traffic_fields(direct.run, dev.arch());
     report.row()
         .field("shape", std::string(shape))
         .field("impl", std::string("im2col"))
         .field("double_buffer", db)
         .field("verified", ok)
-        .run_fields(im2col.run);
+        .run_fields(im2col.run)
+        .traffic_fields(im2col.run, dev.arch());
   }
   table.print();
   std::printf(

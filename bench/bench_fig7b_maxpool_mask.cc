@@ -10,11 +10,15 @@
 
 using namespace davinci;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_preamble(
       "MaxPool forward + Argmax mask: standard vs Im2col-based",
       "Figure 7b (IPDPSW 2021)");
   Device dev;
+  const bool db = !bench::no_double_buffer_arg(argc, argv);
+  dev.set_double_buffer(db);
+  const std::string json_path = bench::json_arg(argc, argv);
+  bench::JsonReport report("fig7b_maxpool_mask");
   bench::Table table("Figure 7b -- cycle count by input size",
                      {"input (HWC)", "Maxpool+mask", "Im2col+mask", "speedup",
                       "verified"});
@@ -53,9 +57,24 @@ int main() {
                    bench::fmt_ratio(static_cast<double>(direct.cycles()) /
                                     static_cast<double>(im2col.cycles())),
                    ok ? "bit-exact" : "MISMATCH"});
+    report.row()
+        .field("shape", std::string(shape))
+        .field("impl", std::string("direct"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(direct.run)
+        .traffic_fields(direct.run, dev.arch());
+    report.row()
+        .field("shape", std::string(shape))
+        .field("impl", std::string("im2col"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(im2col.run)
+        .traffic_fields(im2col.run, dev.arch());
   }
   table.print();
   std::printf(
       "\nPaper reports a 5x speedup at the largest input (Section VI-A).\n");
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

@@ -11,10 +11,14 @@
 
 using namespace davinci;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_preamble("MaxPool backward: vadd merge vs Col2Im merge",
                         "Figure 7c (IPDPSW 2021)");
   Device dev;
+  const bool db = !bench::no_double_buffer_arg(argc, argv);
+  dev.set_double_buffer(db);
+  const std::string json_path = bench::json_arg(argc, argv);
+  bench::JsonReport report("fig7c_maxpool_backward");
   bench::Table table("Figure 7c -- cycle count by input size",
                      {"input (HWC)", "Maxpool backward", "with Col2im",
                       "speedup", "verified"});
@@ -46,9 +50,24 @@ int main() {
                    bench::fmt_ratio(static_cast<double>(vadd.cycles()) /
                                     static_cast<double>(col2im.cycles())),
                    ok ? "bit-exact" : "MISMATCH"});
+    report.row()
+        .field("shape", std::string(shape))
+        .field("impl", std::string("vadd"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(vadd.run)
+        .traffic_fields(vadd.run, dev.arch());
+    report.row()
+        .field("shape", std::string(shape))
+        .field("impl", std::string("col2im"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(col2im.run)
+        .traffic_fields(col2im.run, dev.arch());
   }
   table.print();
   std::printf(
       "\nPaper reports a 5.8x speedup at the largest input (Section VI-A).\n");
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

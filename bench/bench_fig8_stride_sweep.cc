@@ -24,8 +24,9 @@ using namespace davinci;
 
 namespace {
 
-void sweep(std::int64_t stride) {
+void sweep(std::int64_t stride, bool db, bench::JsonReport* report) {
   Device dev;
+  dev.set_double_buffer(db);
   const Window2d w = Window2d::pool(3, stride);
   const bool with_xysplit = stride == 2;  // as in Figure 8b
   const std::int64_t threshold =
@@ -58,6 +59,16 @@ void sweep(std::int64_t stride) {
                        static_cast<long long>(h));
           std::exit(1);
         }
+      }
+      if (report) {
+        report->row()
+            .field("stride", stride)
+            .field("h", h)
+            .field("impl", std::string(akg::to_string(impl)))
+            .field("double_buffer", db)
+            .field("verified", true)
+            .run_fields(r.run)
+            .traffic_fields(r.run, dev.arch());
       }
       return r.cycles();
     };
@@ -94,12 +105,18 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--stride=", 9) == 0) only = argv[i][9] - '0';
   }
+  const bool db = !bench::no_double_buffer_arg(argc, argv);
+  const std::string json_path = bench::json_arg(argc, argv);
+  bench::JsonReport report("fig8_stride_sweep");
   for (std::int64_t s : {1, 2, 3}) {
-    if (only == 0 || only == s) sweep(s);
+    if (only == 0 || only == s) {
+      sweep(s, db, json_path.empty() ? nullptr : &report);
+    }
   }
   std::printf(
       "\nExpected shape (Section VI-B): direct wins only at stride (1,1);\n"
       "Im2col-based kernels win at (2,2) and (3,3); the X-Y split\n"
       "underperforms the Im2col-based implementations.\n");
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

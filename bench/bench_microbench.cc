@@ -5,6 +5,10 @@
 // visible.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "arch/arch_config.h"
 #include "arch/cost_model.h"
 #include "kernels/pooling.h"
@@ -111,4 +115,29 @@ BENCHMARK(BM_DeviceRunDispatch);
 }  // namespace
 }  // namespace davinci
 
-BENCHMARK_MAIN();
+// Custom main so the harness-wide --json=<path> flag works here too: it
+// maps onto google-benchmark's own JSON reporter (--benchmark_out), which
+// already records wall-clock per benchmark -- the host-side equivalent of
+// the cycle rows the figure benches emit.
+int main(int argc, char** argv) {
+  std::vector<std::string> args_storage;
+  std::vector<char*> args;
+  args_storage.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    static constexpr char kFlag[] = "--json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      args_storage.push_back(std::string("--benchmark_out=") +
+                             (argv[i] + sizeof(kFlag) - 1));
+      args_storage.push_back("--benchmark_out_format=json");
+    } else {
+      args_storage.push_back(argv[i]);
+    }
+  }
+  for (auto& s : args_storage) args.push_back(s.data());
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,11 +12,15 @@
 
 using namespace davinci;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_preamble(
       "All Table-I CNN pooling layers: standard vs Im2col-based forward",
       "Table I (IPDPSW 2021)");
   Device dev;
+  const bool db = !bench::no_double_buffer_arg(argc, argv);
+  dev.set_double_buffer(db);
+  const std::string json_path = bench::json_arg(argc, argv);
+  bench::JsonReport report("table1_networks");
   bench::Table table("Table I workloads",
                      {"network", "input (HWC)", "K/S", "Maxpool",
                       "with Im2col", "speedup", "verified"});
@@ -53,6 +57,24 @@ int main() {
                    bench::fmt_ratio(static_cast<double>(direct.cycles()) /
                                     static_cast<double>(im2col.cycles())),
                    ok ? "bit-exact" : "MISMATCH"});
+    report.row()
+        .field("net", layer.network)
+        .field("shape", std::string(shape))
+        .field("window", std::string(ks))
+        .field("impl", std::string("direct"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(direct.run)
+        .traffic_fields(direct.run, dev.arch());
+    report.row()
+        .field("net", layer.network)
+        .field("shape", std::string(shape))
+        .field("window", std::string(ks))
+        .field("impl", std::string("im2col"))
+        .field("double_buffer", db)
+        .field("verified", ok)
+        .run_fields(im2col.run)
+        .traffic_fields(im2col.run, dev.arch());
   }
   table.print();
 
@@ -67,5 +89,6 @@ int main() {
   std::printf(
       "\nNote: VGG16 uses K=S=(2,2) -- non-overlapping windows -- where the\n"
       "Im2col layout still wins on mask saturation alone.\n");
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

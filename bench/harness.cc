@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "sim/metrics.h"
 #include "sim/trace_export.h"
 
 namespace davinci::bench {
@@ -136,6 +137,16 @@ JsonReport& JsonReport::run_fields(const Device::RunResult& run) {
   return *this;
 }
 
+JsonReport& JsonReport::traffic_fields(const Device::RunResult& run,
+                                       const ArchConfig& arch) {
+  const Roofline roof = compute_roofline(run.aggregate, arch,
+                                         run.device_cycles, run.cores_used);
+  field("gm_bytes", roof.gm_bytes);
+  field("mte_bytes", roof.mte_bytes);
+  field("roofline", std::string(roof.klass()));
+  return *this;
+}
+
 std::string JsonReport::to_json() const {
   std::string out = "{\"bench\":\"";
   append_json_escaped(&out, bench_);
@@ -173,6 +184,16 @@ bool no_double_buffer_arg(int argc, char** argv) {
     if (std::strcmp(argv[i], "--no-double-buffer") == 0) return true;
   }
   return false;
+}
+
+std::string metrics_arg(int argc, char** argv) {
+  static constexpr char kFlag[] = "--metrics=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  return "";
 }
 
 std::string profile_arg(int argc, char** argv) {

@@ -62,6 +62,11 @@ class JsonReport {
   // The standard per-run fields: cycles (overlapped makespan),
   // cycles_serial, busiest_unit_cycles, pipelined_bound, host_ns.
   JsonReport& run_fields(const Device::RunResult& run);
+  // Observability extras: GM/MTE traffic bytes and the roofline class
+  // (docs/OBSERVABILITY.md), so the perf trajectory records *why* a row
+  // moved, not just that it did.
+  JsonReport& traffic_fields(const Device::RunResult& run,
+                             const ArchConfig& arch);
 
   // Serializes the report; write() also prints where it went.
   std::string to_json() const;
@@ -74,6 +79,11 @@ class JsonReport {
 
 // Returns the path of a --json=<path> argument, or "" when absent.
 std::string json_arg(int argc, char** argv);
+
+// Returns the path of a --metrics=<path> argument, or "" when absent.
+// Benches that support it collect each run in a MetricsRegistry and write
+// the full attribution/roofline JSON there (see sim/metrics_registry.h).
+std::string metrics_arg(int argc, char** argv);
 
 // True when --no-double-buffer was passed; benches then call
 // Device::set_double_buffer(false) and report the serial schedule.

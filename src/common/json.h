@@ -1,0 +1,372 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The metrics toolchain (sim/metrics_registry.h writes, sim/prof_report.h
+// and tools/davinci_prof.cc read) needs to round-trip its own versioned
+// schema and the bench JsonReport files without external dependencies, so
+// this header implements just enough of RFC 8259: the full value grammar,
+// \uXXXX escapes decoded to UTF-8, and strict errors (trailing garbage,
+// duplicate keys allowed last-wins like most parsers). Numbers are kept
+// twice -- as double and, when exactly representable, as int64 -- because
+// cycle counts exceed double's 53-bit integer range in principle and the
+// diff tool must compare them exactly.
+//
+// Header-only so it can live in the davinci_common INTERFACE library.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace davinci {
+namespace json {
+
+class Value;
+using Array = std::vector<Value>;
+// std::map keeps object keys ordered, which makes reports and error
+// messages deterministic.
+using Object = std::map<std::string, Value>;
+
+enum class Kind : std::uint8_t {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(runtime/explicit)
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::int64_t i)
+      : kind_(Kind::kNumber), num_(static_cast<double>(i)), int_(i),
+        has_int_(true) {}
+  explicit Value(std::string s)
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  // True when the number was written without fraction/exponent and fits
+  // int64 exactly.
+  bool is_int() const { return kind_ == Kind::kNumber && has_int_; }
+
+  bool as_bool() const {
+    DV_CHECK(is_bool()) << "json: not a bool";
+    return bool_;
+  }
+  double as_double() const {
+    DV_CHECK(is_number()) << "json: not a number";
+    return num_;
+  }
+  std::int64_t as_int() const {
+    DV_CHECK(is_int()) << "json: not an integer";
+    return int_;
+  }
+  const std::string& as_string() const {
+    DV_CHECK(is_string()) << "json: not a string";
+    return str_;
+  }
+  const Array& as_array() const {
+    DV_CHECK(is_array()) << "json: not an array";
+    return *arr_;
+  }
+  const Object& as_object() const {
+    DV_CHECK(is_object()) << "json: not an object";
+    return *obj_;
+  }
+
+  // Object member access; `get` returns nullptr when absent.
+  const Value* get(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+  }
+  const Value& at(const std::string& key) const {
+    const Value* v = get(key);
+    DV_CHECK(v != nullptr) << "json: missing key '" << key << "'";
+    return *v;
+  }
+  bool has(const std::string& key) const { return get(key) != nullptr; }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool has_int_ = false;
+  std::string str_;
+  // shared_ptr keeps Value cheaply copyable (reports pass subtrees around
+  // by value); documents are read-only after parsing.
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    DV_CHECK(pos_ == s_.size())
+        << "json: trailing garbage at offset " << pos_;
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object o;
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(o));
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      o[std::move(key)] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value(std::move(o));
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array a;
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(a));
+    }
+    while (true) {
+      a.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value(std::move(a));
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(out, parse_hex4()); break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= s_.size()) fail("truncated \\u escape");
+      const char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    // Surrogate pairs are not recombined; each half encodes standalone,
+    // which is enough for the ASCII-only schemas this repo writes.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool any_digit = false;
+    while (pos_ < s_.size() && std::isdigit(
+               static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+      any_digit = true;
+    }
+    if (!any_digit) fail("bad number");
+    bool integral = true;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      bool frac = false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) fail("bad number fraction");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      bool exp = false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        exp = true;
+      }
+      if (!exp) fail("bad number exponent");
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    if (integral) {
+      try {
+        return Value(static_cast<std::int64_t>(std::stoll(tok)));
+      } catch (const std::exception&) {
+        // Falls through to double for out-of-range integers.
+      }
+    }
+    try {
+      return Value(std::stod(tok));
+    } catch (const std::exception&) {
+      fail("unparseable number '" + tok + "'");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+// Parses a complete JSON document; throws davinci::Error on any syntax
+// error (including trailing garbage).
+inline Value parse(const std::string& text) {
+  return detail::Parser(text).parse_document();
+}
+
+// Serializes a string with the escapes parse() understands.
+inline std::string escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace json
+}  // namespace davinci

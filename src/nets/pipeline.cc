@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "kernels/conv2d.h"
+#include "sim/metrics_registry.h"
 #include "ref/conv_ref.h"
 #include "ref/pooling_ref.h"
 #include "tensor/fractal.h"
@@ -49,47 +50,41 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
   for (const Layer& layer : layers_) {
     LayerRun run;
     run.name = layer.name;
+    auto note = [&](auto& r) {
+      run.cycles = r.cycles();
+      run.serial_cycles = r.run.device_cycles_serial;
+      run.host_ns = r.run.host_ns;
+      run.profile = r.run.profile;
+      run.run = r.run;
+      result.faults += r.run.faults;
+      cur = std::move(r.out);
+    };
     switch (layer.kind) {
       case Kind::kConv: {
         auto r = kernels::conv2d_cube(dev, cur, layer.weights, layer.window);
-        run.cycles = r.cycles();
-        run.serial_cycles = r.run.device_cycles_serial;
-        run.profile = r.run.profile;
-        result.faults += r.run.faults;
-        cur = std::move(r.out);
+        note(r);
         break;
       }
       case Kind::kMaxPool: {
         auto r = kernels::maxpool_forward(dev, cur, layer.window, pool_impl);
-        run.cycles = r.cycles();
-        run.serial_cycles = r.run.device_cycles_serial;
-        run.profile = r.run.profile;
-        result.faults += r.run.faults;
-        cur = std::move(r.out);
+        note(r);
         break;
       }
       case Kind::kAvgPool: {
         auto r = kernels::avgpool_forward(dev, cur, layer.window, pool_impl);
-        run.cycles = r.cycles();
-        run.serial_cycles = r.run.device_cycles_serial;
-        run.profile = r.run.profile;
-        result.faults += r.run.faults;
-        cur = std::move(r.out);
+        note(r);
         break;
       }
       case Kind::kGlobalAvg: {
         auto r = kernels::global_avgpool(dev, cur);
-        run.cycles = r.cycles();
-        run.serial_cycles = r.run.device_cycles_serial;
-        run.profile = r.run.profile;
-        result.faults += r.run.faults;
-        cur = std::move(r.out);
+        note(r);
         break;
       }
     }
     run.out_shape = cur.shape();
     result.total_cycles += run.cycles;
     result.total_serial_cycles += run.serial_cycles;
+    result.total_host_ns += run.host_ns;
     result.profile += run.profile;
     result.layers.push_back(std::move(run));
   }
@@ -100,17 +95,20 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
 namespace {
 
 void append_utilization_row(std::string* out, const std::string& name,
-                            std::int64_t cycles, const Profile& p) {
+                            std::int64_t cycles, std::int64_t serial,
+                            std::int64_t host_ns, const Profile& p) {
   auto cell = [](const UnitOccupancy& u) -> std::string {
     if (u.instrs == 0) return "-";
     char buf[16];
     std::snprintf(buf, sizeof(buf), "%5.1f%%", u.occupancy() * 100.0);
     return buf;
   };
-  char line[160];
+  char line[192];
   std::snprintf(line, sizeof(line),
-                "%-18s %12lld  %9s %8.0f%%  %7s %7s %6s %6s\n", name.c_str(),
-                static_cast<long long>(cycles),
+                "%-18s %12lld %12lld %9.1fus  %9s %8.0f%%  %7s %7s %6s %6s\n",
+                name.c_str(), static_cast<long long>(cycles),
+                static_cast<long long>(serial),
+                static_cast<double>(host_ns) / 1000.0,
                 cell(p.vec).c_str(), p.vec.saturation() * 100.0,
                 cell(p.im2col).c_str(), cell(p.col2im).c_str(),
                 cell(p.cube).c_str(), cell(p.mte).c_str());
@@ -121,17 +119,27 @@ void append_utilization_row(std::string* out, const std::string& name,
 
 std::string Pipeline::Result::utilization_table() const {
   std::string out;
-  char header[160];
-  std::snprintf(header, sizeof(header), "%-18s %12s  %9s %9s  %7s %7s %6s %6s\n",
-                "layer", "cycles", "vec-lanes", "vec-sat", "im2col", "col2im",
-                "cube", "mte");
+  char header[192];
+  std::snprintf(header, sizeof(header),
+                "%-18s %12s %12s %11s  %9s %9s  %7s %7s %6s %6s\n",
+                "layer", "cycles", "serial", "host", "vec-lanes", "vec-sat",
+                "im2col", "col2im", "cube", "mte");
   out += header;
   out += std::string(std::strlen(header) - 1, '-') + "\n";
   for (const LayerRun& run : layers) {
-    append_utilization_row(&out, run.name, run.cycles, run.profile);
+    append_utilization_row(&out, run.name, run.cycles, run.serial_cycles,
+                           run.host_ns, run.profile);
   }
-  append_utilization_row(&out, "total", total_cycles, profile);
+  append_utilization_row(&out, "total", total_cycles, total_serial_cycles,
+                         total_host_ns, profile);
   return out;
+}
+
+void Pipeline::Result::add_metrics(MetricsRegistry& registry,
+                                   const ArchConfig& arch) const {
+  for (const LayerRun& run : layers) {
+    registry.add(run.name, run.run, arch);
+  }
 }
 
 Pipeline::Result Pipeline::run_resilient(Device& dev, const TensorF16& input,

@@ -15,6 +15,10 @@
 #include "tensor/pool_geometry.h"
 #include "tensor/tensor.h"
 
+namespace davinci {
+class MetricsRegistry;
+}
+
 namespace davinci::nets {
 
 // How pooling layers are scheduled throughout a pipeline run.
@@ -38,7 +42,9 @@ class Pipeline {
     Shape out_shape;
     std::int64_t cycles = 0;         // overlapped makespan
     std::int64_t serial_cycles = 0;  // same instructions charged in order
+    std::int64_t host_ns = 0;        // host wall-clock of the device run
     Profile profile;  // per-instruction occupancy, merged over cores
+    Device::RunResult run;  // full counters (traffic, attribution, ...)
   };
 
   struct Result {
@@ -46,14 +52,21 @@ class Pipeline {
     std::vector<LayerRun> layers;
     std::int64_t total_cycles = 0;
     std::int64_t total_serial_cycles = 0;
+    std::int64_t total_host_ns = 0;
     Profile profile;    // summed over layers
     FaultStats faults;  // summed over layers; all-zero without injection
 
     // Per-layer utilization table (one row per layer plus a total row):
-    // cycles, mean vector-lane utilization, fraction of full-mask vector
-    // instructions, and SCU / MTE occupancy -- the quantities Section V
-    // of the paper reasons about, per layer.
+    // overlapped and serial cycles, host wall-clock, mean vector-lane
+    // utilization, fraction of full-mask vector instructions, and SCU /
+    // MTE occupancy -- the quantities Section V of the paper reasons
+    // about, per layer.
     std::string utilization_table() const;
+
+    // Appends one MetricsRegistry entry per layer (named after the
+    // layer), so a pipeline run lands in the same --metrics JSON schema
+    // as single-kernel runs (see sim/metrics_registry.h).
+    void add_metrics(MetricsRegistry& registry, const ArchConfig& arch) const;
   };
 
   // Runs the whole pipeline on `input` ((N=1, C1, H, W, C0) fp16). If a

@@ -65,14 +65,17 @@ void AiCore::pipe_barrier() {
 }
 
 void AiCore::begin_stage(Pipe pipe, PipeScheduler::Event after) {
+  std::int64_t flag_cycles = 0;
   if (after > 0) {
     // The cross-pipe dependency costs one flag-wait, exactly what
     // pipe_barrier charges -- but it only delays this stage's pipe
-    // instead of synchronizing all of them.
+    // instead of synchronizing all of them. The scheduler attributes up
+    // to this many stall cycles to the flag bucket.
     stats_.barrier_cycles += cost_.pipe_barrier_cycles;
     after += cost_.pipe_barrier_cycles;
+    flag_cycles = cost_.pipe_barrier_cycles;
   }
-  sched_.begin_stage(pipe, after);
+  sched_.begin_stage(pipe, after, flag_cycles);
 }
 
 PipeScheduler::Event AiCore::end_stage() { return sched_.end_stage(); }

@@ -137,6 +137,8 @@ Device::RunResult Device::collect_result(int cores_used) {
   RunResult result;
   result.cores_used = cores_used;
   result.core_cycles.resize(static_cast<std::size_t>(cores_used));
+  std::vector<const PipeScheduler*> scheds;
+  scheds.reserve(static_cast<std::size_t>(cores_used));
   for (int c = 0; c < cores_used; ++c) {
     AiCore& core = *cores_[static_cast<std::size_t>(c)];
     const CycleStats& s = core.stats();
@@ -151,7 +153,9 @@ Device::RunResult Device::collect_result(int cores_used) {
         std::max(result.device_cycles_pipelined, s.pipelined_cycles());
     result.busiest_unit_cycles = std::max(
         result.busiest_unit_cycles, core.sched().busiest_unit_busy());
+    scheds.push_back(&core.sched());
   }
+  result.attribution = attribute_cores(scheds);
   return result;
 }
 

@@ -49,6 +49,7 @@
 #include "sim/ai_core.h"
 #include "sim/executor.h"
 #include "sim/fault.h"
+#include "sim/metrics.h"
 #include "sim/stats.h"
 
 namespace davinci {
@@ -95,6 +96,9 @@ class Device {
     std::vector<std::int64_t> core_cycles;  // per-core overlapped makespan
     int cores_used = 0;
     FaultStats faults;                    // all-zero outside resilient runs
+    // Per-pipe busy/wait/flag/idle buckets and the critical core's
+    // bounding chain (sim/metrics.h); attribution.horizon == device_cycles.
+    DeviceAttribution attribution;
   };
 
   // Executes blocks [0, num_blocks) with `fn(core, block_index)`, block b

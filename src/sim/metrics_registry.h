@@ -1,0 +1,59 @@
+// Versioned metrics JSON: the stable machine-readable surface of the
+// observability layer (docs/OBSERVABILITY.md).
+//
+// A MetricsRegistry collects named runs (one per kernel invocation or
+// pipeline layer), derives the roofline from each run's aggregate
+// counters, and serializes everything under a schema marker:
+//
+//   { "schema": "davinci.metrics", "schema_version": 1, "entries": [
+//       { "name": ..., "cycles": ..., "cycles_serial": ...,
+//         "traffic": { per-route bytes }, "roofline": { ... },
+//         "attribution": { "horizon", "critical_core", "cores": [
+//             { "core", "makespan", "pipes": { per-pipe buckets } } ],
+//           "critical_path": [ head segments ],
+//           "critical_path_summary": { totals } } } ] }
+//
+// Consumers (tools/davinci_prof.cc, CI) key on schema/schema_version;
+// any breaking field change must bump kSchemaVersion. The critical path
+// is emitted head-truncated at kMaxPathSegments with exact totals in the
+// summary, so files stay bounded for long runs.
+//
+// Surfaced as --metrics=<out.json> in davinci_pool_cli and the bench
+// harness, and per-layer by nets::Pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace davinci {
+
+class MetricsRegistry {
+ public:
+  static constexpr int kSchemaVersion = 1;
+  // Critical-path segments serialized verbatim before head-truncation.
+  static constexpr std::size_t kMaxPathSegments = 1024;
+
+  // Records one named run; the roofline is derived from run.aggregate and
+  // `arch` at serialization time.
+  void add(const std::string& name, const Device::RunResult& run,
+           const ArchConfig& arch);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  std::string to_json() const;
+  // Writes to_json() to `path` and prints where it went.
+  void write(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Device::RunResult run;
+    ArchConfig arch;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace davinci

@@ -160,10 +160,29 @@ class Mte {
     return false;
   }
 
+  // Route a transfer's bytes into the MemTraffic counter matching its
+  // src/dst buffer pair (see allowed() for the legal paths).
+  void route_bytes(BufferKind src, BufferKind dst, std::int64_t bytes) {
+    using B = BufferKind;
+    MemTraffic& t = stats_->traffic;
+    if (src == B::kGlobal) {
+      (dst == B::kL1 ? t.gm_to_l1 : t.gm_to_ub) += bytes;
+    } else if (dst == B::kGlobal) {
+      (src == B::kL1 ? t.l1_to_gm : t.ub_to_gm) += bytes;
+    } else if (src == B::kL1) {
+      (dst == B::kUnified ? t.l1_to_ub : t.l1_to_l0) += bytes;
+    } else if (src == B::kUnified) {
+      (dst == B::kL1 ? t.ub_to_l1 : t.ub_to_l0c) += bytes;
+    } else if (src == B::kL0C) {
+      t.l0c_to_ub += bytes;
+    }
+  }
+
   void charge(BufferKind src, BufferKind dst, std::int64_t bytes,
               std::int64_t bursts) {
     stats_->mte_transfers += 1;
     stats_->mte_bytes += bytes;
+    route_bytes(src, dst, bytes);
     const std::int64_t cycles = cost_.mte_copy(bytes, bursts);
     stats_->mte_cycles += cycles;
     // A transfer landing in global memory is an MTE-out (store) interval

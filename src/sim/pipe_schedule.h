@@ -30,8 +30,19 @@
 // far, makespan() <= the serial cycle total always holds; and since busy
 // time accumulates per pipe, makespan() >= the busiest pipe's busy time.
 // Tests assert this sandwich for every kernel.
+//
+// Cycle attribution (docs/OBSERVABILITY.md): every cycle of every pipe's
+// timeline is charged to exactly one bucket as the schedule is built --
+// busy (an interval occupies the pipe), wait (the pipe sat behind a
+// dependency event or the serial frontier), flag (a flag-wait or
+// pipe_barrier stall), and the idle tail up to a query horizon. The
+// invariant busy + wait + flag + idle == horizon holds exactly per pipe by
+// construction. A bounded interval log additionally supports
+// critical_path(): the backward chain of intervals (with explicit stall
+// segments) whose lengths sum exactly to the makespan.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -63,6 +74,26 @@ inline const char* to_string(Pipe p) {
   return "?";
 }
 
+// Where a cycle of a pipe's timeline went (see attribution()).
+struct PipeBuckets {
+  std::int64_t busy = 0;  // an interval occupied the pipe
+  std::int64_t wait = 0;  // stalled behind a dependency event / frontier
+  std::int64_t flag = 0;  // flag-wait or pipe_barrier synchronization
+  std::int64_t idle = 0;  // tail after the pipe's last interval
+  std::int64_t total() const { return busy + wait + flag + idle; }
+};
+
+// One link of the critical path: either a scheduled interval (kBusy) or a
+// gap the bounding chain spent stalled (kStall).
+struct CritSegment {
+  enum class Kind : std::uint8_t { kBusy, kStall };
+  Pipe pipe = Pipe::kSync;
+  Kind kind = Kind::kBusy;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::int64_t length() const { return end - start; }
+};
+
 class PipeScheduler {
  public:
   // A completion event: the cycle at which a stage (or interval) ends.
@@ -79,13 +110,17 @@ class PipeScheduler {
   // Opens a stage on `pipe`; operations issued until end_stage() land on
   // that pipe in order, starting no earlier than `after` (0 = no
   // dependency). The flag-wait cost of the dependency is folded into
-  // `after` by the caller (AiCore::begin_stage).
-  void begin_stage(Pipe pipe, Event after) {
+  // `after` by the caller (AiCore::begin_stage), which also reports it as
+  // `flag_cycles` so the stall is attributed to the flag bucket rather
+  // than a generic dependency wait.
+  void begin_stage(Pipe pipe, Event after, std::int64_t flag_cycles = 0) {
     DV_CHECK(!stage_open_) << "begin_stage inside an open stage";
     DV_CHECK_GE(after, 0);
+    DV_CHECK_GE(flag_cycles, 0);
     stage_open_ = true;
     stage_pipe_ = pipe;
     stage_dep_ = after;
+    stage_flag_ = flag_cycles;
   }
 
   // Closes the stage; returns its completion event (the dependency floor
@@ -93,6 +128,7 @@ class PipeScheduler {
   Event end_stage() {
     DV_CHECK(stage_open_) << "end_stage without begin_stage";
     stage_open_ = false;
+    stage_flag_ = 0;
     const std::int64_t done =
         ready_[pipe_index(stage_pipe_)] > stage_dep_
             ? ready_[pipe_index(stage_pipe_)]
@@ -105,33 +141,60 @@ class PipeScheduler {
   // Closes a stage a faulted block left open (the resilient scheduler
   // calls this before retrying); the failed attempt's charges stay
   // accounted, exactly like its CycleStats.
-  void abandon_stage() { stage_open_ = false; }
+  void abandon_stage() {
+    stage_open_ = false;
+    stage_flag_ = 0;
+  }
 
   // Schedules `cycles` of work. Inside a stage the work lands on the
   // stage's pipe after the stage dependency; outside, it lands on
-  // `natural_pipe` at the global frontier (serial semantics).
+  // `natural_pipe` at the global frontier (serial semantics). Any gap
+  // between the pipe's last ready time and the new start is attributed:
+  // up to stage_flag_ cycles of a stage-dependency gap count as flag
+  // stall (the modeled wait_flag spin), the remainder as event wait; a
+  // serial-frontier gap is all event wait.
   Interval issue(Pipe natural_pipe, std::int64_t cycles) {
     DV_CHECK_GE(cycles, 0);
     const Pipe pipe = stage_open_ ? stage_pipe_ : natural_pipe;
     const int pi = pipe_index(pipe);
-    std::int64_t start = stage_open_
-                             ? (ready_[pi] > stage_dep_ ? ready_[pi]
-                                                        : stage_dep_)
-                             : frontier();
+    std::int64_t start;
+    if (stage_open_) {
+      start = ready_[pi] > stage_dep_ ? ready_[pi] : stage_dep_;
+      if (start > ready_[pi]) {
+        std::int64_t gap = start - ready_[pi];
+        const std::int64_t flag_part = gap < stage_flag_ ? gap : stage_flag_;
+        stage_flag_ -= flag_part;
+        flag_[pi] += flag_part;
+        wait_[pi] += gap - flag_part;
+      }
+    } else {
+      start = frontier();
+      wait_[pi] += start - ready_[pi];
+    }
     Interval iv{start, start + cycles};
     ready_[pi] = iv.end;
     busy_[pi] += cycles;
+    log_interval(pipe, iv);
     return iv;
   }
 
   // A full synchronization costing `cycles`: starts at the global
   // frontier and holds *every* pipe until it completes (pipe_barrier).
+  // Every pipe's gap up to the barrier start, plus the barrier duration
+  // itself, is flag stall -- except Sync, which spends the duration busy
+  // (that is the charged cost of the barrier instruction).
   Interval barrier(std::int64_t cycles) {
     DV_CHECK(!stage_open_) << "pipe_barrier inside a stage";
     const std::int64_t start = frontier();
     Interval iv{start, start + cycles};
-    for (int i = 0; i < kNumPipes; ++i) ready_[i] = iv.end;
+    for (int i = 0; i < kNumPipes; ++i) {
+      std::int64_t stall = start - ready_[i];
+      if (static_cast<Pipe>(i) != Pipe::kSync) stall += cycles;
+      flag_[i] += stall;
+      ready_[i] = iv.end;
+    }
     busy_[pipe_index(Pipe::kSync)] += cycles;
+    log_interval(Pipe::kSync, iv);
     return iv;
   }
 
@@ -150,6 +213,83 @@ class PipeScheduler {
       if (busy_[i] > best) best = busy_[i];
     }
     return best;
+  }
+
+  // --- Cycle attribution -------------------------------------------------
+  // Decomposes each pipe's timeline up to `horizon` (>= makespan; pass the
+  // device-wide horizon so cores that finished early show the shared idle
+  // tail). busy/wait/flag accumulate as the schedule is built; idle is the
+  // tail between the pipe's last ready time and the horizon. By
+  // construction busy + wait + flag == ready_[pipe], so the four buckets
+  // sum exactly to `horizon` for every pipe.
+  PipeBuckets attribution(Pipe p, std::int64_t horizon) const {
+    DV_CHECK_GE(horizon, makespan()) << "attribution horizon before makespan";
+    const int pi = pipe_index(p);
+    PipeBuckets b;
+    b.busy = busy_[pi];
+    b.wait = wait_[pi];
+    b.flag = flag_[pi];
+    b.idle = horizon - ready_[pi];
+    return b;
+  }
+
+  // True when the interval log hit its cap; critical_path() is then empty
+  // (the buckets from attribution() stay exact regardless).
+  bool interval_log_truncated() const { return log_truncated_; }
+
+  // The backward chain of intervals that bounds the makespan: starting at
+  // the makespan, repeatedly hop to an interval ending at the current
+  // cycle (earliest start wins, ties broken by pipe order, so the result
+  // is deterministic); where no interval ends exactly at the current
+  // cycle, a kStall segment bridges down to the latest interval end below
+  // it. Segment lengths always sum exactly to the makespan.
+  std::vector<CritSegment> critical_path() const {
+    std::vector<CritSegment> path;
+    if (log_truncated_) return path;
+    std::int64_t cur = makespan();
+    if (cur == 0) return path;
+    // Sorted-by-end copy lets each backward hop binary-search the
+    // candidates ending at (or below) the current cycle.
+    std::vector<LoggedInterval> by_end(log_.begin(), log_.end());
+    std::stable_sort(by_end.begin(), by_end.end(),
+                     [](const LoggedInterval& a, const LoggedInterval& b) {
+                       return a.end < b.end;
+                     });
+    while (cur > 0) {
+      // Last index with end <= cur.
+      auto it = std::upper_bound(
+          by_end.begin(), by_end.end(), cur,
+          [](std::int64_t v, const LoggedInterval& iv) { return v < iv.end; });
+      if (it == by_end.begin()) {
+        // Nothing scheduled below cur: the chain starts with a stall from 0.
+        path.push_back({Pipe::kSync, CritSegment::Kind::kStall, 0, cur});
+        break;
+      }
+      const std::int64_t best_end = std::prev(it)->end;
+      if (best_end < cur) {
+        // Gap: the bounding chain waited from best_end to cur.
+        path.push_back(
+            {Pipe::kSync, CritSegment::Kind::kStall, best_end, cur});
+        cur = best_end;
+        continue;
+      }
+      // Among intervals ending exactly at cur, pick the earliest start
+      // (then lowest pipe index) -- the longest link, deterministically.
+      const LoggedInterval* pick = nullptr;
+      for (auto jt = it; jt != by_end.begin();) {
+        --jt;
+        if (jt->end != cur) break;
+        if (pick == nullptr || jt->start < pick->start ||
+            (jt->start == pick->start &&
+             pipe_index(jt->pipe) < pipe_index(pick->pipe))) {
+          pick = &*jt;
+        }
+      }
+      path.push_back({pick->pipe, CritSegment::Kind::kBusy, pick->start, cur});
+      cur = pick->start;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
   }
 
   // --- Ping-pong observability -------------------------------------------
@@ -172,14 +312,41 @@ class PipeScheduler {
     for (int i = 0; i < kNumPipes; ++i) {
       ready_[i] = 0;
       busy_[i] = 0;
+      wait_[i] = 0;
+      flag_[i] = 0;
     }
     stage_open_ = false;
     stage_dep_ = 0;
+    stage_flag_ = 0;
     tile_marks_.clear();
+    log_.clear();
+    log_truncated_ = false;
   }
 
  private:
+  // Bound on the interval log -- big enough for every kernel in the test
+  // and bench suites, small enough that a pathological run cannot grow
+  // without limit. Attribution buckets stay exact past the cap; only
+  // critical_path() degrades (to empty, flagged via
+  // interval_log_truncated()).
+  static constexpr std::size_t kMaxLoggedIntervals = 1 << 18;
+
+  struct LoggedInterval {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    Pipe pipe = Pipe::kSync;
+  };
+
   static int pipe_index(Pipe p) { return static_cast<int>(p); }
+
+  void log_interval(Pipe p, Interval iv) {
+    if (iv.end == iv.start) return;  // zero-length: nothing to attribute
+    if (log_.size() >= kMaxLoggedIntervals) {
+      log_truncated_ = true;
+      return;
+    }
+    log_.push_back({iv.start, iv.end, p});
+  }
 
   std::int64_t frontier() const {
     std::int64_t f = 0;
@@ -191,10 +358,15 @@ class PipeScheduler {
 
   std::int64_t ready_[kNumPipes] = {};
   std::int64_t busy_[kNumPipes] = {};
+  std::int64_t wait_[kNumPipes] = {};
+  std::int64_t flag_[kNumPipes] = {};
   bool stage_open_ = false;
   Pipe stage_pipe_ = Pipe::kVector;
   std::int64_t stage_dep_ = 0;
+  std::int64_t stage_flag_ = 0;
   std::vector<std::pair<Event, int>> tile_marks_;
+  std::vector<LoggedInterval> log_;
+  bool log_truncated_ = false;
 };
 
 }  // namespace davinci

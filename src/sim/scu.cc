@@ -90,6 +90,9 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
   const std::int64_t fractals = w.kh * w.kw * fractals_per_plane;
   stats_->im2col_instrs += instrs;
   stats_->im2col_fractals += fractals;
+  // Fractal bytes written to the destination buffer (the L1 -> UB route
+  // the paper's Im2Col pooling formulation rides).
+  stats_->traffic.im2col_bytes += args.output_elems() * 2;
   if (profile_) {
     profile_->im2col.instrs += instrs;
     profile_->im2col.slots_used += fractals;
@@ -162,6 +165,7 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
   const std::int64_t fractals = groups * kk;
   stats_->im2col_instrs += instrs;
   stats_->im2col_fractals += fractals;
+  stats_->traffic.im2col_bytes += args.output_elems() * 2;
   if (profile_) {
     profile_->im2col.instrs += instrs;
     profile_->im2col.slots_used += fractals;
@@ -225,6 +229,9 @@ void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
   const std::int64_t fractals = w.kh * w.kw * fractals_per_plane;
   stats_->col2im_instrs += instrs;
   stats_->col2im_fractals += fractals;
+  // Gradient fractal bytes consumed from the UB column buffer (the
+  // UB -> UB scatter-accumulate route of Figure 6).
+  stats_->traffic.col2im_bytes += args.output_elems() * 2;
   if (profile_) {
     profile_->col2im.instrs += instrs;
     profile_->col2im.slots_used += fractals;

@@ -118,6 +118,55 @@ struct Profile {
   }
 };
 
+// Bytes moved per architectural route, charged at the same sites as the
+// cycle costs (Mte::charge by src/dst buffer kind, Scu for the fractal
+// payloads Im2Col produces / Col2Im consumes, VectorUnit for UB operand
+// traffic). Feeds the roofline classification in sim/metrics.h: achieved
+// bytes/cycle on each route vs the arch_config.h peak, and arithmetic
+// intensity = vector slots / bytes moved.
+struct MemTraffic {
+  std::int64_t gm_to_l1 = 0;   // MTE inbound, feature-map loads
+  std::int64_t gm_to_ub = 0;   // MTE inbound, direct-to-UB loads
+  std::int64_t l1_to_ub = 0;   // MTE L1 -> UB staging
+  std::int64_t l1_to_l0 = 0;   // MTE L1 -> L0A/L0B cube staging
+  std::int64_t ub_to_l1 = 0;   // MTE UB -> L1 write-back
+  std::int64_t ub_to_gm = 0;   // MTE outbound stores
+  std::int64_t l1_to_gm = 0;   // MTE outbound from L1
+  std::int64_t l0c_to_ub = 0;  // cube accumulator drain
+  std::int64_t ub_to_l0c = 0;  // accumulator preload
+  std::int64_t im2col_bytes = 0;  // fractal bytes Im2Col wrote (L1 -> UB)
+  std::int64_t col2im_bytes = 0;  // fractal bytes Col2Im read (UB -> UB)
+  std::int64_t ub_vector_bytes = 0;  // UB elements the Vector Unit touched
+
+  // All MTE-route bytes (the SCU/vector counters overlap routes above and
+  // are reported separately, not summed here).
+  std::int64_t mte_total() const {
+    return gm_to_l1 + gm_to_ub + l1_to_ub + l1_to_l0 + ub_to_l1 + ub_to_gm +
+           l1_to_gm + l0c_to_ub + ub_to_l0c;
+  }
+  // Bytes crossing the GM boundary in either direction -- the roofline's
+  // traffic denominator.
+  std::int64_t gm_total() const {
+    return gm_to_l1 + gm_to_ub + ub_to_gm + l1_to_gm;
+  }
+
+  MemTraffic& operator+=(const MemTraffic& o) {
+    gm_to_l1 += o.gm_to_l1;
+    gm_to_ub += o.gm_to_ub;
+    l1_to_ub += o.l1_to_ub;
+    l1_to_l0 += o.l1_to_l0;
+    ub_to_l1 += o.ub_to_l1;
+    ub_to_gm += o.ub_to_gm;
+    l1_to_gm += o.l1_to_gm;
+    l0c_to_ub += o.l0c_to_ub;
+    ub_to_l0c += o.ub_to_l0c;
+    im2col_bytes += o.im2col_bytes;
+    col2im_bytes += o.col2im_bytes;
+    ub_vector_bytes += o.ub_vector_bytes;
+    return *this;
+  }
+};
+
 struct CycleStats {
   // Cycles by pipe. The simulator executes a single in-order timeline, so
   // total_cycles is the sum of the pipe cycles plus barrier costs; the
@@ -142,6 +191,9 @@ struct CycleStats {
   std::int64_t col2im_fractals = 0;
   std::int64_t cube_instrs = 0;
   std::int64_t cube_fractal_macs = 0;
+
+  // Bytes moved per route (see MemTraffic above).
+  MemTraffic traffic;
 
   std::int64_t total_cycles() const {
     return vector_cycles + scalar_cycles + mte_cycles + scu_cycles +
@@ -189,6 +241,7 @@ struct CycleStats {
     col2im_fractals += o.col2im_fractals;
     cube_instrs += o.cube_instrs;
     cube_fractal_macs += o.cube_fractal_macs;
+    traffic += o.traffic;
     return *this;
   }
 

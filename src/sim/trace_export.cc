@@ -156,6 +156,14 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
                ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":" +
                std::to_string(depth) + "}},\n";
       }
+      // Close the counter track at the end of the run; without this the
+      // viewer extends the last sample's value to infinity, which reads
+      // as tiles still in flight after the core has drained.
+      std::int64_t end_ts = scheds[i]->makespan();
+      if (end_ts < marks.back().first) end_ts = marks.back().first;
+      out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
+             ",\"ts\":" + std::to_string(end_ts) +
+             ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":0}},\n";
     }
 
     if (trace.truncated()) {

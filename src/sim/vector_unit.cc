@@ -50,6 +50,10 @@ void VectorUnit::charge(const char* op, const VecConfig& cfg) {
   stats_->vector_repeats += cfg.repeat;
   stats_->vector_active_lanes +=
       static_cast<std::int64_t>(lanes) * cfg.repeat;
+  // UB operand traffic: two bytes per active lane per repeat iteration --
+  // the roofline's compute-side byte count.
+  stats_->traffic.ub_vector_bytes +=
+      static_cast<std::int64_t>(lanes) * cfg.repeat * 2;
   if (profile_) {
     profile_->count_vec_instr(lanes, arch_.vector_lanes, cfg.repeat);
   }

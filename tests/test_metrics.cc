@@ -1,0 +1,222 @@
+// Cycle attribution and metrics-JSON invariants (docs/OBSERVABILITY.md):
+// per-pipe buckets must sum exactly to the attribution horizon for every
+// kernel, the critical path must be deterministic and account for the
+// whole makespan, and the serialized metrics must round-trip through the
+// JSON parser with the invariants intact.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+#include "kernels/pooling.h"
+#include "ref/pooling_ref.h"
+#include "sim/metrics.h"
+#include "sim/metrics_registry.h"
+#include "tensor/fractal.h"
+
+namespace davinci {
+namespace {
+
+TensorF16 inception_input() {
+  // InceptionV3 (35, 35, 288) -- the paper's largest Figure 7a shape.
+  TensorF16 in(Shape{1, c1_of(288), 35, 35, kC0});
+  in.fill_random_ints(1);
+  return in;
+}
+
+// Every pipe of every used core decomposes into busy/wait/flag/idle
+// buckets summing exactly to the device horizon; the critical core's
+// chain covers the horizon end to end.
+void check_attribution(const DeviceAttribution& a) {
+  ASSERT_FALSE(a.cores.empty());
+  for (const CoreAttribution& ca : a.cores) {
+    EXPECT_LE(ca.makespan, a.horizon);
+    for (int p = 0; p < PipeScheduler::kNumPipes; ++p) {
+      const PipeBuckets& b = ca.pipes[p];
+      EXPECT_GE(b.busy, 0);
+      EXPECT_GE(b.wait, 0);
+      EXPECT_GE(b.flag, 0);
+      EXPECT_GE(b.idle, 0);
+      EXPECT_EQ(b.total(), a.horizon)
+          << "core " << ca.core << " pipe "
+          << to_string(static_cast<Pipe>(p));
+    }
+  }
+  ASSERT_GE(a.critical_core, 0);
+  ASSERT_LT(static_cast<std::size_t>(a.critical_core), a.cores.size());
+  EXPECT_EQ(a.cores[a.critical_core].makespan, a.horizon);
+  if (!a.path_truncated) {
+    std::int64_t covered = 0;
+    std::int64_t prev_end = 0;
+    for (const CritSegment& s : a.critical_path) {
+      EXPECT_EQ(s.start, prev_end) << "chain must be gapless";
+      EXPECT_GT(s.length(), 0);
+      covered += s.length();
+      prev_end = s.end;
+    }
+    EXPECT_EQ(covered, a.horizon);
+  }
+}
+
+TEST(Attribution, BucketsSumToMakespanForwardKernels) {
+  for (bool db : {true, false}) {
+    Device dev;
+    dev.set_double_buffer(db);
+    const TensorF16 in = inception_input();
+    const Window2d w = Window2d::pool(3, 2);
+    for (akg::PoolImpl impl : {akg::PoolImpl::kDirect, akg::PoolImpl::kIm2col,
+                               akg::PoolImpl::kExpansion}) {
+      auto r = kernels::maxpool_forward(dev, in, w, impl);
+      SCOPED_TRACE(std::string(akg::to_string(impl)) +
+                   (db ? " db" : " no-db"));
+      check_attribution(r.run.attribution);
+    }
+    auto avg = kernels::avgpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    check_attribution(avg.run.attribution);
+  }
+}
+
+TEST(Attribution, BucketsSumToMakespanBackwardKernels) {
+  for (bool db : {true, false}) {
+    Device dev;
+    dev.set_double_buffer(db);
+    const TensorF16 in = inception_input();
+    const Window2d w = Window2d::pool(3, 2);
+    const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+    TensorF16 grad(Shape{1, c1_of(288), w.out_h(35), w.out_w(35), kC0});
+    grad.fill_random_ints(7, 0, 5);
+    for (kernels::MergeImpl merge :
+         {kernels::MergeImpl::kVadd, kernels::MergeImpl::kCol2im}) {
+      auto r = kernels::maxpool_backward(dev, mask, grad, w, 35, 35, merge);
+      SCOPED_TRACE(db ? "db" : "no-db");
+      check_attribution(r.run.attribution);
+    }
+  }
+}
+
+TEST(Attribution, HorizonMatchesDeviceCyclesUnderOverlap) {
+  Device dev;
+  const TensorF16 in = inception_input();
+  auto r = kernels::maxpool_forward(dev, in, Window2d::pool(3, 2),
+                                    akg::PoolImpl::kIm2col);
+  EXPECT_EQ(r.run.attribution.horizon, r.run.device_cycles);
+}
+
+TEST(Attribution, CriticalPathIsDeterministic) {
+  auto run_once = [] {
+    Device dev;
+    const TensorF16 in = inception_input();
+    auto r = kernels::maxpool_forward(dev, in, Window2d::pool(3, 2),
+                                      akg::PoolImpl::kIm2col);
+    return r.run.attribution;
+  };
+  const DeviceAttribution a = run_once();
+  const DeviceAttribution b = run_once();
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.critical_core, b.critical_core);
+  ASSERT_EQ(a.critical_path.size(), b.critical_path.size());
+  ASSERT_FALSE(a.critical_path.empty());
+  for (std::size_t i = 0; i < a.critical_path.size(); ++i) {
+    EXPECT_EQ(a.critical_path[i].pipe, b.critical_path[i].pipe);
+    EXPECT_EQ(a.critical_path[i].kind, b.critical_path[i].kind);
+    EXPECT_EQ(a.critical_path[i].start, b.critical_path[i].start);
+    EXPECT_EQ(a.critical_path[i].end, b.critical_path[i].end);
+  }
+}
+
+// Both forward implementations move the same GM footprint; im2col
+// finishes sooner, so its achieved bandwidth must be strictly higher and
+// neither can exceed the arch peak.
+TEST(RooflineCounters, Im2colAchievesHigherBandwidthThanDirect) {
+  Device dev;
+  const TensorF16 in = inception_input();
+  const Window2d w = Window2d::pool(3, 2);
+  auto direct = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
+  auto im2col = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+
+  const Roofline rd = compute_roofline(direct.run.aggregate, dev.arch(),
+                                       direct.run.device_cycles,
+                                       direct.run.cores_used);
+  const Roofline ri = compute_roofline(im2col.run.aggregate, dev.arch(),
+                                       im2col.run.device_cycles,
+                                       im2col.run.cores_used);
+  EXPECT_GT(rd.gm_bytes, 0);
+  EXPECT_EQ(rd.gm_bytes, ri.gm_bytes);
+  EXPECT_GE(rd.mte_bytes, rd.gm_bytes);
+  EXPECT_GT(ri.achieved_gm_bytes_per_cycle, rd.achieved_gm_bytes_per_cycle);
+  EXPECT_LE(ri.achieved_gm_bytes_per_cycle, ri.peak_gm_bytes_per_cycle);
+  EXPECT_GT(rd.arithmetic_intensity, 0.0);
+  EXPECT_GT(rd.machine_balance, 0.0);
+  // klass() is always one of the two documented labels.
+  for (const Roofline& r : {rd, ri}) {
+    const std::string k = r.klass();
+    EXPECT_TRUE(k == "transfer-bound" || k == "vector-bound") << k;
+  }
+  // The aggregate route counters are what the roofline summed.
+  EXPECT_EQ(direct.run.aggregate.traffic.gm_total(), rd.gm_bytes);
+  EXPECT_EQ(direct.run.aggregate.traffic.mte_total(), rd.mte_bytes);
+}
+
+TEST(RooflineCounters, ScuChargesIm2colBytes) {
+  Device dev;
+  const TensorF16 in = inception_input();
+  auto direct = kernels::maxpool_forward(dev, in, Window2d::pool(3, 2),
+                                         akg::PoolImpl::kDirect);
+  auto im2col = kernels::maxpool_forward(dev, in, Window2d::pool(3, 2),
+                                         akg::PoolImpl::kIm2col);
+  EXPECT_EQ(direct.run.aggregate.traffic.im2col_bytes, 0);
+  EXPECT_GT(im2col.run.aggregate.traffic.im2col_bytes, 0);
+}
+
+TEST(MetricsJson, RoundTripsWithInvariantsIntact) {
+  Device dev;
+  const TensorF16 in = inception_input();
+  const Window2d w = Window2d::pool(3, 2);
+  auto direct = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
+  auto im2col = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+
+  MetricsRegistry reg;
+  reg.add("direct", direct.run, dev.arch());
+  reg.add("im2col", im2col.run, dev.arch());
+  const json::Value doc = json::parse(reg.to_json());
+
+  EXPECT_EQ(doc.at("schema").as_string(), "davinci.metrics");
+  EXPECT_EQ(doc.at("schema_version").as_int(), MetricsRegistry::kSchemaVersion);
+  const json::Array& entries = doc.at("entries").as_array();
+  ASSERT_EQ(entries.size(), 2u);
+
+  for (const json::Value& e : entries) {
+    EXPECT_GT(e.at("cycles").as_int(), 0);
+    EXPECT_GE(e.at("cycles_serial").as_int(), e.at("cycles").as_int());
+    const json::Value& a = e.at("attribution");
+    const std::int64_t horizon = a.at("horizon").as_int();
+    EXPECT_EQ(horizon, e.at("cycles").as_int());
+    const json::Array& cores = a.at("cores").as_array();
+    ASSERT_FALSE(cores.empty());
+    for (const json::Value& core : cores) {
+      const json::Value& pipes = core.at("pipes");
+      for (const char* pipe :
+           {"MTE-in", "SCU", "Vector", "Cube", "MTE-out", "Sync"}) {
+        const json::Value& b = pipes.at(pipe);
+        EXPECT_EQ(b.at("busy").as_int() + b.at("wait").as_int() +
+                      b.at("flag").as_int() + b.at("idle").as_int(),
+                  horizon)
+            << pipe;
+      }
+    }
+    // The summary keeps exact totals even when the emitted path is
+    // head-truncated at kMaxPathSegments.
+    const json::Value& sum = a.at("critical_path_summary");
+    EXPECT_EQ(sum.at("busy_cycles").as_int() + sum.at("stall_cycles").as_int(),
+              horizon);
+    EXPECT_LE(a.at("critical_path").as_array().size(),
+              MetricsRegistry::kMaxPathSegments);
+    EXPECT_GE(sum.at("segments").as_int(), sum.at("emitted").as_int());
+    // Roofline block present with the documented class labels.
+    const std::string k = e.at("roofline").at("class").as_string();
+    EXPECT_TRUE(k == "transfer-bound" || k == "vector-bound") << k;
+  }
+}
+
+}  // namespace
+}  // namespace davinci

@@ -5,6 +5,7 @@
 //   davinci_pool_cli --op=maxpool --impl=im2col --h=71 --w=71 --c=192
 //                    --k=3 --s=2 [--pad=1] [--trace] [--compare]
 //                    [--no-double-buffer] [--profile=<out.json>]
+//                    [--metrics=<out.json>]
 //                    [--inject=<spec>] [--retries=N] [--seed=S]
 //
 //   --op       maxpool | maxpool_mask | maxpool_bwd | avgpool |
@@ -19,6 +20,10 @@
 //              as Chrome trace_event JSON, viewable in chrome://tracing or
 //              https://ui.perfetto.dev (see docs/PROFILING.md); with
 //              --compare the file contains both runs back to back
+//   --metrics  write the versioned cycle-attribution / roofline metrics
+//              JSON (davinci.metrics schema, one entry per reported run;
+//              render or diff it with davinci_prof -- see
+//              docs/OBSERVABILITY.md)
 //
 // Fault injection (see docs/RESILIENCE.md for the full grammar):
 //   --inject   comma-separated fault spec, e.g.
@@ -45,6 +50,8 @@
 #include "kernels/pooling.h"
 #include "ref/pooling_ref.h"
 #include "sim/fault.h"
+#include "sim/metrics.h"
+#include "sim/metrics_registry.h"
 #include "sim/trace_export.h"
 #include "tensor/fractal.h"
 
@@ -58,6 +65,7 @@ struct Options {
   std::int64_t h = 35, w = 35, c = 288, k = 3, s = 2, pad = 0;
   std::string inject;
   std::string profile;
+  std::string metrics;
   std::int64_t retries = 3;
   std::int64_t seed = 0;
   bool trace = false;
@@ -88,13 +96,21 @@ akg::PoolImpl parse_impl(const std::string& s) {
   std::exit(2);
 }
 
-void report(const char* what, const Device::RunResult& run, bool show_faults) {
+void report(const char* what, const Device::RunResult& run, bool show_faults,
+            const ArchConfig& arch) {
   std::printf("%-14s %10lld cycles  (serial %lld, pipelined bound %lld)\n",
               what, static_cast<long long>(run.device_cycles),
               static_cast<long long>(run.device_cycles_serial),
               static_cast<long long>(run.device_cycles_pipelined));
   std::printf("  %s\n", run.aggregate.summary().c_str());
   std::printf("  occupancy: %s\n", run.profile.summary().c_str());
+  const Roofline roof = compute_roofline(run.aggregate, arch,
+                                         run.device_cycles, run.cores_used);
+  std::printf("  roofline: %s (arith intensity %.3g vs balance %.3g; "
+              "%.3g of %lld GM bytes/cycle/core)\n",
+              roof.klass(), roof.arithmetic_intensity, roof.machine_balance,
+              roof.achieved_gm_bytes_per_cycle,
+              static_cast<long long>(arch.peak_mte_bytes_per_cycle));
   std::printf("  cores used: %d\n", run.cores_used);
   if (show_faults) {
     std::printf("  fault report: %s\n", run.faults.summary().c_str());
@@ -113,6 +129,7 @@ int main(int argc, char** argv) {
         parse_int(a, "--s=", &opt.s) || parse_int(a, "--pad=", &opt.pad) ||
         parse_str(a, "--inject=", &opt.inject) ||
         parse_str(a, "--profile=", &opt.profile) ||
+        parse_str(a, "--metrics=", &opt.metrics) ||
         parse_int(a, "--retries=", &opt.retries) ||
         parse_int(a, "--seed=", &opt.seed)) {
       continue;
@@ -170,6 +187,14 @@ int main(int argc, char** argv) {
               static_cast<long long>(opt.h), static_cast<long long>(opt.w),
               static_cast<long long>(opt.c), window.to_string().c_str());
 
+  // Every reported run also lands in the metrics registry when
+  // --metrics=<path> was given (written after verification below).
+  MetricsRegistry metrics;
+  auto note = [&](const char* what, const Device::RunResult& run) {
+    report(what, run, injecting, dev.arch());
+    if (!opt.metrics.empty()) metrics.add(what, run, dev.arch());
+  };
+
   bool ok = true;
   try {
     if (opt.op == "maxpool" || opt.op == "avgpool" || opt.op == "minpool") {
@@ -190,10 +215,10 @@ int main(int argc, char** argv) {
       for (std::int64_t i = 0; i < want.size(); ++i) {
         ok &= r.out.flat(i) == want.flat(i);
       }
-      report(opt.impl.c_str(), r.run, injecting);
+      note(opt.impl.c_str(), r.run);
       if (opt.compare) {
         auto base = run_op(akg::PoolImpl::kDirect);
-        report("direct", base.run, injecting);
+        note("direct", base.run);
         std::printf("speedup: %.2fx\n",
                     static_cast<double>(base.cycles()) /
                         static_cast<double>(r.cycles()));
@@ -205,7 +230,7 @@ int main(int argc, char** argv) {
       for (std::int64_t i = 0; i < want.size(); ++i) {
         ok &= r.out.flat(i) == want.flat(i);
       }
-      report(opt.impl.c_str(), r.run, injecting);
+      note(opt.impl.c_str(), r.run);
     } else if (opt.op == "maxpool_bwd" || opt.op == "avgpool_bwd") {
       const kernels::MergeImpl merge = opt.impl == "vadd"
                                            ? kernels::MergeImpl::kVadd
@@ -222,12 +247,12 @@ int main(int argc, char** argv) {
         for (std::int64_t i = 0; i < want.size(); ++i) {
           ok &= r.grad_in.flat(i) == want.flat(i);
         }
-        report(kernels::to_string(merge), r.run, injecting);
+        note(kernels::to_string(merge), r.run);
         if (opt.compare) {
           auto base = kernels::maxpool_backward(dev, mask, grad, window,
                                                 opt.h, opt.w,
                                                 kernels::MergeImpl::kVadd);
-          report("vadd", base.run, injecting);
+          note("vadd", base.run);
           std::printf("speedup: %.2fx\n",
                       static_cast<double>(base.cycles()) /
                           static_cast<double>(r.cycles()));
@@ -239,7 +264,7 @@ int main(int argc, char** argv) {
         for (std::int64_t i = 0; i < want.size(); ++i) {
           ok &= r.grad_in.flat(i) == want.flat(i);
         }
-        report(kernels::to_string(merge), r.run, injecting);
+        note(kernels::to_string(merge), r.run);
       }
     } else if (opt.op == "global_avgpool") {
       auto r = kernels::global_avgpool(dev, in);
@@ -247,7 +272,7 @@ int main(int argc, char** argv) {
       for (std::int64_t i = 0; i < want.size(); ++i) {
         ok &= r.out.flat(i) == want.flat(i);
       }
-      report("global", r.run, injecting);
+      note("global", r.run);
     } else {
       std::fprintf(stderr, "unknown --op=%s\n", opt.op.c_str());
       return 2;
@@ -261,6 +286,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("verification: %s\n", ok ? "bit-exact" : "MISMATCH");
+  if (!opt.metrics.empty()) {
+    try {
+      metrics.write(opt.metrics);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 4;
+    }
+  }
   if (!opt.profile.empty()) {
     try {
       write_chrome_trace(opt.profile, dev);
