@@ -27,8 +27,12 @@ int main() {
     const Window2d w = layer.window;
     const TensorF16 in = bench::make_input(1, c1, layer.h, layer.w);
 
-    auto d = kernels::avgpool_forward(dev, in, w, akg::PoolImpl::kDirect);
-    auto i = kernels::avgpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    kernels::PoolOp fop{.kind = kernels::PoolOpKind::kAvgFwd,
+                        .window = w,
+                        .fwd = akg::PoolImpl::kDirect};
+    auto d = kernels::run_pool(dev, fop, {.in = &in});
+    fop.fwd = akg::PoolImpl::kIm2col;
+    auto i = kernels::run_pool(dev, fop, {.in = &in});
     const TensorF16 want = ref::avgpool_fwd(in, w);
     bool ok = true;
     for (std::int64_t x = 0; x < want.size(); ++x) {
@@ -47,10 +51,14 @@ int main() {
 
     TensorF16 grad(Shape{1, c1, w.out_h(layer.h), w.out_w(layer.w), kC0});
     grad.fill_random_ints(9, -5, 5);
-    auto bv = kernels::avgpool_backward(dev, grad, w, layer.h, layer.w,
-                                        kernels::MergeImpl::kVadd);
-    auto bc = kernels::avgpool_backward(dev, grad, w, layer.h, layer.w,
-                                        kernels::MergeImpl::kCol2im);
+    kernels::PoolOp bop{.kind = kernels::PoolOpKind::kAvgBwd,
+                        .window = w,
+                        .merge = kernels::MergeImpl::kVadd};
+    const kernels::PoolInputs bwd_in{
+        .grad = &grad, .ih = layer.h, .iw = layer.w};
+    auto bv = kernels::run_pool(dev, bop, bwd_in);
+    bop.merge = kernels::MergeImpl::kCol2im;
+    auto bc = kernels::run_pool(dev, bop, bwd_in);
     // The 1/9 scale is inexact and tile seams reassociate, so compare the
     // two implementations against each other within an ulp.
     bool okb = true;

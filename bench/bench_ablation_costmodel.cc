@@ -25,35 +25,45 @@ Verdict evaluate(const CostModel& cost) {
   Device dev(ArchConfig::ascend910(), cost);
   Verdict v{};
 
+  const auto max_fwd = [&dev](const TensorF16& in, const Window2d& w,
+                              akg::PoolImpl impl) {
+    return kernels::run_pool(
+        dev, {.kind = kernels::PoolOpKind::kMaxFwd, .window = w, .fwd = impl},
+        {.in = &in});
+  };
   {
     const Window2d w = Window2d::pool(3, 2);
     const TensorF16 in = bench::make_input(1, 12, 71, 71);
-    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
-    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    auto d = max_fwd(in, w, akg::PoolImpl::kDirect);
+    auto i = max_fwd(in, w, akg::PoolImpl::kIm2col);
     v.fwd_speedup_71 = static_cast<double>(d.cycles()) /
                        static_cast<double>(i.cycles());
     const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
     TensorF16 grad(Shape{1, 12, 35, 35, kC0});
     grad.fill_random_ints(3, 0, 5);
-    auto bv = kernels::maxpool_backward(dev, mask, grad, w, 71, 71,
-                                        kernels::MergeImpl::kVadd);
-    auto bc = kernels::maxpool_backward(dev, mask, grad, w, 71, 71,
-                                        kernels::MergeImpl::kCol2im);
+    kernels::PoolOp bop{.kind = kernels::PoolOpKind::kMaxBwd,
+                        .window = w,
+                        .merge = kernels::MergeImpl::kVadd};
+    const kernels::PoolInputs bwd_in{
+        .mask = &mask, .grad = &grad, .ih = 71, .iw = 71};
+    auto bv = kernels::run_pool(dev, bop, bwd_in);
+    bop.merge = kernels::MergeImpl::kCol2im;
+    auto bc = kernels::run_pool(dev, bop, bwd_in);
     v.bwd_speedup_71 = static_cast<double>(bv.cycles()) /
                        static_cast<double>(bc.cycles());
   }
   {
     const TensorF16 in = bench::make_input(1, 1, 33, 33);
     const Window2d w = Window2d::pool(3, 2);
-    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
-    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    auto d = max_fwd(in, w, akg::PoolImpl::kDirect);
+    auto i = max_fwd(in, w, akg::PoolImpl::kIm2col);
     v.im2col_wins_s2 = i.cycles() < d.cycles();
   }
   {
     const TensorF16 in = bench::make_input(1, 1, 27, 27);
     const Window2d w = Window2d::pool(3, 1);
-    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
-    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    auto d = max_fwd(in, w, akg::PoolImpl::kDirect);
+    auto i = max_fwd(in, w, akg::PoolImpl::kIm2col);
     v.direct_wins_s1 = d.cycles() < i.cycles();
   }
   return v;

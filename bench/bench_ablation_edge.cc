@@ -37,10 +37,14 @@ int main() {
                   static_cast<long long>(layer.c));
 
     {
-      auto ed = kernels::maxpool_forward(edge, in, w, akg::PoolImpl::kDirect);
-      auto ei = kernels::maxpool_forward(edge, in, w, akg::PoolImpl::kIm2col);
-      auto dd = kernels::maxpool_forward(dc, in, w, akg::PoolImpl::kDirect);
-      auto di = kernels::maxpool_forward(dc, in, w, akg::PoolImpl::kIm2col);
+      kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxFwd,
+                         .window = w,
+                         .fwd = akg::PoolImpl::kDirect};
+      auto ed = kernels::run_pool(edge, op, {.in = &in});
+      auto dd = kernels::run_pool(dc, op, {.in = &in});
+      op.fwd = akg::PoolImpl::kIm2col;
+      auto ei = kernels::run_pool(edge, op, {.in = &in});
+      auto di = kernels::run_pool(dc, op, {.in = &in});
       table.add_row({shape, "forward",
                      bench::fmt_ratio(static_cast<double>(ed.cycles()) /
                                       static_cast<double>(ei.cycles())),
@@ -52,16 +56,16 @@ int main() {
       const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
       TensorF16 grad(Shape{1, c1, w.out_h(layer.h), w.out_w(layer.w), kC0});
       grad.fill_random_ints(3, 0, 5);
-      auto ev = kernels::maxpool_backward(edge, mask, grad, w, layer.h,
-                                          layer.w, kernels::MergeImpl::kVadd);
-      auto ec = kernels::maxpool_backward(edge, mask, grad, w, layer.h,
-                                          layer.w,
-                                          kernels::MergeImpl::kCol2im);
-      auto dv = kernels::maxpool_backward(dc, mask, grad, w, layer.h,
-                                          layer.w, kernels::MergeImpl::kVadd);
-      auto dcc = kernels::maxpool_backward(dc, mask, grad, w, layer.h,
-                                           layer.w,
-                                           kernels::MergeImpl::kCol2im);
+      kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxBwd,
+                         .window = w,
+                         .merge = kernels::MergeImpl::kVadd};
+      const kernels::PoolInputs bwd_in{
+          .mask = &mask, .grad = &grad, .ih = layer.h, .iw = layer.w};
+      auto ev = kernels::run_pool(edge, op, bwd_in);
+      auto dv = kernels::run_pool(dc, op, bwd_in);
+      op.merge = kernels::MergeImpl::kCol2im;
+      auto ec = kernels::run_pool(edge, op, bwd_in);
+      auto dcc = kernels::run_pool(dc, op, bwd_in);
       table.add_row({shape, "backward",
                      bench::fmt_ratio(static_cast<double>(ev.cycles()) /
                                       static_cast<double>(ec.cycles())),

@@ -30,8 +30,11 @@ int main() {
 
     const TensorF16 in = nchw_to_nc1hwc0(in_nchw);
     auto conv_r = kernels::conv2d_cube(dev, in, w, conv);
-    auto pool_r = kernels::avgpool_forward(dev, conv_r.out, pool,
-                                           akg::PoolImpl::kIm2col);
+    auto pool_r = kernels::run_pool(dev,
+                                    {.kind = kernels::PoolOpKind::kAvgFwd,
+                                     .window = pool,
+                                     .fwd = akg::PoolImpl::kIm2col},
+                                    {.in = &conv_r.out});
     auto fused = kernels::conv2d_avgpool_fused(dev, in, w, conv, pool);
 
     // Numerics: paths round fp16 at different points; stay within 0.5.

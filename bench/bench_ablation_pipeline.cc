@@ -62,11 +62,17 @@ int main(int argc, char** argv) {
     }
   };
 
+  const auto max_fwd = [&dev](const TensorF16& in, const Window2d& w,
+                              akg::PoolImpl impl) {
+    return kernels::run_pool(
+        dev, {.kind = kernels::PoolOpKind::kMaxFwd, .window = w, .fwd = impl},
+        {.in = &in});
+  };
   {  // Figure 7a, middle input.
     const Window2d w = Window2d::pool(3, 2);
     const TensorF16 in = bench::make_input(1, 12, 71, 71);
-    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
-    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    auto d = max_fwd(in, w, akg::PoolImpl::kDirect);
+    auto i = max_fwd(in, w, akg::PoolImpl::kIm2col);
     add("fwd 71x71x192 (fig 7a)", d.run, i.run);
   }
   {  // Figure 7c, middle input.
@@ -75,24 +81,28 @@ int main(int argc, char** argv) {
     const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
     TensorF16 grad(Shape{1, 12, 35, 35, kC0});
     grad.fill_random_ints(5, 0, 5);
-    auto v = kernels::maxpool_backward(dev, mask, grad, w, 71, 71,
-                                       kernels::MergeImpl::kVadd);
-    auto c = kernels::maxpool_backward(dev, mask, grad, w, 71, 71,
-                                       kernels::MergeImpl::kCol2im);
+    kernels::PoolOp bop{.kind = kernels::PoolOpKind::kMaxBwd,
+                        .window = w,
+                        .merge = kernels::MergeImpl::kVadd};
+    const kernels::PoolInputs bwd_in{
+        .mask = &mask, .grad = &grad, .ih = 71, .iw = 71};
+    auto v = kernels::run_pool(dev, bop, bwd_in);
+    bop.merge = kernels::MergeImpl::kCol2im;
+    auto c = kernels::run_pool(dev, bop, bwd_in);
     add("bwd 71x71x192 (fig 7c)", v.run, c.run);
   }
   {  // Figure 8b point: im2col must beat direct at stride 2.
     const Window2d w = Window2d::pool(3, 2);
     const TensorF16 in = bench::make_input(1, 1, 33, 33);
-    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
-    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    auto d = max_fwd(in, w, akg::PoolImpl::kDirect);
+    auto i = max_fwd(in, w, akg::PoolImpl::kIm2col);
     add("fwd 33x33 s=2 (fig 8b)", d.run, i.run);
   }
   {  // Figure 8a crossover: direct must beat im2col at stride 1.
     const Window2d w = Window2d::pool(3, 1);
     const TensorF16 in = bench::make_input(1, 1, 27, 27);
-    auto i = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
-    auto d = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
+    auto i = max_fwd(in, w, akg::PoolImpl::kIm2col);
+    auto d = max_fwd(in, w, akg::PoolImpl::kDirect);
     add("fwd 27x27 s=1 (fig 8a, direct wins)", i.run, d.run);
   }
 

@@ -30,10 +30,14 @@ int main(int argc, char** argv) {
     TensorF16 grad(Shape{1, c1, w.out_h(layer.h), w.out_w(layer.w), kC0});
     grad.fill_random_ints(7, 0, 5);
 
-    auto vadd = kernels::maxpool_backward(dev, mask, grad, w, layer.h,
-                                          layer.w, kernels::MergeImpl::kVadd);
-    auto col2im = kernels::maxpool_backward(
-        dev, mask, grad, w, layer.h, layer.w, kernels::MergeImpl::kCol2im);
+    kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxBwd,
+                       .window = w,
+                       .merge = kernels::MergeImpl::kVadd};
+    const kernels::PoolInputs bwd_in{
+        .mask = &mask, .grad = &grad, .ih = layer.h, .iw = layer.w};
+    auto vadd = kernels::run_pool(dev, op, bwd_in);
+    op.merge = kernels::MergeImpl::kCol2im;
+    auto col2im = kernels::run_pool(dev, op, bwd_in);
     const TensorF16 want = ref::maxpool_bwd(mask, grad, w, layer.h, layer.w);
     bool ok = true;
     for (std::int64_t i = 0; i < want.size(); ++i) {

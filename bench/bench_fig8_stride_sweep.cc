@@ -52,7 +52,10 @@ void sweep(std::int64_t stride, bool db, bench::JsonReport* report) {
     const TensorF16 want = ref::maxpool_fwd(in, w);
 
     auto run = [&](akg::PoolImpl impl) {
-      auto r = kernels::maxpool_forward(dev, in, w, impl);
+      auto r = kernels::run_pool(
+          dev,
+          {.kind = kernels::PoolOpKind::kMaxFwd, .window = w, .fwd = impl},
+          {.in = &in});
       for (std::int64_t i = 0; i < want.size(); ++i) {
         if (!(r.out.flat(i) == want.flat(i))) {
           std::fprintf(stderr, "MISMATCH %s h=%lld\n", akg::to_string(impl),

@@ -78,8 +78,11 @@ void BM_MaxpoolForwardIm2col(benchmark::State& state) {
   TensorF16 in(Shape{1, 1, h, h, kC0});
   in.fill_random_ints(1);
   const Window2d w = Window2d::pool(3, 2);
+  const kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxFwd,
+                           .window = w,
+                           .fwd = akg::PoolImpl::kIm2col};
   for (auto _ : state) {
-    auto r = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+    auto r = kernels::run_pool(dev, op, {.in = &in});
     benchmark::DoNotOptimize(r.out.data());
   }
   state.SetItemsProcessed(state.iterations() * in.size());
@@ -92,8 +95,11 @@ void BM_MaxpoolForwardDirect(benchmark::State& state) {
   TensorF16 in(Shape{1, 1, h, h, kC0});
   in.fill_random_ints(1);
   const Window2d w = Window2d::pool(3, 2);
+  const kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxFwd,
+                           .window = w,
+                           .fwd = akg::PoolImpl::kDirect};
   for (auto _ : state) {
-    auto r = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kDirect);
+    auto r = kernels::run_pool(dev, op, {.in = &in});
     benchmark::DoNotOptimize(r.out.data());
   }
   state.SetItemsProcessed(state.iterations() * in.size());

@@ -1,0 +1,225 @@
+// Serving bench: batched vs sequential request handling on the
+// InceptionV3 Figure-7 pooling layers (Table I's highlighted rows).
+//
+// For each shape, R single-image MaxPool requests are pushed through a
+// serve::Session twice: once with batching disabled (every request
+// launches alone -- the baseline a caller gets from run_pool in a loop)
+// and once with the batcher coalescing same-geometry requests into
+// multi-N launches. Requests arrive in two waves so the second wave
+// exercises the plan cache. Outputs are compared bit-for-bit across the
+// two modes.
+//
+// JSON outputs:
+//   --json=<path>          combined rows (mode column, speedup, hit rate)
+//   --json-seq=<path>      sequential totals only  } identical row keys,
+//   --json-batched=<path>  batched totals only     } for davinci_prof --diff
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "harness.h"
+#include "nets/cnn_tables.h"
+#include "serve/session.h"
+#include "sim/metrics_registry.h"
+#include "tensor/fractal.h"
+
+using namespace davinci;
+
+namespace {
+
+std::string named_arg(int argc, char** argv, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, n) == 0) return argv[i] + n;
+  }
+  return "";
+}
+
+struct ModeResult {
+  std::int64_t cycles_total = 0;
+  std::int64_t launches = 0;
+  double avg_batch = 0.0;
+  double hit_rate = 0.0;
+  std::int64_t host_ns = 0;
+  std::vector<TensorF16> outputs;
+  Device::RunResult first_run;
+};
+
+ModeResult run_mode(const nets::PoolLayer& layer, bool batching, bool db,
+                    int requests) {
+  serve::SessionOptions opts;
+  opts.batching = batching;
+  opts.double_buffer = db;
+  serve::Session session(opts);
+
+  const std::int64_t c1 = c1_of(layer.c);
+  std::vector<TensorF16> inputs;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  for (int r = 0; r < requests; ++r) {
+    inputs.push_back(bench::make_input(1, c1, layer.h, layer.w,
+                                       static_cast<std::uint64_t>(r + 1)));
+  }
+
+  kernels::PoolOp op;
+  op.kind = kernels::PoolOpKind::kMaxFwd;
+  op.window = layer.window;
+  op.fwd = akg::PoolImpl::kIm2col;
+
+  ModeResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<kernels::PoolResult>> futures;
+  // Two waves: pause the worker so each wave coalesces deterministically,
+  // and the second wave's plan resolves from the cache.
+  for (int wave = 0; wave < 2; ++wave) {
+    session.pause();
+    for (int r = wave * requests / 2;
+         r < (wave + 1) * requests / 2; ++r) {
+      kernels::PoolInputs in;
+      in.in = &inputs[static_cast<std::size_t>(r)];
+      futures.push_back(session.submit(op, in));
+    }
+    session.resume();
+    session.drain();
+  }
+  for (std::size_t f = 0; f < futures.size(); ++f) {
+    kernels::PoolResult r = futures[f].get();
+    if (f == 0) res.first_run = r.run;
+    res.outputs.push_back(std::move(r.out));
+  }
+  res.host_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  const serve::SessionStats s = session.stats();
+  res.cycles_total = s.device_cycles_total;
+  res.launches = s.launches;
+  res.avg_batch = s.avg_batch;
+  res.hit_rate = s.plan_cache.hit_rate();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_preamble(
+      "Serving throughput: batched vs sequential sessions on the "
+      "InceptionV3 pooling layers",
+      "Table I / Figure 7a (IPDPSW 2021), served");
+  const bool db = !bench::no_double_buffer_arg(argc, argv);
+  const int kRequests = 8;
+
+  const std::string json_path = bench::json_arg(argc, argv);
+  const std::string json_seq = named_arg(argc, argv, "--json-seq=");
+  const std::string json_batched = named_arg(argc, argv, "--json-batched=");
+  const std::string metrics_path = bench::metrics_arg(argc, argv);
+
+  bench::JsonReport report("serve");
+  bench::JsonReport report_seq("serve_sequential");
+  bench::JsonReport report_batched("serve_batched");
+  MetricsRegistry registry;
+  bench::Table table("Serving, " + std::to_string(kRequests) +
+                         " requests per shape",
+                     {"input (HWC)", "sequential", "batched", "speedup",
+                      "launches", "avg batch", "plan hits", "verified"});
+
+  bool all_ok = true;
+  bool all_faster = true;
+  for (const auto& layer : nets::inception_v3_fig7_layers()) {
+    const ModeResult seq = run_mode(layer, /*batching=*/false, db, kRequests);
+    const ModeResult bat = run_mode(layer, /*batching=*/true, db, kRequests);
+
+    bool ok = seq.outputs.size() == bat.outputs.size();
+    for (std::size_t r = 0; ok && r < seq.outputs.size(); ++r) {
+      ok = seq.outputs[r].size() == bat.outputs[r].size();
+      for (std::int64_t i = 0; ok && i < seq.outputs[r].size(); ++i) {
+        ok = seq.outputs[r].flat(i) == bat.outputs[r].flat(i);
+      }
+    }
+    all_ok &= ok;
+    all_faster &= bat.cycles_total < seq.cycles_total;
+
+    char shape[48];
+    std::snprintf(shape, sizeof(shape), "%lld,%lld,%lld",
+                  static_cast<long long>(layer.h),
+                  static_cast<long long>(layer.w),
+                  static_cast<long long>(layer.c));
+    char avg[16], hits[16];
+    std::snprintf(avg, sizeof(avg), "%.1f", bat.avg_batch);
+    std::snprintf(hits, sizeof(hits), "%.0f%%", bat.hit_rate * 100.0);
+    table.add_row({shape, bench::fmt_int(seq.cycles_total),
+                   bench::fmt_int(bat.cycles_total),
+                   bench::fmt_ratio(static_cast<double>(seq.cycles_total) /
+                                    static_cast<double>(bat.cycles_total)),
+                   bench::fmt_int(bat.launches), avg, hits,
+                   ok ? "bit-exact" : "MISMATCH"});
+
+    const std::string name = std::string("inception_v3 ") + shape;
+    for (const bool batched : {false, true}) {
+      const ModeResult& m = batched ? bat : seq;
+      report.row()
+          .field("name", name)
+          .field("mode", std::string(batched ? "batched" : "sequential"))
+          .field("requests", static_cast<std::int64_t>(kRequests))
+          .field("cycles", m.cycles_total)
+          .field("launches", m.launches)
+          .field("host_ns", m.host_ns);
+    }
+    report_seq.row()
+        .field("name", name)
+        .field("requests", static_cast<std::int64_t>(kRequests))
+        .field("cycles", seq.cycles_total)
+        .field("host_ns", seq.host_ns);
+    report_batched.row()
+        .field("name", name)
+        .field("requests", static_cast<std::int64_t>(kRequests))
+        .field("cycles", bat.cycles_total)
+        .field("host_ns", bat.host_ns);
+    registry.add(name + " batched", bat.first_run,
+                 ArchConfig::ascend910());
+  }
+
+  // The batched session's serve stats (plan-cache hit rate et al.) land
+  // in the metrics JSON through a fresh session over all three shapes.
+  {
+    serve::SessionOptions opts;
+    opts.double_buffer = db;
+    serve::Session session(opts);
+    std::vector<TensorF16> inputs;
+    std::vector<std::future<kernels::PoolResult>> futures;
+    for (const auto& layer : nets::inception_v3_fig7_layers()) {
+      inputs.push_back(
+          bench::make_input(1, c1_of(layer.c), layer.h, layer.w, 7));
+    }
+    for (int round = 0; round < 2; ++round) {
+      session.pause();
+      std::size_t i = 0;
+      for (const auto& layer : nets::inception_v3_fig7_layers()) {
+        kernels::PoolOp op;
+        op.kind = kernels::PoolOpKind::kMaxFwd;
+        op.window = layer.window;
+        op.fwd = akg::PoolImpl::kIm2col;
+        kernels::PoolInputs in;
+        in.in = &inputs[i++];
+        futures.push_back(session.submit(op, in));
+      }
+      session.resume();
+      session.drain();
+    }
+    for (auto& f : futures) f.get();
+    session.add_metrics(registry);
+  }
+
+  table.print();
+  std::printf("outputs %s across modes; batched %s than sequential on "
+              "every shape\n",
+              all_ok ? "bit-exact" : "MISMATCHED",
+              all_faster ? "strictly faster" : "NOT faster");
+
+  if (!json_path.empty()) report.write(json_path);
+  if (!json_seq.empty()) report_seq.write(json_seq);
+  if (!json_batched.empty()) report_batched.write(json_batched);
+  if (!metrics_path.empty()) registry.write(metrics_path);
+  return (all_ok && all_faster) ? 0 : 1;
+}

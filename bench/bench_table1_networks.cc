@@ -29,10 +29,12 @@ int main(int argc, char** argv) {
   for (const auto& layer : nets::table1_layers()) {
     const std::int64_t c1 = c1_of(layer.c);
     const TensorF16 in = bench::make_input(1, c1, layer.h, layer.w);
-    auto direct =
-        kernels::maxpool_forward(dev, in, layer.window, akg::PoolImpl::kDirect);
-    auto im2col =
-        kernels::maxpool_forward(dev, in, layer.window, akg::PoolImpl::kIm2col);
+    kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxFwd,
+                       .window = layer.window,
+                       .fwd = akg::PoolImpl::kDirect};
+    auto direct = kernels::run_pool(dev, op, {.in = &in});
+    op.fwd = akg::PoolImpl::kIm2col;
+    auto im2col = kernels::run_pool(dev, op, {.in = &in});
     const TensorF16 want = ref::maxpool_fwd(in, layer.window);
     bool ok = true;
     for (std::int64_t i = 0; i < want.size(); ++i) {

@@ -26,10 +26,12 @@ int main() {
     TensorF16 in(Shape{1, c1, layer.h, layer.w, kC0});
     in.fill_random(7);
 
-    auto direct = kernels::maxpool_forward(dev, in, layer.window,
-                                           akg::PoolImpl::kDirect);
-    auto im2col = kernels::maxpool_forward(dev, in, layer.window,
-                                           akg::PoolImpl::kIm2col);
+    kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxFwd,
+                       .window = layer.window,
+                       .fwd = akg::PoolImpl::kDirect};
+    auto direct = kernels::run_pool(dev, op, {.in = &in});
+    op.fwd = akg::PoolImpl::kIm2col;
+    auto im2col = kernels::run_pool(dev, op, {.in = &in});
     // Sanity: both agree (max is exact in fp16).
     const TensorF16 want = ref::maxpool_fwd(in, layer.window);
     for (std::int64_t i = 0; i < want.size(); ++i) {

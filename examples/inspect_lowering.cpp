@@ -20,7 +20,9 @@ void show(Device& dev, akg::PoolImpl impl, const TensorF16& in,
           const Window2d& w) {
   dev.core(0).trace().clear();
   dev.core(0).trace().enable();
-  auto r = kernels::maxpool_forward(dev, in, w, impl);
+  auto r = kernels::run_pool(
+      dev, {.kind = kernels::PoolOpKind::kMaxFwd, .window = w, .fwd = impl},
+      {.in = &in});
   std::printf("--- %s lowering: %lld cycles, %lld vector instructions, "
               "lane utilization %.0f%% ---\n",
               akg::to_string(impl), static_cast<long long>(r.cycles()),

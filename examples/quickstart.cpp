@@ -31,11 +31,15 @@ int main() {
   //    the Im2Col / Col2Im instructions.
   Device dev;
 
-  // 3. Run both forward implementations.
-  auto direct = kernels::maxpool_forward(dev, input, window,
-                                         akg::PoolImpl::kDirect);
-  auto im2col = kernels::maxpool_forward(dev, input, window,
-                                         akg::PoolImpl::kIm2col);
+  // 3. Run both forward implementations through the unified PoolOp entry
+  //    point -- the descriptor names the operator, the window, and the
+  //    lowering; the tensors arrive separately.
+  kernels::PoolOp op{.kind = kernels::PoolOpKind::kMaxFwd,
+                     .window = window,
+                     .fwd = akg::PoolImpl::kDirect};
+  auto direct = kernels::run_pool(dev, op, {.in = &input});
+  op.fwd = akg::PoolImpl::kIm2col;
+  auto im2col = kernels::run_pool(dev, op, {.in = &input});
 
   // 4. Verify against the reference implementation.
   const TensorF16 want = ref::maxpool_fwd(input, window);

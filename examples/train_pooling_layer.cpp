@@ -34,18 +34,30 @@ int main() {
               static_cast<long long>(channels));
 
   // --- Standard stack ---
-  auto fwd_base = kernels::maxpool_forward_with_mask(dev, input, window,
-                                                     akg::PoolImpl::kDirect);
-  auto bwd_base =
-      kernels::maxpool_backward(dev, fwd_base.mask, grad, window, h, w_,
-                                kernels::MergeImpl::kVadd);
+  auto fwd_base = kernels::run_pool(dev,
+                                    {.kind = kernels::PoolOpKind::kMaxMaskFwd,
+                                     .window = window,
+                                     .fwd = akg::PoolImpl::kDirect},
+                                    {.in = &input});
+  auto bwd_base = kernels::run_pool(
+      dev,
+      {.kind = kernels::PoolOpKind::kMaxBwd,
+       .window = window,
+       .merge = kernels::MergeImpl::kVadd},
+      {.mask = &fwd_base.mask, .grad = &grad, .ih = h, .iw = w_});
 
   // --- Accelerated stack (the paper's contribution) ---
-  auto fwd_fast = kernels::maxpool_forward_with_mask(dev, input, window,
-                                                     akg::PoolImpl::kIm2col);
-  auto bwd_fast =
-      kernels::maxpool_backward(dev, fwd_fast.mask, grad, window, h, w_,
-                                kernels::MergeImpl::kCol2im);
+  auto fwd_fast = kernels::run_pool(dev,
+                                    {.kind = kernels::PoolOpKind::kMaxMaskFwd,
+                                     .window = window,
+                                     .fwd = akg::PoolImpl::kIm2col},
+                                    {.in = &input});
+  auto bwd_fast = kernels::run_pool(
+      dev,
+      {.kind = kernels::PoolOpKind::kMaxBwd,
+       .window = window,
+       .merge = kernels::MergeImpl::kCol2im},
+      {.mask = &fwd_fast.mask, .grad = &grad, .ih = h, .iw = w_});
 
   // --- Validate against the fp32 NCHW reference ---
   const TensorF32 want_out = ref::maxpool_fwd_nchw(activations, window);

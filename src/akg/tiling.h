@@ -59,6 +59,8 @@ struct PoolPlan {
   int ub_slots = 1;            // UB tile slots: 1 = single, 2 = ping-pong
   bool tiled() const { return num_h_tiles > 1; }
   bool double_buffered() const { return ub_slots > 1; }
+
+  friend bool operator==(const PoolPlan&, const PoolPlan&) = default;
 };
 
 // Chooses the largest oh_tile whose UB footprint fits. Throws if even a

@@ -1,8 +1,9 @@
-// AvgPool kernels (Section V-C).
+// AvgPool backward kernel (Section V-C).
 //
 // Forward mirrors MaxPool with vadd instead of vmax plus an element-wise
-// multiplication by 1/(Kh*Kw) before the store; the access pattern -- and
-// therefore the benefit of the Im2Col load -- is unchanged.
+// multiplication by 1/(Kh*Kw) before the store; it is dispatched straight
+// to the shared forward driver by run_pool (pooling.cc), so this file
+// holds only the backward pass.
 //
 // Backward needs no Argmax mask ("the equivalent mask for Avgpool contains
 // 1 in all its positions"): the incoming gradients are scaled by
@@ -42,17 +43,10 @@ struct AvgBwdSlot {
 
 }  // namespace
 
-PoolFwdResult avgpool_forward(Device& dev, const TensorF16& in,
-                              const Window2d& w, akg::PoolImpl impl) {
-  DV_CHECK(impl == akg::PoolImpl::kDirect || impl == akg::PoolImpl::kIm2col)
-      << "AvgPool forward supports kDirect and kIm2col";
-  const Float16 inv(1.0f / static_cast<float>(w.kh * w.kw));
-  return pooling_forward_impl(dev, in, w, impl, VecOp::kAdd, Float16(), inv);
-}
-
-PoolBwdResult avgpool_backward(Device& dev, const TensorF16& grad,
-                               const Window2d& w, std::int64_t ih,
-                               std::int64_t iw, MergeImpl merge) {
+PoolResult avgpool_bwd_impl(Device& dev, const TensorF16& grad,
+                            const Window2d& w, std::int64_t ih,
+                            std::int64_t iw, MergeImpl merge,
+                            const akg::PoolPlan* plan_in) {
   w.validate();
   DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
   const std::int64_t n = grad.shape()[0], c1 = grad.shape()[1];
@@ -62,7 +56,9 @@ PoolBwdResult avgpool_backward(Device& dev, const TensorF16& grad,
   const Float16 inv(1.0f / static_cast<float>(w.kh * w.kw));
 
   const bool db = dev.double_buffer();
-  const akg::PoolPlan plan = akg::plan_bwd(dev.arch(), w, ih, iw, db);
+  const akg::PoolPlan plan =
+      plan_in != nullptr ? *plan_in : akg::plan_bwd(dev.arch(), w, ih, iw, db);
+  DV_CHECK_GE(plan.oh_tile, 1) << "invalid precomputed plan";
   const std::int64_t seam = w.kh > w.sh ? w.kh - w.sh : 0;
 
   // Worst-case (interior) tile dimensions for the slot buffers.
@@ -204,7 +200,10 @@ PoolBwdResult avgpool_backward(Device& dev, const TensorF16& grad,
     }
   });
 
-  return PoolBwdResult{std::move(grad_in), run};
+  PoolResult res;
+  res.grad_in = std::move(grad_in);
+  res.run = run;
+  return res;
 }
 
 }  // namespace davinci::kernels

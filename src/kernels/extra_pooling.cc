@@ -1,5 +1,6 @@
-// Pooling operators beyond the paper's MaxPool/AvgPool, built on the same
-// machinery: MinPool (vmin-based) and global average pooling.
+// Pooling operators beyond the paper's MaxPool/AvgPool: global average
+// pooling. (MinPool rides the shared forward driver and is dispatched
+// directly by run_pool in pooling.cc.)
 #include "akg/tiling.h"
 #include "kernels/detail.h"
 #include "kernels/pool_fwd_driver.h"
@@ -11,16 +12,7 @@ namespace {
 using detail::gm_view;
 }  // namespace
 
-PoolFwdResult minpool_forward(Device& dev, const TensorF16& in,
-                              const Window2d& w, akg::PoolImpl impl) {
-  // Same schedules as MaxPool with the dual reduction: vmin and a
-  // +max-finite initializer. Zero padding participates as 0, mirroring
-  // what the Im2Col instruction loads.
-  return pooling_forward_impl(dev, in, w, impl, VecOp::kMin,
-                              Float16::max_finite(), Float16(1.0f));
-}
-
-PoolFwdResult global_avgpool(Device& dev, const TensorF16& in) {
+PoolResult global_avgpool_impl(Device& dev, const TensorF16& in) {
   DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
   DV_CHECK_EQ(in.shape()[4], kC0);
   const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
@@ -103,7 +95,10 @@ PoolFwdResult global_avgpool(Device& dev, const TensorF16& in) {
     core.mte().copy(gm_view(out).sub(b * kC0, kC0), acc, kC0);
   });
 
-  return PoolFwdResult{std::move(out), run};
+  PoolResult res;
+  res.out = std::move(out);
+  res.run = run;
+  return res;
 }
 
 }  // namespace davinci::kernels

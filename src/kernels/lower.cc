@@ -95,7 +95,7 @@ LoweredPoolResult lower_and_run(Device& dev, const dsl::Compute& c,
       break;
   }
   auto r = kernels::pooling_forward_impl(dev, input, p.window, impl, op,
-                                         init, Float16(1.0f));
+                                         init, Float16(1.0f), nullptr);
   return LoweredPoolResult{std::move(r.out), r.run, impl};
 }
 

@@ -27,6 +27,7 @@
 
 #include "akg/tiling.h"
 #include "kernels/detail.h"
+#include "kernels/pool_fwd_driver.h"
 #include "kernels/pooling.h"
 #include "sim/scu.h"
 
@@ -59,10 +60,10 @@ struct BwdSlot {
 
 }  // namespace
 
-PoolBwdResult maxpool_backward(Device& dev, const TensorF16& mask,
-                               const TensorF16& grad, const Window2d& w,
-                               std::int64_t ih, std::int64_t iw,
-                               MergeImpl merge) {
+PoolResult maxpool_bwd_impl(Device& dev, const TensorF16& mask,
+                            const TensorF16& grad, const Window2d& w,
+                            std::int64_t ih, std::int64_t iw, MergeImpl merge,
+                            const akg::PoolPlan* plan_in) {
   w.validate();
   DV_CHECK_EQ(mask.shape().rank(), 6) << "mask is (N,C1,Kh,Kw,PP,C0)";
   DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
@@ -76,7 +77,9 @@ PoolBwdResult maxpool_backward(Device& dev, const TensorF16& mask,
   DV_CHECK_EQ(mask.shape()[4], ppg);
 
   const bool db = dev.double_buffer();
-  const akg::PoolPlan plan = akg::plan_bwd(dev.arch(), w, ih, iw, db);
+  const akg::PoolPlan plan =
+      plan_in != nullptr ? *plan_in : akg::plan_bwd(dev.arch(), w, ih, iw, db);
+  DV_CHECK_GE(plan.oh_tile, 1) << "invalid precomputed plan";
   const std::int64_t seam = w.kh > w.sh ? w.kh - w.sh : 0;
 
   // Worst-case (interior) tile dimensions for the slot buffers.
@@ -228,7 +231,10 @@ PoolBwdResult maxpool_backward(Device& dev, const TensorF16& mask,
     }
   });
 
-  return PoolBwdResult{std::move(grad_in), run};
+  PoolResult res;
+  res.grad_in = std::move(grad_in);
+  res.run = run;
+  return res;
 }
 
 }  // namespace davinci::kernels

@@ -14,6 +14,7 @@
 
 #include "akg/tiling.h"
 #include "kernels/detail.h"
+#include "kernels/pool_fwd_driver.h"
 #include "kernels/pooling.h"
 #include "sim/scu.h"
 
@@ -362,13 +363,10 @@ FwdSlot alloc_slot(AiCore& core, PoolImpl impl, const Window2d& w,
 // Shared forward driver for MaxPool and AvgPool-style reductions; `op`
 // and `init` select the reduction, `scale` (if not 1) is applied to the
 // output tile before the store (AvgPool's 1/(Kh*Kw)).
-PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
-                                   const Window2d& w, akg::PoolImpl impl,
-                                   VecOp op, Float16 init, Float16 scale);
-
-PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
-                                   const Window2d& w, akg::PoolImpl impl,
-                                   VecOp op, Float16 init, Float16 scale) {
+PoolResult pooling_forward_impl(Device& dev, const TensorF16& in,
+                                const Window2d& w, akg::PoolImpl impl,
+                                VecOp op, Float16 init, Float16 scale,
+                                const akg::PoolPlan* plan_in) {
   DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
   DV_CHECK_EQ(in.shape()[4], kC0);
   w.validate();
@@ -383,7 +381,11 @@ PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
 
   const bool db = dev.double_buffer();
   const akg::PoolPlan plan =
-      akg::plan_fwd(impl, dev.arch(), w, ih, iw, /*with_mask=*/false, db);
+      plan_in != nullptr
+          ? *plan_in
+          : akg::plan_fwd(impl, dev.arch(), w, ih, iw, /*with_mask=*/false,
+                          db);
+  DV_CHECK_GE(plan.oh_tile, 1) << "invalid precomputed plan";
 
   // Worst-case (interior) tile dimensions; every tile fits in a prefix.
   const std::int64_t ih_t =
@@ -442,21 +444,10 @@ PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
     }
   });
 
-  return PoolFwdResult{std::move(out), run};
-}
-
-PoolFwdResult maxpool_forward(Device& dev, const TensorF16& in,
-                              const Window2d& w, akg::PoolImpl impl) {
-  return pooling_forward_impl(dev, in, w, impl, VecOp::kMax,
-                              Float16::lowest(), Float16(1.0f));
-}
-
-const char* to_string(MergeImpl impl) {
-  switch (impl) {
-    case MergeImpl::kVadd: return "vadd";
-    case MergeImpl::kCol2im: return "col2im";
-  }
-  return "?";
+  PoolResult res;
+  res.out = std::move(out);
+  res.run = run;
+  return res;
 }
 
 }  // namespace davinci::kernels

@@ -13,6 +13,7 @@
 //    issued Oh*Ow*Kh times like the direct reduction itself.
 #include "akg/tiling.h"
 #include "kernels/detail.h"
+#include "kernels/pool_fwd_driver.h"
 #include "kernels/pooling.h"
 #include "sim/scu.h"
 
@@ -26,9 +27,9 @@ using detail::gm_view;
 
 }  // namespace
 
-PoolMaskFwdResult maxpool_forward_with_mask(Device& dev, const TensorF16& in,
-                                            const Window2d& w,
-                                            akg::PoolImpl impl) {
+PoolResult maxpool_mask_fwd_impl(Device& dev, const TensorF16& in,
+                                 const Window2d& w, akg::PoolImpl impl,
+                                 const akg::PoolPlan* plan_in) {
   DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
   DV_CHECK_EQ(in.shape()[4], kC0);
   w.validate();
@@ -43,7 +44,10 @@ PoolMaskFwdResult maxpool_forward_with_mask(Device& dev, const TensorF16& in,
   const std::int64_t ppg = round_up(oh * ow, kFractalRows);
 
   const akg::PoolPlan plan =
-      akg::plan_fwd(impl, dev.arch(), w, ih, iw, /*with_mask=*/true);
+      plan_in != nullptr
+          ? *plan_in
+          : akg::plan_fwd(impl, dev.arch(), w, ih, iw, /*with_mask=*/true);
+  DV_CHECK_GE(plan.oh_tile, 1) << "invalid precomputed plan";
 
   TensorF16 out(Shape{n, c1, oh, ow, kC0});
   TensorF16 mask(Shape{n, c1, w.kh, w.kw, ppg, kC0});
@@ -165,7 +169,11 @@ PoolMaskFwdResult maxpool_forward_with_mask(Device& dev, const TensorF16& in,
     }
   });
 
-  return PoolMaskFwdResult{std::move(out), std::move(mask), run};
+  PoolResult res;
+  res.out = std::move(out);
+  res.mask = std::move(mask);
+  res.run = run;
+  return res;
 }
 
 }  // namespace davinci::kernels

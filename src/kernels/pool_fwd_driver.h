@@ -1,5 +1,8 @@
-// Internal: shared forward driver (defined in maxpool_fwd.cc) used by both
-// the MaxPool and AvgPool entry points.
+// Internal: the kernel implementation entry points behind run_pool.
+// Each takes an optional precomputed tiling plan (`plan`); nullptr means
+// "plan here" via akg::plan_fwd / plan_bwd. The serving layer's plan
+// cache (src/serve/plan_cache.h) supplies non-null plans so planning runs
+// once per descriptor instead of once per launch.
 #pragma once
 
 #include "akg/tiling.h"
@@ -8,8 +11,33 @@
 
 namespace davinci::kernels {
 
-PoolFwdResult pooling_forward_impl(Device& dev, const TensorF16& in,
-                                   const Window2d& w, akg::PoolImpl impl,
-                                   VecOp op, Float16 init, Float16 scale);
+// Shared forward driver (maxpool_fwd.cc) used by the MaxPool, MinPool and
+// AvgPool forward kinds; `op`/`init` select the reduction, `scale` (if
+// not 1) is applied to the output tile before the store.
+PoolResult pooling_forward_impl(Device& dev, const TensorF16& in,
+                                const Window2d& w, akg::PoolImpl impl,
+                                VecOp op, Float16 init, Float16 scale,
+                                const akg::PoolPlan* plan);
+
+// MaxPool forward + Argmax mask (maxpool_mask.cc).
+PoolResult maxpool_mask_fwd_impl(Device& dev, const TensorF16& in,
+                                 const Window2d& w, akg::PoolImpl impl,
+                                 const akg::PoolPlan* plan);
+
+// MaxPool backward (maxpool_bwd.cc).
+PoolResult maxpool_bwd_impl(Device& dev, const TensorF16& mask,
+                            const TensorF16& grad, const Window2d& w,
+                            std::int64_t ih, std::int64_t iw, MergeImpl merge,
+                            const akg::PoolPlan* plan);
+
+// AvgPool backward (avgpool.cc).
+PoolResult avgpool_bwd_impl(Device& dev, const TensorF16& grad,
+                            const Window2d& w, std::int64_t ih,
+                            std::int64_t iw, MergeImpl merge,
+                            const akg::PoolPlan* plan);
+
+// Global average pooling (extra_pooling.cc); tiles rows against UB
+// directly, so it takes no akg plan.
+PoolResult global_avgpool_impl(Device& dev, const TensorF16& in);
 
 }  // namespace davinci::kernels

@@ -31,9 +31,24 @@
 // device's AI Cores. Direct, expansion and X-Y-split kernels require zero
 // padding (the paper evaluates them only without padding); the
 // im2col-based kernels support padding, applied during the Im2Col load.
+//
+// --- Entry point ---
+//
+// Every operator runs through ONE entry point:
+//
+//   PoolResult r = run_pool(dev, PoolOp{...}, PoolInputs{...});
+//
+// A PoolOp is a plain descriptor (operator kind, window geometry, lowering
+// choices, optional precomputed tiling plan), which makes it hashable /
+// comparable -- the serving layer (src/serve/) batches requests by PoolOp
+// and caches tiling plans per descriptor. The historical per-operator free
+// functions below remain as thin shims over run_pool; new code (and
+// everything in-tree outside this module and the tests) should construct
+// a PoolOp instead. See docs/API.md for the migration note.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "akg/tiling.h"
 #include "sim/device.h"
@@ -48,68 +63,126 @@ enum class MergeImpl : std::uint8_t { kVadd, kCol2im };
 
 const char* to_string(MergeImpl impl);
 
-struct PoolFwdResult {
-  TensorF16 out;  // (N, C1, Oh, Ow, C0)
+// The pooling operators, forward and backward, in one enum -- the "op"
+// axis of the unified descriptor.
+enum class PoolOpKind : std::uint8_t {
+  kMaxFwd,      // MaxPool forward (Figure 7a / 8)
+  kAvgFwd,      // AvgPool forward (Section V-C)
+  kMinFwd,      // MinPool forward (extension; dual of MaxPool)
+  kGlobalAvg,   // global average pooling (extension)
+  kMaxMaskFwd,  // MaxPool forward + Argmax mask (Figure 7b)
+  kMaxBwd,      // MaxPool backward: mask * grad, Col2im merge (Figure 7c)
+  kAvgBwd,      // AvgPool backward: scaled grad, Col2im merge
+};
+
+const char* to_string(PoolOpKind kind);
+
+// True for the kinds that consume an input activation tensor and produce
+// an output activation (everything except the backward passes).
+bool is_forward(PoolOpKind kind);
+// True for the kinds that produce a gradient w.r.t. the input.
+bool is_backward(PoolOpKind kind);
+
+// The unified operator descriptor. A PoolOp fully determines *how* a
+// pooling computation is lowered; the tensors it runs on arrive separately
+// in PoolInputs. Two requests with equal PoolOp (ignoring `plan`) and
+// equal input geometry can share one device launch and one tiling plan.
+struct PoolOp {
+  PoolOpKind kind = PoolOpKind::kMaxFwd;
+  Window2d window{};  // ignored by kGlobalAvg
+  // Forward lowering (forward kinds; kMaxMaskFwd supports kDirect/kIm2col).
+  akg::PoolImpl fwd = akg::PoolImpl::kIm2col;
+  // Backward merge step (backward kinds).
+  MergeImpl merge = MergeImpl::kCol2im;
+  // Precomputed tiling plan (forward and backward kinds with a window).
+  // When set, the kernel uses it instead of re-running akg::plan_fwd /
+  // plan_bwd -- this is how the serving layer's plan cache takes effect.
+  // The plan must have been computed for the same (impl, window, input
+  // geometry, mask, double-buffer) tuple; see serve::PlanCache.
+  std::optional<akg::PoolPlan> plan = std::nullopt;
+
+  std::string to_string() const;
+};
+
+// The tensors one pooling invocation runs on. Pointers are non-owning and
+// must outlive the run_pool call. Forward kinds read `in`; backward kinds
+// read `grad` (and `mask` for kMaxBwd) plus the input spatial size the
+// gradient maps back to.
+struct PoolInputs {
+  const TensorF16* in = nullptr;    // (N, C1, Ih, Iw, C0), forward kinds
+  const TensorF16* mask = nullptr;  // (N, C1, Kh, Kw, PP, C0), kMaxBwd
+  const TensorF16* grad = nullptr;  // (N, C1, Oh, Ow, C0), backward kinds
+  std::int64_t ih = 0, iw = 0;      // input spatial size, backward kinds
+};
+
+// The unified result: every operator fills `run` and exactly the tensors
+// it produces -- `out` for forward kinds, additionally `mask` for
+// kMaxMaskFwd, and `grad_in` for backward kinds. Unproduced tensors stay
+// default-constructed (rank 0).
+struct PoolResult {
+  TensorF16 out;      // (N, C1, Oh, Ow, C0); empty for backward kinds
+  TensorF16 mask;     // (N, C1, Kh, Kw, PP, C0); kMaxMaskFwd only
+  TensorF16 grad_in;  // (N, C1, Ih, Iw, C0); backward kinds only
   Device::RunResult run;
+
+  // Rank-based: a default-constructed tensor has a rank-0 shape, whose
+  // num_elements() is 1 (the empty product), so size() cannot tell
+  // "absent" from "scalar".
+  bool has_out() const { return out.shape().rank() > 0; }
+  bool has_mask() const { return mask.shape().rank() > 0; }
+  bool has_grad_in() const { return grad_in.shape().rank() > 0; }
   std::int64_t cycles() const { return run.device_cycles; }
 };
 
-struct PoolMaskFwdResult {
-  TensorF16 out;   // (N, C1, Oh, Ow, C0)
-  TensorF16 mask;  // (N, C1, Kh, Kw, PP, C0), PP = Oh*Ow rounded to fractals
-  Device::RunResult run;
-  std::int64_t cycles() const { return run.device_cycles; }
-};
+// Deprecated aliases from before the result structs were collapsed
+// (docs/API.md); all three were layout-compatible prefixes of PoolResult.
+using PoolFwdResult = PoolResult;
+using PoolMaskFwdResult = PoolResult;
+using PoolBwdResult = PoolResult;
 
-struct PoolBwdResult {
-  TensorF16 grad_in;  // (N, C1, Ih, Iw, C0)
-  Device::RunResult run;
-  std::int64_t cycles() const { return run.device_cycles; }
-};
+// Runs one pooling operator on the device. Throws davinci::Error on
+// invalid descriptor/input combinations (unsupported impl for the kind,
+// padding on a non-im2col lowering, shape mismatches).
+PoolResult run_pool(Device& dev, const PoolOp& op, const PoolInputs& in);
 
-// --- MaxPool ---
+// --- Deprecated per-operator shims (thin wrappers over run_pool) ---
+//
+// Kept so existing call sites and the shim-equivalence tests keep
+// compiling; each builds the corresponding PoolOp and forwards. In-tree
+// code outside this module and tests/ must call run_pool instead (CI
+// greps for violations).
 
-PoolFwdResult maxpool_forward(Device& dev, const TensorF16& in,
-                              const Window2d& w, akg::PoolImpl impl);
+PoolResult maxpool_forward(Device& dev, const TensorF16& in,
+                           const Window2d& w, akg::PoolImpl impl);
 
 // Forward plus the Argmax mask needed for training (Figure 7b). Supported
 // for kDirect (baseline) and kIm2col (proposed).
-PoolMaskFwdResult maxpool_forward_with_mask(Device& dev, const TensorF16& in,
-                                            const Window2d& w,
-                                            akg::PoolImpl impl);
+PoolResult maxpool_forward_with_mask(Device& dev, const TensorF16& in,
+                                     const Window2d& w, akg::PoolImpl impl);
 
 // Backward: mask (N, C1, Kh, Kw, PP, C0) and incoming gradients
 // (N, C1, Oh, Ow, C0) -> gradient w.r.t. the input (N, C1, Ih, Iw, C0).
-PoolBwdResult maxpool_backward(Device& dev, const TensorF16& mask,
-                               const TensorF16& grad, const Window2d& w,
-                               std::int64_t ih, std::int64_t iw,
-                               MergeImpl merge);
+PoolResult maxpool_backward(Device& dev, const TensorF16& mask,
+                            const TensorF16& grad, const Window2d& w,
+                            std::int64_t ih, std::int64_t iw,
+                            MergeImpl merge);
 
-// --- AvgPool (Section V-C) ---
-
-// Supported for kDirect and kIm2col.
-PoolFwdResult avgpool_forward(Device& dev, const TensorF16& in,
-                              const Window2d& w, akg::PoolImpl impl);
+// AvgPool (Section V-C). Supported for kDirect and kIm2col.
+PoolResult avgpool_forward(Device& dev, const TensorF16& in,
+                           const Window2d& w, akg::PoolImpl impl);
 
 // AvgPool backward needs no mask: every position contributes, scaled by
 // 1 / (Kh * Kw).
-PoolBwdResult avgpool_backward(Device& dev, const TensorF16& grad,
-                               const Window2d& w, std::int64_t ih,
-                               std::int64_t iw, MergeImpl merge);
-
-// --- Extensions beyond the paper's operators, on the same machinery ---
+PoolResult avgpool_backward(Device& dev, const TensorF16& grad,
+                            const Window2d& w, std::int64_t ih,
+                            std::int64_t iw, MergeImpl merge);
 
 // MinPool: identical schedules with vmin and a +max-finite initializer.
-// Supported for kDirect and kIm2col (and the other two, which share the
-// MaxPool driver).
-PoolFwdResult minpool_forward(Device& dev, const TensorF16& in,
-                              const Window2d& w, akg::PoolImpl impl);
+PoolResult minpool_forward(Device& dev, const TensorF16& in,
+                           const Window2d& w, akg::PoolImpl impl);
 
 // Global average pooling: (N, C1, H, W, C0) -> (N, C1, 1, 1, C0), the
-// mean over all spatial positions per channel. A different vector
-// pattern from windowed pooling: a saturated-mask running accumulation
-// over 8-position chunks followed by a 128 -> C0 lane-halving reduction
-// tree, then one vmuls by 1/(H*W).
-PoolFwdResult global_avgpool(Device& dev, const TensorF16& in);
+// mean over all spatial positions per channel.
+PoolResult global_avgpool(Device& dev, const TensorF16& in);
 
 }  // namespace davinci::kernels

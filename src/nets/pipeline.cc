@@ -23,17 +23,35 @@ Pipeline& Pipeline::conv(TensorF32 weights, const Window2d& window,
 }
 
 Pipeline& Pipeline::maxpool(const Window2d& window, std::string name) {
-  layers_.push_back(Layer{Kind::kMaxPool, std::move(name), window, {}});
+  layers_.push_back(Layer{Kind::kMaxPool, std::move(name), window, {}, {}});
   return *this;
 }
 
 Pipeline& Pipeline::avgpool(const Window2d& window, std::string name) {
-  layers_.push_back(Layer{Kind::kAvgPool, std::move(name), window, {}});
+  layers_.push_back(Layer{Kind::kAvgPool, std::move(name), window, {}, {}});
   return *this;
 }
 
 Pipeline& Pipeline::global_avgpool(std::string name) {
-  layers_.push_back(Layer{Kind::kGlobalAvg, std::move(name), {}, {}});
+  layers_.push_back(Layer{Kind::kGlobalAvg, std::move(name), {}, {}, {}});
+  return *this;
+}
+
+Pipeline& Pipeline::maxpool(const kernels::PoolOp& op, std::string name) {
+  DV_CHECK(op.kind == kernels::PoolOpKind::kMaxFwd)
+      << "maxpool override must be a kMaxFwd descriptor, got "
+      << op.to_string();
+  layers_.push_back(
+      Layer{Kind::kMaxPool, std::move(name), op.window, {}, op});
+  return *this;
+}
+
+Pipeline& Pipeline::avgpool(const kernels::PoolOp& op, std::string name) {
+  DV_CHECK(op.kind == kernels::PoolOpKind::kAvgFwd)
+      << "avgpool override must be a kAvgFwd descriptor, got "
+      << op.to_string();
+  layers_.push_back(
+      Layer{Kind::kAvgPool, std::move(name), op.window, {}, op});
   return *this;
 }
 
@@ -59,27 +77,37 @@ Pipeline::Result Pipeline::run(Device& dev, const TensorF16& input,
       result.faults += r.run.faults;
       cur = std::move(r.out);
     };
+    // Pooling layers launch through the unified entry point; the layer's
+    // override descriptor (when present) wins over the PoolingStack.
+    auto pool_op = [&](kernels::PoolOpKind kind) {
+      if (layer.op.has_value()) return *layer.op;
+      kernels::PoolOp op;
+      op.kind = kind;
+      op.window = layer.window;
+      op.fwd = pool_impl;
+      return op;
+    };
+    auto run_pool_layer = [&](kernels::PoolOpKind kind) {
+      kernels::PoolInputs inputs;
+      inputs.in = &cur;
+      auto r = kernels::run_pool(dev, pool_op(kind), inputs);
+      note(r);
+    };
     switch (layer.kind) {
       case Kind::kConv: {
         auto r = kernels::conv2d_cube(dev, cur, layer.weights, layer.window);
         note(r);
         break;
       }
-      case Kind::kMaxPool: {
-        auto r = kernels::maxpool_forward(dev, cur, layer.window, pool_impl);
-        note(r);
+      case Kind::kMaxPool:
+        run_pool_layer(kernels::PoolOpKind::kMaxFwd);
         break;
-      }
-      case Kind::kAvgPool: {
-        auto r = kernels::avgpool_forward(dev, cur, layer.window, pool_impl);
-        note(r);
+      case Kind::kAvgPool:
+        run_pool_layer(kernels::PoolOpKind::kAvgFwd);
         break;
-      }
-      case Kind::kGlobalAvg: {
-        auto r = kernels::global_avgpool(dev, cur);
-        note(r);
+      case Kind::kGlobalAvg:
+        run_pool_layer(kernels::PoolOpKind::kGlobalAvg);
         break;
-      }
     }
     run.out_shape = cur.shape();
     result.total_cycles += run.cycles;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,12 @@ class Pipeline {
   Pipeline& maxpool(const Window2d& window, std::string name = "maxpool");
   Pipeline& avgpool(const Window2d& window, std::string name = "avgpool");
   Pipeline& global_avgpool(std::string name = "global_avgpool");
+
+  // Per-layer overrides: the layer runs exactly this descriptor (window,
+  // lowering, precomputed plan) regardless of the PoolingStack passed to
+  // run(). op.kind must match the layer type (kMaxFwd / kAvgFwd).
+  Pipeline& maxpool(const kernels::PoolOp& op, std::string name = "maxpool");
+  Pipeline& avgpool(const kernels::PoolOp& op, std::string name = "avgpool");
 
   struct LayerRun {
     std::string name;
@@ -96,6 +103,9 @@ class Pipeline {
     std::string name;
     Window2d window;
     TensorF32 weights;  // conv only
+    // Pooling layers only: when set, run() launches exactly this
+    // descriptor instead of deriving one from the PoolingStack.
+    std::optional<kernels::PoolOp> op = std::nullopt;
   };
 
   std::vector<Layer> layers_;

@@ -1,0 +1,195 @@
+#include "serve/batcher.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace davinci::serve {
+
+namespace {
+
+using kernels::PoolInputs;
+using kernels::PoolOp;
+using kernels::PoolOpKind;
+using kernels::PoolResult;
+
+const TensorF16& primary_tensor(const PoolOp& op, const PoolInputs& in) {
+  const TensorF16* t = kernels::is_backward(op.kind) ? in.grad : in.in;
+  DV_CHECK(t != nullptr) << op.to_string() << ": missing input tensor";
+  return *t;
+}
+
+// Copies member tensor slices (contiguous along the outermost N axis)
+// into consecutive slices of `dst`.
+void stack(TensorF16* dst, const Shape& per_image,
+           const std::vector<const TensorF16*>& srcs) {
+  std::int64_t total_n = 0;
+  for (const TensorF16* s : srcs) total_n += s->shape()[0];
+  Shape stacked = per_image;
+  stacked.set_dim(0, total_n);
+  *dst = TensorF16(stacked);
+  const std::int64_t stride = per_image.stride(0);
+  std::int64_t off = 0;
+  for (const TensorF16* s : srcs) {
+    DV_CHECK_EQ(s->size(), s->shape()[0] * stride) << "slice stride mismatch";
+    std::memcpy(dst->data() + off, s->data(),
+                static_cast<std::size_t>(s->size()) * sizeof(Float16));
+    off += s->size();
+  }
+}
+
+// Copies N-slices [n0, n0+n) of `src` into a fresh tensor with the same
+// trailing dims.
+TensorF16 slice_n(const TensorF16& src, std::int64_t n0, std::int64_t n) {
+  Shape dims = src.shape();
+  dims.set_dim(0, n);
+  const std::int64_t stride = src.shape().stride(0);
+  TensorF16 out{dims};
+  std::memcpy(out.data(), src.data() + n0 * stride,
+              static_cast<std::size_t>(n * stride) * sizeof(Float16));
+  return out;
+}
+
+}  // namespace
+
+RequestGeometry request_geometry(const PoolOp& op, const PoolInputs& in) {
+  const TensorF16& t = primary_tensor(op, in);
+  DV_CHECK_EQ(t.shape().rank(), 5) << op.to_string()
+                                   << ": expected an NC1HWC0 tensor";
+  RequestGeometry g;
+  g.n = t.shape()[0];
+  g.c1 = t.shape()[1];
+  if (kernels::is_backward(op.kind)) {
+    g.ih = in.ih;
+    g.iw = in.iw;
+  } else {
+    g.ih = t.shape()[2];
+    g.iw = t.shape()[3];
+  }
+  return g;
+}
+
+BatchKey batch_key(const PoolOp& op, const PoolInputs& in) {
+  const RequestGeometry g = request_geometry(op, in);
+  BatchKey key;
+  key.kind = op.kind;
+  key.c1 = g.c1;
+  key.ih = g.ih;
+  key.iw = g.iw;
+  if (op.kind != PoolOpKind::kGlobalAvg) key.window = op.window;
+  if (kernels::is_forward(op.kind) && op.kind != PoolOpKind::kGlobalAvg) {
+    key.fwd = op.fwd;
+  }
+  if (kernels::is_backward(op.kind)) key.merge = op.merge;
+  return key;
+}
+
+std::vector<Batch> form_batches(const std::vector<RequestView>& reqs,
+                                std::size_t max_requests,
+                                std::int64_t max_blocks) {
+  DV_CHECK_GE(max_requests, 1u);
+  DV_CHECK_GE(max_blocks, 1);
+  std::vector<Batch> batches;
+  // Key -> index of the still-open batch in `batches`.
+  struct KeyHash {
+    std::size_t operator()(const BatchKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.kind) * 1315423911u;
+      for (std::int64_t f :
+           {k.window.kh, k.window.kw, k.window.sh, k.window.sw, k.window.pt,
+            k.window.pb, k.window.pl, k.window.pr, k.c1, k.ih, k.iw,
+            static_cast<std::int64_t>(k.fwd),
+            static_cast<std::int64_t>(k.merge)}) {
+        h = h * 1099511628211ull + static_cast<std::size_t>(f + 1);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<BatchKey, std::size_t, KeyHash> open;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const BatchKey key = batch_key(*reqs[i].op, *reqs[i].in);
+    const RequestGeometry g = request_geometry(*reqs[i].op, *reqs[i].in);
+    const std::int64_t blocks = g.n * g.c1;
+    auto it = open.find(key);
+    if (it != open.end()) {
+      Batch& b = batches[it->second];
+      if (b.members.size() < max_requests &&
+          b.blocks + blocks <= max_blocks) {
+        b.members.push_back(i);
+        b.blocks += blocks;
+        continue;
+      }
+      open.erase(it);  // full: close it, a new one opens below
+    }
+    batches.push_back(Batch{key, {i}, blocks});
+    open.emplace(key, batches.size() - 1);
+  }
+  return batches;
+}
+
+kernels::PoolInputs CoalescedInputs::inputs() const {
+  // Rank-based presence checks: a default-constructed tensor reports
+  // size() == 1 (rank-0 empty product).
+  PoolInputs pi;
+  if (in.shape().rank() > 0) pi.in = &in;
+  if (mask.shape().rank() > 0) pi.mask = &mask;
+  if (grad.shape().rank() > 0) pi.grad = &grad;
+  pi.ih = ih;
+  pi.iw = iw;
+  return pi;
+}
+
+CoalescedInputs coalesce(const std::vector<RequestView>& reqs,
+                         const Batch& b) {
+  DV_CHECK_GE(b.members.size(), 1u);
+  CoalescedInputs c;
+  std::vector<const TensorF16*> in_srcs, mask_srcs, grad_srcs;
+  for (std::size_t m : b.members) {
+    const PoolInputs& pi = *reqs[m].in;
+    const RequestGeometry g = request_geometry(*reqs[m].op, pi);
+    c.n_of.push_back(g.n);
+    if (pi.in != nullptr) in_srcs.push_back(pi.in);
+    if (pi.mask != nullptr) mask_srcs.push_back(pi.mask);
+    if (pi.grad != nullptr) grad_srcs.push_back(pi.grad);
+  }
+  const PoolInputs& first = *reqs[b.members.front()].in;
+  if (!in_srcs.empty()) {
+    DV_CHECK_EQ(in_srcs.size(), b.members.size())
+        << "batch mixes requests with and without an input tensor";
+    stack(&c.in, in_srcs.front()->shape(), in_srcs);
+  }
+  if (!mask_srcs.empty()) {
+    DV_CHECK_EQ(mask_srcs.size(), b.members.size())
+        << "batch mixes requests with and without a mask tensor";
+    stack(&c.mask, mask_srcs.front()->shape(), mask_srcs);
+  }
+  if (!grad_srcs.empty()) {
+    DV_CHECK_EQ(grad_srcs.size(), b.members.size())
+        << "batch mixes requests with and without a gradient tensor";
+    stack(&c.grad, grad_srcs.front()->shape(), grad_srcs);
+  }
+  c.ih = first.ih;
+  c.iw = first.iw;
+  return c;
+}
+
+std::vector<PoolResult> split_result(const Batch& b,
+                                     const CoalescedInputs& c,
+                                     const PoolResult& batched) {
+  std::vector<PoolResult> out;
+  out.reserve(b.members.size());
+  std::int64_t n0 = 0;
+  for (std::size_t m = 0; m < b.members.size(); ++m) {
+    const std::int64_t n = c.n_of[m];
+    PoolResult r;
+    if (batched.has_out()) r.out = slice_n(batched.out, n0, n);
+    if (batched.has_mask()) r.mask = slice_n(batched.mask, n0, n);
+    if (batched.has_grad_in()) r.grad_in = slice_n(batched.grad_in, n0, n);
+    r.run = batched.run;
+    out.push_back(std::move(r));
+    n0 += n;
+  }
+  return out;
+}
+
+}  // namespace davinci::serve

@@ -1,0 +1,92 @@
+// LRU cache for AKG tiling plans (docs/SERVING.md).
+//
+// akg::plan_fwd / plan_bwd walk the UB-budget search space on every call;
+// a serving session sees the same few shapes over and over, so the
+// session computes each plan once and replays it through PoolOp::plan.
+// The cache key is everything the planners read: direction, lowering,
+// window geometry, input spatial size, mask production and the device's
+// double-buffer policy. Plans are tiny (three integers), so the capacity
+// bound exists to keep lookups O(1)-ish and eviction observable, not to
+// save memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "akg/tiling.h"
+#include "arch/arch_config.h"
+#include "kernels/pooling.h"
+#include "tensor/pool_geometry.h"
+
+namespace davinci::serve {
+
+// Everything akg::plan_fwd / plan_bwd depend on. Two PoolOps with equal
+// PlanKey can share one PoolPlan.
+struct PlanKey {
+  bool backward = false;
+  akg::PoolImpl impl = akg::PoolImpl::kIm2col;  // forward keys only
+  Window2d window;
+  std::int64_t ih = 0, iw = 0;
+  bool with_mask = false;      // forward keys only
+  bool double_buffer = false;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const;
+};
+
+// The PlanKey a descriptor resolves to, or nullopt for kinds that do not
+// plan (kGlobalAvg). `ih`/`iw` is the input spatial size the operator
+// maps over (for backward kinds: the gradient's target size).
+std::optional<PlanKey> plan_key_for(const kernels::PoolOp& op,
+                                    std::int64_t ih, std::int64_t iw,
+                                    bool double_buffer);
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+
+    double hit_rate() const {
+      const std::int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+
+  explicit PlanCache(std::size_t capacity = 64);
+
+  // Returns the cached plan for `key`, running the AKG planner on a miss
+  // and evicting the least-recently-used entry when full. Planner errors
+  // (shape out of schedule scope) propagate and cache nothing.
+  akg::PoolPlan get(const ArchConfig& arch, const PlanKey& key);
+
+  // Lookup without planning; does not touch recency or stats.
+  const akg::PoolPlan* peek(const PlanKey& key) const;
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+  void clear();
+
+ private:
+  struct Node {
+    PlanKey key;
+    akg::PoolPlan plan;
+  };
+
+  std::size_t capacity_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Node>::iterator, PlanKeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace davinci::serve

@@ -1,0 +1,310 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace davinci::serve {
+
+namespace {
+
+using kernels::PoolInputs;
+using kernels::PoolOp;
+using kernels::PoolResult;
+
+double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LatencySummary summarize(std::vector<double> samples) {
+  LatencySummary s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile(samples, 0.50);
+  s.p90 = percentile(samples, 0.90);
+  s.p99 = percentile(samples, 0.99);
+  s.max = samples.back();
+  return s;
+}
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string num(std::int64_t v) { return std::to_string(v); }
+
+std::string latency_json(const LatencySummary& l) {
+  return "{\"count\":" + num(l.count) + ",\"mean\":" + num(l.mean) +
+         ",\"p50\":" + num(l.p50) + ",\"p90\":" + num(l.p90) +
+         ",\"p99\":" + num(l.p99) + ",\"max\":" + num(l.max) + "}";
+}
+
+}  // namespace
+
+Session::Session(SessionOptions opts)
+    : Session(ArchConfig::ascend910(), opts) {}
+
+Session::Session(ArchConfig arch, SessionOptions opts)
+    : opts_(opts), device_(arch), plans_(opts.plan_cache_capacity) {
+  DV_CHECK_GE(opts_.queue_depth, 1u);
+  DV_CHECK_GE(opts_.max_batch, 1u);
+  DV_CHECK_GE(opts_.ub_waves, 1);
+  device_.set_double_buffer(opts_.double_buffer);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Session::~Session() {
+  resume();  // a paused session still completes its queue before dying
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  worker_.join();
+}
+
+void Session::enqueue_locked(Pending p, std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  queue_.push_back(std::move(p));
+  stats_.submitted += 1;
+  stats_.peak_queue_depth = std::max(
+      stats_.peak_queue_depth, static_cast<std::int64_t>(queue_.size()));
+}
+
+std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in) {
+  Pending p;
+  p.op = std::move(op);
+  p.in = in;
+  p.submitted = std::chrono::steady_clock::now();
+  std::future<PoolResult> f = p.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= opts_.queue_depth) {
+      stats_.backpressure_waits += 1;
+      cv_space_.wait(lock,
+                     [this] { return queue_.size() < opts_.queue_depth; });
+    }
+    enqueue_locked(std::move(p), lock);
+  }
+  cv_work_.notify_one();
+  return f;
+}
+
+bool Session::try_submit(PoolOp op, PoolInputs in,
+                         std::future<PoolResult>* out) {
+  Pending p;
+  p.op = std::move(op);
+  p.in = in;
+  p.submitted = std::chrono::steady_clock::now();
+  std::future<PoolResult> f = p.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= opts_.queue_depth) return false;
+    enqueue_locked(std::move(p), lock);
+  }
+  cv_work_.notify_one();
+  *out = std::move(f);
+  return true;
+}
+
+void Session::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] {
+    return (queue_.empty() || paused_) && in_flight_ == 0;
+  });
+  DV_CHECK(queue_.empty() || paused_);
+}
+
+void Session::pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Session::resume() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+void Session::worker_loop() {
+  for (;;) {
+    std::vector<Pending> taken;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] {
+        return stop_ || (!paused_ && !queue_.empty());
+      });
+      if (stop_ && (queue_.empty() || paused_)) return;
+      while (!queue_.empty()) {
+        taken.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += static_cast<std::int64_t>(taken.size());
+      for (Pending& p : taken) {
+        queue_wait_us_.push_back(us_since(p.submitted));
+      }
+    }
+    cv_space_.notify_all();
+    process(std::move(taken));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (in_flight_ == 0 && (queue_.empty() || paused_)) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+void Session::process(std::vector<Pending> taken) {
+  std::vector<RequestView> views;
+  views.reserve(taken.size());
+  for (const Pending& p : taken) views.push_back(RequestView{&p.op, &p.in});
+
+  const std::int64_t max_blocks =
+      static_cast<std::int64_t>(device_.num_cores()) * opts_.ub_waves;
+  const std::size_t max_requests = opts_.batching ? opts_.max_batch : 1u;
+  std::vector<Batch> batches;
+  try {
+    batches = form_batches(views, max_requests, max_blocks);
+  } catch (...) {
+    // A malformed request (wrong rank, missing tensor) fails the whole
+    // take; letting it escape would std::terminate the worker thread.
+    const std::exception_ptr err = std::current_exception();
+    for (Pending& p : taken) p.promise.set_exception(err);
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.failed += static_cast<std::int64_t>(taken.size());
+    in_flight_ -= static_cast<std::int64_t>(taken.size());
+    return;
+  }
+
+  for (const Batch& b : batches) {
+    // Resolve the launch descriptor: the first member's op with the
+    // cached tiling plan attached (all members share the PlanKey by
+    // construction of the BatchKey).
+    PoolOp op = taken[b.members.front()].op;
+    const PoolInputs& first_in = taken[b.members.front()].in;
+    std::int64_t launch_cycles = 0;
+    try {
+      const RequestGeometry g = request_geometry(op, first_in);
+      const std::optional<PlanKey> key =
+          plan_key_for(op, g.ih, g.iw, device_.double_buffer());
+      if (key.has_value() && !op.plan.has_value()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        op.plan = plans_.get(device_.arch(), *key);
+      }
+      if (b.members.size() == 1) {
+        // Singleton fast path: run on the caller's tensors directly.
+        PoolResult r = kernels::run_pool(device_, op, first_in);
+        launch_cycles = r.cycles();
+        taken[b.members.front()].promise.set_value(std::move(r));
+      } else {
+        const CoalescedInputs c = coalesce(views, b);
+        const PoolResult batched =
+            kernels::run_pool(device_, op, c.inputs());
+        launch_cycles = batched.cycles();
+        std::vector<PoolResult> parts = split_result(b, c, batched);
+        for (std::size_t m = 0; m < b.members.size(); ++m) {
+          taken[b.members[m]].promise.set_value(std::move(parts[m]));
+        }
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      stats_.completed += static_cast<std::int64_t>(b.members.size());
+      stats_.launches += 1;
+      stats_.device_cycles_total += launch_cycles;
+      batch_members_total_ += static_cast<std::int64_t>(b.members.size());
+      stats_.max_batch = std::max(stats_.max_batch, b.members.size());
+      if (b.members.size() >= 2) {
+        stats_.batches += 1;
+        stats_.coalesced_requests +=
+            static_cast<std::int64_t>(b.members.size());
+      }
+      for (std::size_t m : b.members) {
+        latency_us_.push_back(us_since(taken[m].submitted));
+      }
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      for (std::size_t m : b.members) {
+        taken[m].promise.set_exception(err);
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      stats_.failed += static_cast<std::int64_t>(b.members.size());
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    in_flight_ -= static_cast<std::int64_t>(taken.size());
+  }
+}
+
+SessionStats Session::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  SessionStats s = stats_;
+  s.latency = summarize(latency_us_);
+  s.queue_wait = summarize(queue_wait_us_);
+  s.avg_batch = s.launches > 0
+                    ? static_cast<double>(batch_members_total_) /
+                          static_cast<double>(s.launches)
+                    : 0.0;
+  s.plan_cache = plans_.stats();
+  s.plan_cache_size = plans_.size();
+  s.plan_cache_capacity = plans_.capacity();
+  return s;
+}
+
+std::string Session::serve_json() const {
+  const SessionStats s = stats();
+  std::string j = "{";
+  j += "\"requests\":" + num(s.submitted);
+  j += ",\"completed\":" + num(s.completed);
+  j += ",\"failed\":" + num(s.failed);
+  j += ",\"launches\":" + num(s.launches);
+  j += ",\"batches\":" + num(s.batches);
+  j += ",\"coalesced_requests\":" + num(s.coalesced_requests);
+  j += ",\"max_batch\":" + num(static_cast<std::int64_t>(s.max_batch));
+  j += ",\"avg_batch\":" + num(s.avg_batch);
+  j += ",\"device_cycles_total\":" + num(s.device_cycles_total);
+  j += ",\"queue\":{\"capacity\":" +
+       num(static_cast<std::int64_t>(opts_.queue_depth)) +
+       ",\"peak_depth\":" + num(s.peak_queue_depth) +
+       ",\"backpressure_waits\":" + num(s.backpressure_waits) + "}";
+  j += ",\"plan_cache\":{\"hits\":" + num(s.plan_cache.hits) +
+       ",\"misses\":" + num(s.plan_cache.misses) +
+       ",\"evictions\":" + num(s.plan_cache.evictions) +
+       ",\"size\":" + num(static_cast<std::int64_t>(s.plan_cache_size)) +
+       ",\"capacity\":" +
+       num(static_cast<std::int64_t>(s.plan_cache_capacity)) +
+       ",\"hit_rate\":" + num(s.plan_cache.hit_rate()) + "}";
+  j += ",\"host_latency_us\":" + latency_json(s.latency);
+  j += ",\"host_queue_wait_us\":" + latency_json(s.queue_wait);
+  j += "}";
+  return j;
+}
+
+void Session::add_metrics(MetricsRegistry& reg) const {
+  reg.set_serve(serve_json());
+}
+
+}  // namespace davinci::serve

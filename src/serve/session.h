@@ -1,0 +1,162 @@
+// The serving session: one Device serving concurrent pooling requests
+// (docs/SERVING.md).
+//
+// A Session owns the simulated device and a worker thread. Callers
+// submit PoolOp descriptors plus input tensors and get a future back;
+// the worker drains the admission queue, coalesces same-geometry
+// requests into multi-N launches (serve/batcher.h), resolves each
+// launch's tiling plan through an LRU cache (serve/plan_cache.h) and
+// completes the futures with per-request slices of the batched result.
+//
+//   serve::Session session(opts);
+//   auto f = session.submit(op, inputs);   // blocks when the queue is full
+//   PoolResult r = f.get();                // bit-identical to run_pool
+//
+// Guarantees:
+//  * results are bit-identical to running each request alone through
+//    run_pool (each device block computes only its own (N, C1) slice);
+//  * the admission queue is bounded (SessionOptions::queue_depth):
+//    submit() blocks -- backpressure -- and try_submit() refuses;
+//  * input tensors are borrowed: they must stay alive and unmodified
+//    until the request's future resolves.
+//
+// Thread safety: submit/try_submit/drain/stats may be called from any
+// number of threads; the device itself is driven only by the worker.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/pooling.h"
+#include "serve/batcher.h"
+#include "serve/plan_cache.h"
+#include "sim/device.h"
+#include "sim/metrics_registry.h"
+
+namespace davinci::serve {
+
+struct SessionOptions {
+  // Admission-queue bound: submit() blocks and try_submit() refuses once
+  // this many requests are waiting (in-flight work does not count).
+  std::size_t queue_depth = 64;
+  // Launch caps: at most this many requests per coalesced launch, and at
+  // most cores x ub_waves (N, C1) blocks -- each resident block pins its
+  // plan's ub_slots UB tile slots, so ub_waves bounds how many waves of
+  // blocks a launch may queue per core before it is split.
+  std::size_t max_batch = 16;
+  int ub_waves = 4;
+  // When false the batcher is bypassed: every request launches alone, in
+  // submission order (the sequential baseline in bench_serve).
+  bool batching = true;
+  std::size_t plan_cache_capacity = 64;
+  // Device double-buffer policy (feeds the plan-cache key).
+  bool double_buffer = true;
+};
+
+// Host-side latency distribution in microseconds.
+struct LatencySummary {
+  std::int64_t count = 0;
+  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+struct SessionStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t launches = 0;             // device launches issued
+  std::int64_t batches = 0;              // launches with >= 2 members
+  std::int64_t coalesced_requests = 0;   // requests sharing a launch
+  std::size_t max_batch = 0;             // largest launch, in requests
+  double avg_batch = 0.0;                // requests per launch
+  std::int64_t peak_queue_depth = 0;
+  std::int64_t backpressure_waits = 0;   // submit() calls that blocked
+  std::int64_t device_cycles_total = 0;  // sum over launches
+  LatencySummary latency;     // submit -> future completed
+  LatencySummary queue_wait;  // submit -> dequeued by the worker
+  PlanCache::Stats plan_cache;
+  std::size_t plan_cache_size = 0;
+  std::size_t plan_cache_capacity = 0;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions opts = {});
+  Session(ArchConfig arch, SessionOptions opts);
+  ~Session();  // drains the queue, then stops the worker
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Enqueues one request. Blocks while the queue is full. The tensors
+  // behind `in` are borrowed until the future resolves. Kernel errors
+  // (invalid descriptor, shape out of schedule scope) surface through
+  // the future.
+  std::future<kernels::PoolResult> submit(kernels::PoolOp op,
+                                          kernels::PoolInputs in);
+
+  // Non-blocking submit: returns false (and leaves `out` untouched)
+  // when the queue is full.
+  bool try_submit(kernels::PoolOp op, kernels::PoolInputs in,
+                  std::future<kernels::PoolResult>* out);
+
+  // Blocks until everything dequeued so far has completed and the queue
+  // is empty (or the session is paused -- a paused queue is left as is).
+  void drain();
+
+  // Batching-window control: while paused the worker dequeues nothing,
+  // so requests accumulate (deterministic coalescing and backpressure in
+  // tests). resume() releases the accumulated queue at once.
+  void pause();
+  void resume();
+
+  Device& device() { return device_; }
+  const SessionOptions& options() const { return opts_; }
+
+  SessionStats stats() const;
+  // The schema-v2 "serve" JSON object for MetricsRegistry::set_serve.
+  std::string serve_json() const;
+  // Attaches serve_json() to `reg` (top-level "serve", schema v2).
+  void add_metrics(MetricsRegistry& reg) const;
+
+ private:
+  struct Pending {
+    kernels::PoolOp op;
+    kernels::PoolInputs in;
+    std::promise<kernels::PoolResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void worker_loop();
+  void process(std::vector<Pending> taken);
+  void enqueue_locked(Pending p, std::unique_lock<std::mutex>& lock);
+
+  SessionOptions opts_;
+  Device device_;
+  PlanCache plans_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // queue non-empty / stop
+  std::condition_variable cv_space_;  // queue has room
+  std::condition_variable cv_idle_;   // queue empty and nothing in flight
+  std::deque<Pending> queue_;
+  std::int64_t in_flight_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+
+  // Stats, guarded by mu_.
+  SessionStats stats_;
+  std::vector<double> latency_us_;
+  std::vector<double> queue_wait_us_;
+  std::int64_t batch_members_total_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace davinci::serve

@@ -121,7 +121,9 @@ void MetricsRegistry::add(const std::string& name,
 
 std::string MetricsRegistry::to_json() const {
   std::string s = "{\"schema\":\"davinci.metrics\",\"schema_version\":" +
-                  std::to_string(kSchemaVersion) + ",\"entries\":[\n";
+                  std::to_string(kSchemaVersion) + ",";
+  if (!serve_.empty()) s += "\"serve\":" + serve_ + ",";
+  s += "\"entries\":[\n";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
     const Roofline roof = compute_roofline(e.run.aggregate, e.arch,

@@ -5,13 +5,19 @@
 // pipeline layer), derives the roofline from each run's aggregate
 // counters, and serializes everything under a schema marker:
 //
-//   { "schema": "davinci.metrics", "schema_version": 1, "entries": [
+//   { "schema": "davinci.metrics", "schema_version": 2, "entries": [
 //       { "name": ..., "cycles": ..., "cycles_serial": ...,
 //         "traffic": { per-route bytes }, "roofline": { ... },
 //         "attribution": { "horizon", "critical_core", "cores": [
 //             { "core", "makespan", "pipes": { per-pipe buckets } } ],
 //           "critical_path": [ head segments ],
 //           "critical_path_summary": { totals } } } ] }
+//
+// Schema version 2 adds an optional top-level "serve" object -- the
+// serving-session statistics (queue depths, batch sizes, plan-cache hit
+// rates, host-side latency percentiles) attached via set_serve() by
+// serve::Session::add_metrics. Version-1 documents are still accepted by
+// all in-tree consumers; they simply have no "serve" key.
 //
 // Consumers (tools/davinci_prof.cc, CI) key on schema/schema_version;
 // any breaking field change must bump kSchemaVersion. The critical path
@@ -31,7 +37,7 @@ namespace davinci {
 
 class MetricsRegistry {
  public:
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
   // Critical-path segments serialized verbatim before head-truncation.
   static constexpr std::size_t kMaxPathSegments = 1024;
 
@@ -39,6 +45,13 @@ class MetricsRegistry {
   // `arch` at serialization time.
   void add(const std::string& name, const Device::RunResult& run,
            const ArchConfig& arch);
+
+  // Attaches the serving-session statistics as the document's top-level
+  // "serve" object. `json_object` must be a serialized JSON object (the
+  // caller -- serve::Session::add_metrics -- owns its field layout).
+  // Empty string removes the object again.
+  void set_serve(std::string json_object) { serve_ = std::move(json_object); }
+  bool has_serve() const { return !serve_.empty(); }
 
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
@@ -54,6 +67,7 @@ class MetricsRegistry {
     ArchConfig arch;
   };
   std::vector<Entry> entries_;
+  std::string serve_;  // serialized "serve" object, empty = absent
 };
 
 }  // namespace davinci

@@ -111,6 +111,42 @@ void render_metrics_entry(const json::Value& e, std::string* out) {
   }
 }
 
+// Schema-v2 "serve" object (serve::Session::add_metrics).
+void render_serve(const json::Value& s, std::string* out) {
+  *out += "serve: " + std::to_string(int_or(s, "requests", 0)) +
+          " requests in " + std::to_string(int_or(s, "launches", 0)) +
+          " launches (" + std::to_string(int_or(s, "batches", 0)) +
+          " batches";
+  if (const json::Value* ab = s.get("avg_batch")) {
+    *out += ", avg batch " + fmt_num(*ab);
+  }
+  *out += ", failed " + std::to_string(int_or(s, "failed", 0)) + ")\n";
+  if (const json::Value* pc = s.get("plan_cache")) {
+    *out += "  plan cache: " + std::to_string(int_or(*pc, "hits", 0)) +
+            " hits / " + std::to_string(int_or(*pc, "misses", 0)) +
+            " misses";
+    if (const json::Value* hr = pc->get("hit_rate")) {
+      *out += " (" + fmt(hr->as_double() * 100.0) + "%)";
+    }
+    *out += ", " + std::to_string(int_or(*pc, "size", 0)) + "/" +
+            std::to_string(int_or(*pc, "capacity", 0)) + " entries, " +
+            std::to_string(int_or(*pc, "evictions", 0)) + " evictions\n";
+  }
+  if (const json::Value* q = s.get("queue")) {
+    *out += "  queue: capacity " + std::to_string(int_or(*q, "capacity", 0)) +
+            ", peak depth " + std::to_string(int_or(*q, "peak_depth", 0)) +
+            ", backpressure waits " +
+            std::to_string(int_or(*q, "backpressure_waits", 0)) + "\n";
+  }
+  if (const json::Value* lat = s.get("host_latency_us")) {
+    *out += "  latency (host us): p50 " + fmt_num(lat->at("p50")) + ", p90 " +
+            fmt_num(lat->at("p90")) + ", p99 " + fmt_num(lat->at("p99")) +
+            ", max " + fmt_num(lat->at("max")) + "\n";
+  }
+  *out += "  device cycles total " +
+          std::to_string(int_or(s, "device_cycles_total", 0)) + "\n";
+}
+
 void render_bench(const json::Value& doc, std::string* out) {
   *out += "bench " + doc.at("bench").as_string() + "\n";
   for (const json::Value& row : doc.at("rows").as_array()) {
@@ -270,6 +306,9 @@ std::string render_report(const json::Value& doc) {
            std::to_string(doc.at("entries").as_array().size()) +
            " entr" +
            (doc.at("entries").as_array().size() == 1 ? "y" : "ies") + "\n";
+    if (const json::Value* serve = doc.get("serve")) {
+      render_serve(*serve, &out);
+    }
     for (const json::Value& e : doc.at("entries").as_array()) {
       render_metrics_entry(e, &out);
     }

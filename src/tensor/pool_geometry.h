@@ -45,6 +45,8 @@ struct Window2d {
 
   bool has_padding() const { return pt || pb || pl || pr; }
 
+  friend bool operator==(const Window2d&, const Window2d&) = default;
+
   // Patches overlap (duplicated elements in Im2col) iff stride < kernel.
   bool overlapping() const { return sh < kh || sw < kw; }
 

@@ -1,0 +1,202 @@
+// The unified PoolOp entry point vs the deprecated per-operator shims:
+// every shim must forward to run_pool with zero behavioural change --
+// bit-identical tensors AND identical device cycle counts. A precomputed
+// plan passed through PoolOp::plan must reproduce the planner's own
+// result exactly (the plan-cache identity the serving layer relies on).
+#include <gtest/gtest.h>
+
+#include "akg/tiling.h"
+#include "kernels/pooling.h"
+#include "ref/pooling_ref.h"
+#include "sim/device.h"
+#include "tensor/fractal.h"
+
+namespace davinci {
+namespace {
+
+using kernels::MergeImpl;
+using kernels::PoolInputs;
+using kernels::PoolOp;
+using kernels::PoolOpKind;
+using kernels::PoolResult;
+
+TensorF16 make_input(std::int64_t n, std::int64_t c1, std::int64_t h,
+                     std::int64_t w, std::uint64_t seed = 1) {
+  TensorF16 t(Shape{n, c1, h, w, kC0});
+  t.fill_random_ints(seed);
+  return t;
+}
+
+void expect_same_tensor(const TensorF16& a, const TensorF16& b) {
+  ASSERT_EQ(a.shape().to_string(), b.shape().to_string());
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a.flat(i) == b.flat(i)) << "element " << i;
+  }
+}
+
+void expect_equivalent(const PoolResult& shim, const PoolResult& unified) {
+  EXPECT_EQ(shim.run.device_cycles, unified.run.device_cycles);
+  EXPECT_EQ(shim.run.device_cycles_serial, unified.run.device_cycles_serial);
+  EXPECT_EQ(shim.has_out(), unified.has_out());
+  EXPECT_EQ(shim.has_mask(), unified.has_mask());
+  EXPECT_EQ(shim.has_grad_in(), unified.has_grad_in());
+  if (shim.has_out()) expect_same_tensor(shim.out, unified.out);
+  if (shim.has_mask()) expect_same_tensor(shim.mask, unified.mask);
+  if (shim.has_grad_in()) expect_same_tensor(shim.grad_in, unified.grad_in);
+}
+
+TEST(PoolOpShimEquivalence, MaxpoolForwardAllImpls) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 in = make_input(1, 2, 29, 29);
+  for (akg::PoolImpl impl :
+       {akg::PoolImpl::kDirect, akg::PoolImpl::kIm2col,
+        akg::PoolImpl::kExpansion, akg::PoolImpl::kXYSplit}) {
+    auto shim = kernels::maxpool_forward(dev, in, w, impl);
+    auto unified = kernels::run_pool(
+        dev, PoolOp{.kind = PoolOpKind::kMaxFwd, .window = w, .fwd = impl},
+        PoolInputs{.in = &in});
+    expect_equivalent(shim, unified);
+  }
+}
+
+TEST(PoolOpShimEquivalence, MinpoolAndAvgpoolForward) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 in = make_input(1, 2, 23, 23, 5);
+  for (akg::PoolImpl impl :
+       {akg::PoolImpl::kDirect, akg::PoolImpl::kIm2col}) {
+    expect_equivalent(
+        kernels::minpool_forward(dev, in, w, impl),
+        kernels::run_pool(
+            dev, PoolOp{.kind = PoolOpKind::kMinFwd, .window = w, .fwd = impl},
+            PoolInputs{.in = &in}));
+    expect_equivalent(
+        kernels::avgpool_forward(dev, in, w, impl),
+        kernels::run_pool(
+            dev, PoolOp{.kind = PoolOpKind::kAvgFwd, .window = w, .fwd = impl},
+            PoolInputs{.in = &in}));
+  }
+}
+
+TEST(PoolOpShimEquivalence, MaxpoolMaskForward) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 in = make_input(1, 2, 21, 21, 3);
+  for (akg::PoolImpl impl :
+       {akg::PoolImpl::kDirect, akg::PoolImpl::kIm2col}) {
+    auto shim = kernels::maxpool_forward_with_mask(dev, in, w, impl);
+    auto unified = kernels::run_pool(
+        dev,
+        PoolOp{.kind = PoolOpKind::kMaxMaskFwd, .window = w, .fwd = impl},
+        PoolInputs{.in = &in});
+    ASSERT_TRUE(unified.has_mask());
+    expect_equivalent(shim, unified);
+  }
+}
+
+TEST(PoolOpShimEquivalence, BackwardBothMerges) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  const std::int64_t h = 19, iw = 19;
+  const TensorF16 in = make_input(1, 2, h, iw, 7);
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  TensorF16 grad(Shape{1, 2, w.out_h(h), w.out_w(iw), kC0});
+  grad.fill_random_ints(9, 0, 5);
+  for (MergeImpl merge : {MergeImpl::kVadd, MergeImpl::kCol2im}) {
+    expect_equivalent(
+        kernels::maxpool_backward(dev, mask, grad, w, h, iw, merge),
+        kernels::run_pool(
+            dev,
+            PoolOp{.kind = PoolOpKind::kMaxBwd, .window = w, .merge = merge},
+            PoolInputs{.mask = &mask, .grad = &grad, .ih = h, .iw = iw}));
+    expect_equivalent(
+        kernels::avgpool_backward(dev, grad, w, h, iw, merge),
+        kernels::run_pool(
+            dev,
+            PoolOp{.kind = PoolOpKind::kAvgBwd, .window = w, .merge = merge},
+            PoolInputs{.grad = &grad, .ih = h, .iw = iw}));
+  }
+}
+
+TEST(PoolOpShimEquivalence, GlobalAvgpool) {
+  Device dev;
+  const TensorF16 in = make_input(1, 3, 8, 8, 11);
+  expect_equivalent(kernels::global_avgpool(dev, in),
+                    kernels::run_pool(dev,
+                                      PoolOp{.kind = PoolOpKind::kGlobalAvg},
+                                      PoolInputs{.in = &in}));
+}
+
+// A plan computed by the planner and passed through PoolOp::plan must
+// behave exactly like letting the kernel plan for itself.
+TEST(PoolOpPlan, ForwardPlanPassThroughIsIdentity) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 in = make_input(1, 2, 95, 95);  // big enough to tile
+  const akg::PoolPlan plan = akg::plan_fwd(akg::PoolImpl::kIm2col, dev.arch(),
+                                           w, 95, 95, /*with_mask=*/false,
+                                           dev.double_buffer());
+  PoolOp op{.kind = PoolOpKind::kMaxFwd, .window = w,
+            .fwd = akg::PoolImpl::kIm2col};
+  auto implicit = kernels::run_pool(dev, op, PoolInputs{.in = &in});
+  op.plan = plan;
+  auto explicit_plan = kernels::run_pool(dev, op, PoolInputs{.in = &in});
+  expect_equivalent(implicit, explicit_plan);
+}
+
+TEST(PoolOpPlan, BackwardPlanPassThroughIsIdentity) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  const std::int64_t h = 63, iw = 63;
+  const TensorF16 in = make_input(1, 2, h, iw, 13);
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  TensorF16 grad(Shape{1, 2, w.out_h(h), w.out_w(iw), kC0});
+  grad.fill_random_ints(15, 0, 5);
+  PoolOp op{.kind = PoolOpKind::kMaxBwd, .window = w,
+            .merge = MergeImpl::kCol2im};
+  const PoolInputs bwd_in{.mask = &mask, .grad = &grad, .ih = h, .iw = iw};
+  auto implicit = kernels::run_pool(dev, op, bwd_in);
+  op.plan = akg::plan_bwd(dev.arch(), w, h, iw, dev.double_buffer());
+  auto explicit_plan = kernels::run_pool(dev, op, bwd_in);
+  expect_equivalent(implicit, explicit_plan);
+}
+
+TEST(PoolOpValidation, RejectsBadCombinations) {
+  Device dev;
+  const Window2d w = Window2d::pool(3, 2);
+  const TensorF16 in = make_input(1, 1, 15, 15);
+  // AvgPool supports only direct and im2col lowering.
+  EXPECT_THROW(kernels::run_pool(dev,
+                                 PoolOp{.kind = PoolOpKind::kAvgFwd,
+                                        .window = w,
+                                        .fwd = akg::PoolImpl::kExpansion},
+                                 PoolInputs{.in = &in}),
+               Error);
+  // Forward kinds require the input tensor.
+  EXPECT_THROW(kernels::run_pool(
+                   dev, PoolOp{.kind = PoolOpKind::kMaxFwd, .window = w},
+                   PoolInputs{}),
+               Error);
+  // Backward kinds require the gradient (and mask for kMaxBwd).
+  EXPECT_THROW(kernels::run_pool(
+                   dev, PoolOp{.kind = PoolOpKind::kMaxBwd, .window = w},
+                   PoolInputs{.in = &in}),
+               Error);
+}
+
+TEST(PoolOpDescriptor, ToStringNamesKindAndLowering) {
+  const PoolOp fwd{.kind = PoolOpKind::kMaxFwd,
+                   .window = Window2d::pool(3, 2),
+                   .fwd = akg::PoolImpl::kIm2col};
+  EXPECT_NE(fwd.to_string().find("maxpool"), std::string::npos);
+  EXPECT_NE(fwd.to_string().find("im2col"), std::string::npos);
+  const PoolOp bwd{.kind = PoolOpKind::kMaxBwd,
+                   .window = Window2d::pool(3, 2),
+                   .merge = MergeImpl::kCol2im};
+  EXPECT_NE(bwd.to_string().find("maxpool_bwd"), std::string::npos);
+  EXPECT_NE(bwd.to_string().find("col2im"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace davinci

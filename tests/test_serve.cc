@@ -1,0 +1,292 @@
+// serve::Session -- the batching request path must be invisible in the
+// numerics: every future resolves to exactly what a lone run_pool call
+// produces, whatever the batcher coalesced. Plus the bounded-queue
+// contract (try_submit refuses, submit blocks), error routing through
+// futures, trace parsing, and the Pipeline per-layer PoolOp override.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "nets/pipeline.h"
+#include "ref/pooling_ref.h"
+#include "serve/session.h"
+#include "serve/trace.h"
+#include "sim/metrics_registry.h"
+#include "tensor/fractal.h"
+
+namespace davinci::serve {
+namespace {
+
+using kernels::PoolInputs;
+using kernels::PoolOp;
+using kernels::PoolOpKind;
+using kernels::PoolResult;
+
+TensorF16 make_input(std::int64_t c1, std::int64_t h, std::int64_t w,
+                     std::uint64_t seed) {
+  TensorF16 t(Shape{1, c1, h, w, kC0});
+  t.fill_random_ints(seed);
+  return t;
+}
+
+void expect_same_tensor(const TensorF16& a, const TensorF16& b) {
+  ASSERT_EQ(a.shape().to_string(), b.shape().to_string());
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a.flat(i) == b.flat(i)) << "element " << i;
+  }
+}
+
+TEST(ServeSession, CoalescedResultsBitIdenticalToLoneRuns) {
+  SessionOptions opts;
+  Session session(opts);
+
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const int kRequests = 6;
+  std::vector<TensorF16> inputs;
+  for (int r = 0; r < kRequests; ++r) {
+    inputs.push_back(make_input(2, 35, 35, static_cast<std::uint64_t>(r + 1)));
+  }
+
+  // Pause so all requests land in one batching window.
+  session.pause();
+  std::vector<std::future<PoolResult>> futures;
+  for (const TensorF16& in : inputs) {
+    futures.push_back(session.submit(op, PoolInputs{.in = &in}));
+  }
+  session.resume();
+  session.drain();
+
+  // A lone device configured identically gives the ground truth.
+  Device lone;
+  lone.set_double_buffer(opts.double_buffer);
+  for (int r = 0; r < kRequests; ++r) {
+    PoolResult got = futures[static_cast<std::size_t>(r)].get();
+    PoolResult want = kernels::run_pool(
+        lone, op, PoolInputs{.in = &inputs[static_cast<std::size_t>(r)]});
+    expect_same_tensor(got.out, want.out);
+  }
+
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.submitted, kRequests);
+  EXPECT_EQ(s.completed, kRequests);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_LT(s.launches, kRequests);  // something actually coalesced
+  EXPECT_GE(s.batches, 1);
+  EXPECT_GE(s.max_batch, 2u);
+}
+
+TEST(ServeSession, MixedGeometriesStaySeparateAndCorrect) {
+  Session session;
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 small = make_input(2, 21, 21, 3);
+  const TensorF16 large = make_input(4, 35, 35, 4);
+
+  session.pause();
+  auto f_small = session.submit(op, PoolInputs{.in = &small});
+  auto f_large = session.submit(op, PoolInputs{.in = &large});
+  session.resume();
+  session.drain();
+
+  Device lone;
+  lone.set_double_buffer(true);
+  expect_same_tensor(f_small.get().out,
+                     kernels::run_pool(lone, op, {.in = &small}).out);
+  expect_same_tensor(f_large.get().out,
+                     kernels::run_pool(lone, op, {.in = &large}).out);
+  EXPECT_EQ(session.stats().launches, 2);  // different shapes never merge
+}
+
+TEST(ServeSession, BackwardAndMaskKindsServeCorrectly) {
+  Session session;
+  const Window2d w = Window2d::pool(3, 2);
+  const std::int64_t h = 19;
+  const TensorF16 in = make_input(2, h, h, 7);
+  const TensorF16 mask = ref::maxpool_argmax_mask(in, w);
+  TensorF16 grad(Shape{1, 2, w.out_h(h), w.out_w(h), kC0});
+  grad.fill_random_ints(9, 0, 5);
+
+  const PoolOp mask_op{.kind = PoolOpKind::kMaxMaskFwd, .window = w,
+                       .fwd = akg::PoolImpl::kIm2col};
+  const PoolOp bwd_op{.kind = PoolOpKind::kMaxBwd, .window = w,
+                      .merge = kernels::MergeImpl::kCol2im};
+  const PoolInputs bwd_in{.mask = &mask, .grad = &grad, .ih = h, .iw = h};
+
+  auto f_mask = session.submit(mask_op, PoolInputs{.in = &in});
+  auto f_bwd = session.submit(bwd_op, bwd_in);
+  session.drain();
+
+  Device lone;
+  lone.set_double_buffer(true);
+  PoolResult got_mask = f_mask.get();
+  PoolResult want_mask = kernels::run_pool(lone, mask_op, {.in = &in});
+  expect_same_tensor(got_mask.out, want_mask.out);
+  expect_same_tensor(got_mask.mask, want_mask.mask);
+  expect_same_tensor(f_bwd.get().grad_in,
+                     kernels::run_pool(lone, bwd_op, bwd_in).grad_in);
+}
+
+TEST(ServeSession, TrySubmitRefusesWhenQueueFull) {
+  SessionOptions opts;
+  opts.queue_depth = 2;
+  Session session(opts);
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 1);
+
+  session.pause();  // nothing drains: the queue genuinely fills
+  std::vector<std::future<PoolResult>> futures;
+  for (int i = 0; i < 2; ++i) {
+    std::future<PoolResult> f;
+    ASSERT_TRUE(session.try_submit(op, PoolInputs{.in = &in}, &f));
+    futures.push_back(std::move(f));
+  }
+  std::future<PoolResult> rejected;
+  EXPECT_FALSE(session.try_submit(op, PoolInputs{.in = &in}, &rejected));
+
+  session.resume();
+  session.drain();
+  for (auto& f : futures) EXPECT_GT(f.get().out.size(), 0);
+
+  // Space freed: admission works again.
+  std::future<PoolResult> f;
+  EXPECT_TRUE(session.try_submit(op, PoolInputs{.in = &in}, &f));
+  session.drain();
+  EXPECT_GT(f.get().out.size(), 0);
+  EXPECT_EQ(session.stats().peak_queue_depth, 2);
+}
+
+TEST(ServeSession, PlanCacheHitsAcrossWaves) {
+  Session session;
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(2, 35, 35, 5);
+  for (int wave = 0; wave < 3; ++wave) {
+    auto f = session.submit(op, PoolInputs{.in = &in});
+    session.drain();
+    f.get();
+  }
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.plan_cache.misses, 1);  // planned once...
+  EXPECT_GE(s.plan_cache.hits, 2);    // ...replayed ever after
+  EXPECT_EQ(s.plan_cache_size, 1u);
+  EXPECT_GT(s.plan_cache.hit_rate(), 0.5);
+}
+
+TEST(ServeSession, KernelErrorsSurfaceThroughFutureNotTerminate) {
+  Session session;
+  // Rank-4 input: the batcher's geometry check must reject it, fail the
+  // future, and leave the worker alive for the next (valid) request.
+  TensorF16 bad(Shape{1, 2, 9, 9});
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  auto f_bad = session.submit(op, PoolInputs{.in = &bad});
+  session.drain();
+  EXPECT_THROW(f_bad.get(), Error);
+  EXPECT_EQ(session.stats().failed, 1);
+
+  const TensorF16 good = make_input(1, 15, 15, 2);
+  auto f_good = session.submit(op, PoolInputs{.in = &good});
+  session.drain();
+  EXPECT_GT(f_good.get().out.size(), 0);
+  EXPECT_EQ(session.stats().completed, 1);
+}
+
+TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV2) {
+  Session session;
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 3);
+  session.submit(op, PoolInputs{.in = &in}).get();
+  session.drain();
+
+  MetricsRegistry reg;
+  session.add_metrics(reg);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
+}
+
+TEST(ServeTrace, ParsesOpsGeometriesAndRepeats) {
+  const auto entries = parse_trace(
+      "# comment line\n"
+      "op=maxpool n=2 c1=4 ih=35 iw=35 k=3 s=2 impl=im2col x=3\n"
+      "\n"
+      "op=maxpool_bwd c1=2 ih=19 iw=19 k=3 s=2 merge=col2im\n"
+      "op=global_avgpool c1=4 ih=8 iw=8\n");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].op.kind, PoolOpKind::kMaxFwd);
+  EXPECT_EQ(entries[0].n, 2);
+  EXPECT_EQ(entries[0].repeat, 3);
+  EXPECT_EQ(entries[0].op.fwd, akg::PoolImpl::kIm2col);
+  EXPECT_EQ(entries[1].op.kind, PoolOpKind::kMaxBwd);
+  EXPECT_EQ(entries[1].op.merge, kernels::MergeImpl::kCol2im);
+  EXPECT_EQ(entries[2].op.kind, PoolOpKind::kGlobalAvg);
+
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 bogus=1\n"), Error);
+  EXPECT_THROW(parse_trace("n=1 ih=9 iw=9\n"), Error);  // missing op=
+  EXPECT_THROW(parse_trace("op=maxpool k=3 s=2\n"), Error);  // no geometry
+}
+
+TEST(ServeTrace, MaterializedRequestsServeEndToEnd) {
+  const auto entries = parse_trace(
+      "op=maxpool c1=2 ih=21 iw=21 k=3 s=2 impl=auto\n"
+      "op=avgpool_bwd c1=2 ih=19 iw=19 k=3 s=2 merge=vadd\n");
+  Session session;
+  std::vector<MaterializedRequest> reqs;
+  std::vector<std::future<PoolResult>> futures;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    reqs.push_back(materialize(entries[i], /*seed=*/i + 1));
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    futures.push_back(session.submit(entries[i].op, reqs[i].inputs()));
+  }
+  session.drain();
+  EXPECT_GT(futures[0].get().out.size(), 0);
+  EXPECT_GT(futures[1].get().grad_in.size(), 0);
+}
+
+// The Pipeline per-layer override: a layer with an explicit PoolOp runs
+// that exact descriptor regardless of the stack choice.
+TEST(PipelineOverride, PerLayerPoolOpWinsOverStack) {
+  const std::int64_t c1 = 2, h = 21;
+  TensorF16 in(Shape{1, c1, h, h, kC0});
+  in.fill_random_ints(13);
+  const Window2d w = Window2d::pool(3, 2);
+
+  nets::Pipeline plain;
+  plain.maxpool(w);
+  nets::Pipeline overridden;
+  overridden.maxpool(kernels::PoolOp{.kind = kernels::PoolOpKind::kMaxFwd,
+                                     .window = w,
+                                     .fwd = akg::PoolImpl::kIm2col});
+
+  Device d1, d2;
+  // Standard stack would lower direct; the override pins im2col. Cycle
+  // counts must match the accelerated stack exactly.
+  const auto want = plain.run(d1, in, nets::PoolingStack::kAccelerated);
+  const auto got = overridden.run(d2, in, nets::PoolingStack::kStandard);
+  ASSERT_EQ(got.layers.size(), 1u);
+  EXPECT_EQ(got.layers[0].cycles, want.layers[0].cycles);
+  expect_same_tensor(got.out, want.out);
+}
+
+TEST(PipelineOverride, MismatchedKindIsRejected) {
+  nets::Pipeline p;
+  EXPECT_THROW(p.maxpool(kernels::PoolOp{.kind = kernels::PoolOpKind::kAvgFwd,
+                                         .window = Window2d::pool(3, 2)}),
+               Error);
+}
+
+}  // namespace
+}  // namespace davinci::serve

@@ -200,11 +200,13 @@ int main(int argc, char** argv) {
     if (opt.op == "maxpool" || opt.op == "avgpool" || opt.op == "minpool") {
       const akg::PoolImpl impl = parse_impl(opt.impl);
       auto run_op = [&](akg::PoolImpl i) {
-        if (opt.op == "avgpool")
-          return kernels::avgpool_forward(dev, in, window, i);
-        if (opt.op == "minpool")
-          return kernels::minpool_forward(dev, in, window, i);
-        return kernels::maxpool_forward(dev, in, window, i);
+        const kernels::PoolOpKind kind =
+            opt.op == "avgpool"
+                ? kernels::PoolOpKind::kAvgFwd
+                : (opt.op == "minpool" ? kernels::PoolOpKind::kMinFwd
+                                       : kernels::PoolOpKind::kMaxFwd);
+        return kernels::run_pool(
+            dev, {.kind = kind, .window = window, .fwd = i}, {.in = &in});
       };
       auto r = run_op(impl);
       const TensorF16 want = opt.op == "avgpool"
@@ -224,8 +226,11 @@ int main(int argc, char** argv) {
                         static_cast<double>(r.cycles()));
       }
     } else if (opt.op == "maxpool_mask") {
-      auto r = kernels::maxpool_forward_with_mask(dev, in, window,
-                                                  parse_impl(opt.impl));
+      auto r = kernels::run_pool(dev,
+                                 {.kind = kernels::PoolOpKind::kMaxMaskFwd,
+                                  .window = window,
+                                  .fwd = parse_impl(opt.impl)},
+                                 {.in = &in});
       const TensorF16 want = ref::maxpool_fwd(in, window);
       for (std::int64_t i = 0; i < want.size(); ++i) {
         ok &= r.out.flat(i) == want.flat(i);
@@ -240,8 +245,13 @@ int main(int argc, char** argv) {
       grad.fill_random_ints(2, 0, 5);
       if (opt.op == "maxpool_bwd") {
         const TensorF16 mask = ref::maxpool_argmax_mask(in, window);
-        auto r = kernels::maxpool_backward(dev, mask, grad, window, opt.h,
-                                           opt.w, merge);
+        const kernels::PoolInputs bwd_in{
+            .mask = &mask, .grad = &grad, .ih = opt.h, .iw = opt.w};
+        auto r = kernels::run_pool(dev,
+                                   {.kind = kernels::PoolOpKind::kMaxBwd,
+                                    .window = window,
+                                    .merge = merge},
+                                   bwd_in);
         const TensorF16 want =
             ref::maxpool_bwd(mask, grad, window, opt.h, opt.w);
         for (std::int64_t i = 0; i < want.size(); ++i) {
@@ -249,17 +259,24 @@ int main(int argc, char** argv) {
         }
         note(kernels::to_string(merge), r.run);
         if (opt.compare) {
-          auto base = kernels::maxpool_backward(dev, mask, grad, window,
-                                                opt.h, opt.w,
-                                                kernels::MergeImpl::kVadd);
+          auto base = kernels::run_pool(
+              dev,
+              {.kind = kernels::PoolOpKind::kMaxBwd,
+               .window = window,
+               .merge = kernels::MergeImpl::kVadd},
+              bwd_in);
           note("vadd", base.run);
           std::printf("speedup: %.2fx\n",
                       static_cast<double>(base.cycles()) /
                           static_cast<double>(r.cycles()));
         }
       } else {
-        auto r = kernels::avgpool_backward(dev, grad, window, opt.h, opt.w,
-                                           merge);
+        auto r = kernels::run_pool(
+            dev,
+            {.kind = kernels::PoolOpKind::kAvgBwd,
+             .window = window,
+             .merge = merge},
+            {.grad = &grad, .ih = opt.h, .iw = opt.w});
         const TensorF16 want = ref::avgpool_bwd(grad, window, opt.h, opt.w);
         for (std::int64_t i = 0; i < want.size(); ++i) {
           ok &= r.grad_in.flat(i) == want.flat(i);
@@ -267,7 +284,8 @@ int main(int argc, char** argv) {
         note(kernels::to_string(merge), r.run);
       }
     } else if (opt.op == "global_avgpool") {
-      auto r = kernels::global_avgpool(dev, in);
+      auto r = kernels::run_pool(
+          dev, {.kind = kernels::PoolOpKind::kGlobalAvg}, {.in = &in});
       const TensorF16 want = ref::global_avgpool(in);
       for (std::int64_t i = 0; i < want.size(); ++i) {
         ok &= r.out.flat(i) == want.flat(i);

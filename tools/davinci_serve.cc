@@ -1,0 +1,244 @@
+// davinci_serve: replays a pooling request trace through a serving
+// session and reports throughput and latency (docs/SERVING.md).
+//
+//   davinci_serve <trace-file> [options]
+//
+// Options:
+//   --sequential         disable batching (every request launches alone)
+//   --queue=N            admission-queue depth           (default 64)
+//   --max-batch=N        requests per coalesced launch   (default 16)
+//   --ub-waves=N         launch block cap, in waves      (default 4)
+//   --plan-cache=N       plan-cache capacity             (default 64)
+//   --no-double-buffer   single-buffered device schedule
+//   --json=<path>        machine-readable report ({"bench","rows"}); the
+//                        per-trace-line rows carry non-gated fields, the
+//                        final "total" row carries the gated cycles sum
+//                        so `davinci_prof --diff seq.json batched.json`
+//                        gates batched-vs-sequential regressions
+//   --metrics=<path>     schema-v2 davinci.metrics JSON: one entry per
+//                        trace line plus the session's "serve" object
+//
+// Exit codes: 0 success, 2 usage, 3 trace error, 4 request failure.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "serve/session.h"
+#include "serve/trace.h"
+#include "sim/metrics_registry.h"
+
+using namespace davinci;
+
+namespace {
+
+std::string arg_value(int argc, char** argv, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, n) == 0) return argv[i] + n;
+  }
+  return "";
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+std::int64_t int_arg(int argc, char** argv, const char* prefix,
+                     std::int64_t fallback) {
+  const std::string v = arg_value(argc, argv, prefix);
+  return v.empty() ? fallback : std::stoll(v);
+}
+
+std::string geom_string(const serve::TraceEntry& e) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%lldx%lldx%lldx%lldx16",
+                static_cast<long long>(e.n), static_cast<long long>(e.c1),
+                static_cast<long long>(e.ih), static_cast<long long>(e.iw));
+  return buf;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: davinci_serve <trace-file> [--sequential] "
+               "[--queue=N] [--max-batch=N] [--ub-waves=N] [--plan-cache=N] "
+               "[--no-double-buffer] [--json=path] [--metrics=path]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return usage();
+  const std::string trace_path = argv[1];
+
+  serve::SessionOptions opts;
+  opts.batching = !has_flag(argc, argv, "--sequential");
+  opts.queue_depth = static_cast<std::size_t>(
+      int_arg(argc, argv, "--queue=", 64));
+  opts.max_batch = static_cast<std::size_t>(
+      int_arg(argc, argv, "--max-batch=", 16));
+  opts.ub_waves = static_cast<int>(int_arg(argc, argv, "--ub-waves=", 4));
+  opts.plan_cache_capacity = static_cast<std::size_t>(
+      int_arg(argc, argv, "--plan-cache=", 64));
+  opts.double_buffer = !has_flag(argc, argv, "--no-double-buffer");
+  const std::string json_path = arg_value(argc, argv, "--json=");
+  const std::string metrics_path = arg_value(argc, argv, "--metrics=");
+
+  std::vector<serve::TraceEntry> entries;
+  try {
+    entries = serve::load_trace(trace_path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "davinci_serve: %s\n", e.what());
+    return 3;
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "davinci_serve: trace '%s' contains no requests\n",
+                 trace_path.c_str());
+    return 3;
+  }
+
+  // Materialize every request up front so the replay loop measures the
+  // serving path, not input generation.
+  struct LineRuns {
+    std::size_t entry = 0;
+    std::vector<std::future<kernels::PoolResult>> futures;
+  };
+  std::vector<serve::MaterializedRequest> requests;
+  std::vector<std::size_t> request_line;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (int r = 0; r < entries[i].repeat; ++r) {
+      requests.push_back(
+          serve::materialize(entries[i], i * 1000 + std::uint64_t(r)));
+      request_line.push_back(i);
+    }
+  }
+
+  serve::Session session(opts);
+  std::vector<LineRuns> lines(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) lines[i].entry = i;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      lines[request_line[r]].futures.push_back(session.submit(
+          entries[request_line[r]].op, requests[r].inputs()));
+    }
+    session.drain();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "davinci_serve: submit failed: %s\n", e.what());
+    return 4;
+  }
+
+  MetricsRegistry registry;
+  std::printf("davinci_serve: %zu requests from %s (%s)\n", requests.size(),
+              trace_path.c_str(), opts.batching ? "batched" : "sequential");
+  std::printf("%-44s %-14s %9s %14s\n", "op", "geometry (NC1HWC0)",
+              "requests", "launch-cycles");
+  bool failed = false;
+  std::vector<std::int64_t> line_cycles(entries.size(), 0);
+  for (LineRuns& line : lines) {
+    const serve::TraceEntry& e = entries[line.entry];
+    std::int64_t rep_cycles = 0;
+    for (std::size_t f = 0; f < line.futures.size(); ++f) {
+      try {
+        kernels::PoolResult r = line.futures[f].get();
+        if (f == 0) {
+          rep_cycles = r.cycles();
+          registry.add(e.op.to_string() + " " + geom_string(e), r.run,
+                       session.device().arch());
+        }
+      } catch (const Error& err) {
+        std::fprintf(stderr, "request failed (%s): %s\n",
+                     e.op.to_string().c_str(), err.what());
+        failed = true;
+      }
+    }
+    line_cycles[line.entry] = rep_cycles;
+    std::printf("%-44s %-14s %9zu %14lld\n", e.op.to_string().c_str(),
+                geom_string(e).c_str(), line.futures.size(),
+                static_cast<long long>(rep_cycles));
+  }
+  const double host_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::SessionStats s = session.stats();
+  std::printf("\n");
+  std::printf("requests      %lld completed, %lld failed\n",
+              static_cast<long long>(s.completed),
+              static_cast<long long>(s.failed));
+  std::printf("launches      %lld (%lld coalesced batches, avg %.2f "
+              "req/launch, max %zu)\n",
+              static_cast<long long>(s.launches),
+              static_cast<long long>(s.batches), s.avg_batch, s.max_batch);
+  std::printf("device cycles %lld total -> %.2f requests/Mcycle\n",
+              static_cast<long long>(s.device_cycles_total),
+              s.device_cycles_total > 0
+                  ? 1e6 * static_cast<double>(s.completed) /
+                        static_cast<double>(s.device_cycles_total)
+                  : 0.0);
+  std::printf("plan cache    %lld hits / %lld misses (%.1f%%), %zu/%zu "
+              "entries, %lld evictions\n",
+              static_cast<long long>(s.plan_cache.hits),
+              static_cast<long long>(s.plan_cache.misses),
+              s.plan_cache.hit_rate() * 100.0, s.plan_cache_size,
+              s.plan_cache_capacity,
+              static_cast<long long>(s.plan_cache.evictions));
+  std::printf("latency       p50 %.1fus p90 %.1fus p99 %.1fus max %.1fus "
+              "(queue wait p50 %.1fus)\n",
+              s.latency.p50, s.latency.p90, s.latency.p99, s.latency.max,
+              s.queue_wait.p50);
+  std::printf("queue         peak depth %lld / %zu, %lld backpressure "
+              "waits\n",
+              static_cast<long long>(s.peak_queue_depth), opts.queue_depth,
+              static_cast<long long>(s.backpressure_waits));
+  std::printf("host          %.1f ms wall -> %.0f requests/s\n", host_ms,
+              host_ms > 0.0
+                  ? 1000.0 * static_cast<double>(s.completed) / host_ms
+                  : 0.0);
+
+  if (!json_path.empty()) {
+    // Hand-rolled report in the bench {"bench","rows"} shape: per-line
+    // rows use non-gated keys (a coalesced launch is legitimately longer
+    // than a single-request one); only the "total" row carries the gated
+    // cycle sum.
+    std::string j = "{\"bench\":\"davinci_serve\",\"rows\":[\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const serve::TraceEntry& e = entries[i];
+      j += "{\"name\":\"" + e.op.to_string() + " " + geom_string(e) +
+           "\",\"requests\":" + std::to_string(lines[i].futures.size()) +
+           ",\"launch_cycles\":" + std::to_string(line_cycles[i]) + "},\n";
+    }
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  ",\"avg_batch\":%.4f,\"plan_cache_hit_rate\":%.4f",
+                  s.avg_batch, s.plan_cache.hit_rate());
+    j += "{\"name\":\"total\",\"requests\":" + std::to_string(s.completed) +
+         ",\"cycles\":" + std::to_string(s.device_cycles_total) +
+         ",\"launches\":" + std::to_string(s.launches) +
+         ",\"batched\":" + (opts.batching ? std::string("true")
+                                          : std::string("false")) +
+         extra + "}\n]}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 4;
+    }
+    std::fwrite(j.data(), 1, j.size(), f);
+    std::fclose(f);
+    std::printf("json: wrote %s\n", json_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    session.add_metrics(registry);
+    registry.write(metrics_path);
+  }
+  return failed ? 4 : 0;
+}
