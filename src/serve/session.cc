@@ -15,10 +15,10 @@ using kernels::PoolInputs;
 using kernels::PoolOp;
 using kernels::PoolResult;
 
-double us_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
 }
 
 double percentile(std::vector<double> sorted, double q) {
@@ -59,7 +59,26 @@ std::string latency_json(const LatencySummary& l) {
          ",\"p99\":" + num(l.p99) + ",\"max\":" + num(l.max) + "}";
 }
 
+// A completed resilient launch absorbed faults when any of these moved.
+bool degraded(const FaultStats& f) {
+  return f.faults_detected > 0 || f.retries > 0 ||
+         f.blocks_redispatched > 0 || f.cores_quarantined > 0 ||
+         f.faults_absorbed > 0;
+}
+
 }  // namespace
+
+const char* to_string(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kRejectNew:
+      return "reject-new";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+  }
+  return "?";
+}
 
 Session::Session(SessionOptions opts)
     : Session(ArchConfig::ascend910(), opts) {}
@@ -69,19 +88,40 @@ Session::Session(ArchConfig arch, SessionOptions opts)
   DV_CHECK_GE(opts_.queue_depth, 1u);
   DV_CHECK_GE(opts_.max_batch, 1u);
   DV_CHECK_GE(opts_.ub_waves, 1);
+  DV_CHECK_GE(opts_.watchdog_timeout_us, 0);
   device_.set_double_buffer(opts_.double_buffer);
+  if (opts_.resilience.has_value()) {
+    device_.set_resilience(*opts_.resilience);
+  }
   worker_ = std::thread([this] { worker_loop(); });
+  if (opts_.watchdog_timeout_us > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 Session::~Session() {
-  resume();  // a paused session still completes its queue before dying
-  drain();
+  // Graceful shutdown: whatever is still queued is cancelled -- never
+  // silently dropped -- so every future resolves. In-flight work
+  // completes inside the worker before it observes stop_ and exits.
+  std::vector<Pending> dropped;
   {
     std::unique_lock<std::mutex> lock(mu_);
     stop_ = true;
+    while (!queue_.empty()) {
+      dropped.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    stats_.cancelled += static_cast<std::int64_t>(dropped.size());
   }
   cv_work_.notify_all();
+  cv_space_.notify_all();
+  cv_watchdog_.notify_all();
+  for (Pending& p : dropped) {
+    p.promise.set_exception(std::make_exception_ptr(
+        Cancelled("session destroyed with the request still queued")));
+  }
   worker_.join();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 void Session::enqueue_locked(Pending p, std::unique_lock<std::mutex>& lock) {
@@ -92,35 +132,83 @@ void Session::enqueue_locked(Pending p, std::unique_lock<std::mutex>& lock) {
       stats_.peak_queue_depth, static_cast<std::int64_t>(queue_.size()));
 }
 
-std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in) {
+std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in,
+                                        SubmitOptions sub) {
+  DV_CHECK_GE(sub.deadline_us, 0);
   Pending p;
   p.op = std::move(op);
   p.in = in;
-  p.submitted = std::chrono::steady_clock::now();
+  p.submitted = Clock::now();
+  if (sub.deadline_us > 0) {
+    p.deadline = p.submitted + std::chrono::microseconds(sub.deadline_us);
+  }
+  p.prio = sub.prio;
   std::future<PoolResult> f = p.promise.get_future();
+  std::optional<Pending> shed;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (queue_.size() >= opts_.queue_depth) {
-      stats_.backpressure_waits += 1;
-      cv_space_.wait(lock,
-                     [this] { return queue_.size() < opts_.queue_depth; });
+    if (queue_.size() >= opts_.queue_depth && !stop_) {
+      switch (opts_.overload) {
+        case OverloadPolicy::kBlock:
+          stats_.backpressure_waits += 1;
+          cv_space_.wait(lock, [this] {
+            return stop_ || queue_.size() < opts_.queue_depth;
+          });
+          break;
+        case OverloadPolicy::kRejectNew: {
+          stats_.submitted += 1;
+          stats_.rejected += 1;
+          p.promise.set_exception(std::make_exception_ptr(Overloaded(
+              "admission queue full (" + std::to_string(opts_.queue_depth) +
+              " requests) and overload policy is reject-new")));
+          return f;
+        }
+        case OverloadPolicy::kShedOldest: {
+          // Shed the oldest request of the lowest priority present; the
+          // queue is in submission order, so the first match is oldest.
+          auto victim = queue_.begin();
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->prio < victim->prio) victim = it;
+          }
+          shed.emplace(std::move(*victim));
+          queue_.erase(victim);
+          stats_.shed += 1;
+          break;
+        }
+      }
+    }
+    if (stop_) {
+      stats_.cancelled += 1;
+      p.promise.set_exception(std::make_exception_ptr(
+          Cancelled("session shutting down")));
+      return f;
     }
     enqueue_locked(std::move(p), lock);
+  }
+  if (shed.has_value()) {
+    shed->promise.set_exception(std::make_exception_ptr(Overloaded(
+        "shed by a newer request (queue full, overload policy "
+        "shed-oldest)")));
   }
   cv_work_.notify_one();
   return f;
 }
 
 bool Session::try_submit(PoolOp op, PoolInputs in,
-                         std::future<PoolResult>* out) {
+                         std::future<PoolResult>* out, SubmitOptions sub) {
+  DV_CHECK_GE(sub.deadline_us, 0);
   Pending p;
   p.op = std::move(op);
   p.in = in;
-  p.submitted = std::chrono::steady_clock::now();
+  p.submitted = Clock::now();
+  if (sub.deadline_us > 0) {
+    p.deadline = p.submitted + std::chrono::microseconds(sub.deadline_us);
+  }
+  p.prio = sub.prio;
   std::future<PoolResult> f = p.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (queue_.size() >= opts_.queue_depth) return false;
+    if (stop_ || queue_.size() >= opts_.queue_depth) return false;
     enqueue_locked(std::move(p), lock);
   }
   cv_work_.notify_one();
@@ -136,6 +224,13 @@ void Session::drain() {
   DV_CHECK(queue_.empty() || paused_);
 }
 
+bool Session::drain(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_idle_.wait_for(lock, timeout, [this] {
+    return (queue_.empty() || paused_) && in_flight_ == 0;
+  });
+}
+
 void Session::pause() {
   std::unique_lock<std::mutex> lock(mu_);
   paused_ = true;
@@ -147,6 +242,12 @@ void Session::resume() {
     paused_ = false;
   }
   cv_work_.notify_all();
+}
+
+std::int64_t Session::max_blocks_locked() const {
+  const int healthy =
+      std::max(1, device_.num_cores() - stats_.quarantined_cores);
+  return static_cast<std::int64_t>(healthy) * opts_.ub_waves;
 }
 
 void Session::worker_loop() {
@@ -178,84 +279,229 @@ void Session::worker_loop() {
   }
 }
 
-void Session::process(std::vector<Pending> taken) {
-  std::vector<RequestView> views;
-  views.reserve(taken.size());
-  for (const Pending& p : taken) views.push_back(RequestView{&p.op, &p.in});
+void Session::watchdog_loop() {
+  const auto timeout = std::chrono::microseconds(opts_.watchdog_timeout_us);
+  // Sample at least twice per budget, but never spin faster than 50us.
+  const auto period = std::max(std::chrono::microseconds(50), timeout / 2);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_watchdog_.wait_for(lock, period);
+    if (stop_) return;
+    if (launch_active_ && alarmed_seq_ != launch_seq_ &&
+        Clock::now() - launch_start_ > timeout) {
+      alarmed_seq_ = launch_seq_;
+      stats_.watchdog_alarms += 1;
+    }
+  }
+}
 
-  const std::int64_t max_blocks =
-      static_cast<std::int64_t>(device_.num_cores()) * opts_.ub_waves;
-  const std::size_t max_requests = opts_.batching ? opts_.max_batch : 1u;
+void Session::process(std::vector<Pending> taken) {
+  // Screen each request alone so a malformed one (wrong rank, missing
+  // tensor) fails only its own future -- its takemates keep going.
+  std::vector<std::size_t> taken_of;  // view index -> taken index
+  std::vector<RequestView> views;
+  for (std::size_t i = 0; i < taken.size(); ++i) {
+    try {
+      (void)batch_key(taken[i].op, taken[i].in);
+    } catch (...) {
+      taken[i].promise.set_exception(std::current_exception());
+      std::unique_lock<std::mutex> lock(mu_);
+      stats_.failed += 1;
+      continue;
+    }
+    taken_of.push_back(i);
+    views.push_back(RequestView{&taken[i].op, &taken[i].in});
+  }
+
   std::vector<Batch> batches;
-  try {
+  if (!views.empty()) {
+    std::int64_t max_blocks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      max_blocks = max_blocks_locked();
+    }
+    const std::size_t max_requests = opts_.batching ? opts_.max_batch : 1u;
     batches = form_batches(views, max_requests, max_blocks);
-  } catch (...) {
-    // A malformed request (wrong rank, missing tensor) fails the whole
-    // take; letting it escape would std::terminate the worker thread.
-    const std::exception_ptr err = std::current_exception();
-    for (Pending& p : taken) p.promise.set_exception(err);
-    std::unique_lock<std::mutex> lock(mu_);
-    stats_.failed += static_cast<std::int64_t>(taken.size());
-    in_flight_ -= static_cast<std::int64_t>(taken.size());
-    return;
+
+    // Deadline-aware launch order: batches with the most urgent member
+    // go first (earliest-deadline-first across the take; submission
+    // order within a batch and among deadline-free batches).
+    auto urgency = [&](const Batch& b) {
+      Clock::time_point earliest = Clock::time_point::max();
+      for (std::size_t m : b.members) {
+        const Pending& p = taken[taken_of[m]];
+        if (p.deadline.has_value() && *p.deadline < earliest) {
+          earliest = *p.deadline;
+        }
+      }
+      return earliest;
+    };
+    std::stable_sort(batches.begin(), batches.end(),
+                     [&](const Batch& a, const Batch& b) {
+                       return urgency(a) < urgency(b);
+                     });
   }
 
   for (const Batch& b : batches) {
-    // Resolve the launch descriptor: the first member's op with the
-    // cached tiling plan attached (all members share the PlanKey by
-    // construction of the BatchKey).
-    PoolOp op = taken[b.members.front()].op;
-    const PoolInputs& first_in = taken[b.members.front()].in;
-    std::int64_t launch_cycles = 0;
-    try {
-      const RequestGeometry g = request_geometry(op, first_in);
-      const std::optional<PlanKey> key =
-          plan_key_for(op, g.ih, g.iw, device_.double_buffer());
-      if (key.has_value() && !op.plan.has_value()) {
-        std::unique_lock<std::mutex> lock(mu_);
-        op.plan = plans_.get(device_.arch(), *key);
-      }
-      if (b.members.size() == 1) {
-        // Singleton fast path: run on the caller's tensors directly.
-        PoolResult r = kernels::run_pool(device_, op, first_in);
-        launch_cycles = r.cycles();
-        taken[b.members.front()].promise.set_value(std::move(r));
-      } else {
-        const CoalescedInputs c = coalesce(views, b);
-        const PoolResult batched =
-            kernels::run_pool(device_, op, c.inputs());
-        launch_cycles = batched.cycles();
-        std::vector<PoolResult> parts = split_result(b, c, batched);
-        for (std::size_t m = 0; m < b.members.size(); ++m) {
-          taken[b.members[m]].promise.set_value(std::move(parts[m]));
-        }
-      }
-      std::unique_lock<std::mutex> lock(mu_);
-      stats_.completed += static_cast<std::int64_t>(b.members.size());
-      stats_.launches += 1;
-      stats_.device_cycles_total += launch_cycles;
-      batch_members_total_ += static_cast<std::int64_t>(b.members.size());
-      stats_.max_batch = std::max(stats_.max_batch, b.members.size());
-      if (b.members.size() >= 2) {
-        stats_.batches += 1;
-        stats_.coalesced_requests +=
-            static_cast<std::int64_t>(b.members.size());
-      }
-      for (std::size_t m : b.members) {
-        latency_us_.push_back(us_since(taken[m].submitted));
-      }
-    } catch (...) {
-      const std::exception_ptr err = std::current_exception();
-      for (std::size_t m : b.members) {
-        taken[m].promise.set_exception(err);
-      }
-      std::unique_lock<std::mutex> lock(mu_);
-      stats_.failed += static_cast<std::int64_t>(b.members.size());
-    }
+    execute_members(taken, views, taken_of, b.members);
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
     in_flight_ -= static_cast<std::int64_t>(taken.size());
+  }
+}
+
+void Session::execute_members(std::vector<Pending>& taken,
+                              const std::vector<RequestView>& views,
+                              const std::vector<std::size_t>& taken_of,
+                              std::vector<std::size_t> members) {
+  // In-queue expiry: a lapsed deadline fails the request here, before
+  // any coalescing or launch, and drops it from the batch -- batchmates
+  // launch without it.
+  const Clock::time_point now = Clock::now();
+  std::vector<std::size_t> live;
+  live.reserve(members.size());
+  std::int64_t expired = 0;
+  for (std::size_t m : members) {
+    Pending& p = taken[taken_of[m]];
+    if (p.deadline.has_value() && *p.deadline < now) {
+      p.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+          "deadline exceeded after " + std::to_string(us_since(p.submitted)) +
+          "us in queue (request never launched)")));
+      expired += 1;
+    } else {
+      live.push_back(m);
+    }
+  }
+  if (expired > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.expired += expired;
+  }
+  if (live.empty()) return;
+
+  std::exception_ptr err;
+  bool bisectable = false;
+  try {
+    launch_members(taken, views, taken_of, live);
+    return;
+  } catch (const CoreFailed&) {
+    err = std::current_exception();
+    bisectable = true;
+  } catch (const RetryExhausted&) {
+    err = std::current_exception();
+    bisectable = true;
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.launch_failures += 1;
+  }
+
+  if (bisectable && live.size() >= 2) {
+    // The resilient path gave up on the coalesced launch: bisect so the
+    // poisoned member(s) fail alone. Each half re-checks deadlines and
+    // may bisect further; cost is O(log batch) extra launches.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stats_.bisections += 1;
+    }
+    const std::size_t mid = live.size() / 2;
+    std::vector<std::size_t> lo(live.begin(),
+                                live.begin() + static_cast<long>(mid));
+    std::vector<std::size_t> hi(live.begin() + static_cast<long>(mid),
+                                live.end());
+    execute_members(taken, views, taken_of, std::move(lo));
+    execute_members(taken, views, taken_of, std::move(hi));
+    return;
+  }
+
+  for (std::size_t m : live) {
+    taken[taken_of[m]].promise.set_exception(err);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.failed += static_cast<std::int64_t>(live.size());
+    if (bisectable) {
+      stats_.poisoned_requests += static_cast<std::int64_t>(live.size());
+    }
+  }
+}
+
+void Session::launch_members(std::vector<Pending>& taken,
+                             const std::vector<RequestView>& views,
+                             const std::vector<std::size_t>& taken_of,
+                             const std::vector<std::size_t>& members) {
+  // Resolve the launch descriptor: the first member's op with the cached
+  // tiling plan attached (all members share the PlanKey by construction
+  // of the BatchKey).
+  PoolOp op = taken[taken_of[members.front()]].op;
+  const PoolInputs& first_in = taken[taken_of[members.front()]].in;
+  const RequestGeometry g = request_geometry(op, first_in);
+  const std::optional<PlanKey> key =
+      plan_key_for(op, g.ih, g.iw, device_.double_buffer());
+  if (key.has_value() && !op.plan.has_value()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    op.plan = plans_.get(device_.arch(), *key);
+  }
+
+  // Stamp the launch for the watchdog; cleared on every exit path.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    launch_seq_ += 1;
+    launch_start_ = Clock::now();
+    launch_active_ = true;
+  }
+  struct LaunchScope {
+    Session* s;
+    ~LaunchScope() {
+      std::unique_lock<std::mutex> lock(s->mu_);
+      s->launch_active_ = false;
+    }
+  } scope{this};
+
+  std::int64_t launch_cycles = 0;
+  FaultStats launch_faults;
+  int cores_lost = 0;
+  if (members.size() == 1) {
+    // Singleton fast path: run on the caller's tensors directly.
+    PoolResult r = kernels::run_pool(device_, op, first_in);
+    launch_cycles = r.cycles();
+    launch_faults = r.run.faults;
+    cores_lost = static_cast<int>(r.run.faults.cores_quarantined);
+    taken[taken_of[members.front()]].promise.set_value(std::move(r));
+  } else {
+    Batch b;
+    b.key = batch_key(op, first_in);
+    b.members = members;
+    const CoalescedInputs c = coalesce(views, b);
+    const PoolResult batched = kernels::run_pool(device_, op, c.inputs());
+    launch_cycles = batched.cycles();
+    launch_faults = batched.run.faults;
+    cores_lost = static_cast<int>(batched.run.faults.cores_quarantined);
+    std::vector<PoolResult> parts = split_result(b, c, batched);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      taken[taken_of[members[m]]].promise.set_value(std::move(parts[m]));
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.completed += static_cast<std::int64_t>(members.size());
+  stats_.launches += 1;
+  stats_.device_cycles_total += launch_cycles;
+  stats_.faults += launch_faults;
+  if (degraded(launch_faults)) stats_.degraded_launches += 1;
+  // A quarantined core stays suspect for the session: shrink the block
+  // cap so later coalesced launches fit the healthy cores' UB waves.
+  stats_.quarantined_cores = std::max(stats_.quarantined_cores, cores_lost);
+  batch_members_total_ += static_cast<std::int64_t>(members.size());
+  stats_.max_batch = std::max(stats_.max_batch, members.size());
+  if (members.size() >= 2) {
+    stats_.batches += 1;
+    stats_.coalesced_requests += static_cast<std::int64_t>(members.size());
+  }
+  for (std::size_t m : members) {
+    latency_us_.push_back(us_since(taken[taken_of[m]].submitted));
   }
 }
 
@@ -280,16 +526,37 @@ std::string Session::serve_json() const {
   j += "\"requests\":" + num(s.submitted);
   j += ",\"completed\":" + num(s.completed);
   j += ",\"failed\":" + num(s.failed);
+  j += ",\"expired\":" + num(s.expired);
+  j += ",\"shed\":" + num(s.shed);
+  j += ",\"rejected\":" + num(s.rejected);
+  j += ",\"cancelled\":" + num(s.cancelled);
   j += ",\"launches\":" + num(s.launches);
   j += ",\"batches\":" + num(s.batches);
   j += ",\"coalesced_requests\":" + num(s.coalesced_requests);
   j += ",\"max_batch\":" + num(static_cast<std::int64_t>(s.max_batch));
   j += ",\"avg_batch\":" + num(s.avg_batch);
   j += ",\"device_cycles_total\":" + num(s.device_cycles_total);
+  j += ",\"overload_policy\":\"" + std::string(to_string(opts_.overload)) +
+       "\"";
+  j += ",\"watchdog_alarms\":" + num(s.watchdog_alarms);
   j += ",\"queue\":{\"capacity\":" +
        num(static_cast<std::int64_t>(opts_.queue_depth)) +
        ",\"peak_depth\":" + num(s.peak_queue_depth) +
        ",\"backpressure_waits\":" + num(s.backpressure_waits) + "}";
+  j += ",\"resilience\":{\"enabled\":" +
+       std::string(opts_.resilience.has_value() ? "true" : "false") +
+       ",\"degraded_launches\":" + num(s.degraded_launches) +
+       ",\"bisections\":" + num(s.bisections) +
+       ",\"poisoned_requests\":" + num(s.poisoned_requests) +
+       ",\"launch_failures\":" + num(s.launch_failures) +
+       ",\"quarantined_cores\":" +
+       num(static_cast<std::int64_t>(s.quarantined_cores)) +
+       ",\"faults_injected\":" + num(s.faults.faults_injected) +
+       ",\"faults_detected\":" + num(s.faults.faults_detected) +
+       ",\"retries\":" + num(s.faults.retries) +
+       ",\"blocks_redispatched\":" + num(s.faults.blocks_redispatched) +
+       ",\"cores_quarantined_total\":" + num(s.faults.cores_quarantined) +
+       "}";
   j += ",\"plan_cache\":{\"hits\":" + num(s.plan_cache.hits) +
        ",\"misses\":" + num(s.plan_cache.misses) +
        ",\"evictions\":" + num(s.plan_cache.evictions) +

@@ -13,12 +13,32 @@
 //   PoolResult r = f.get();                // bit-identical to run_pool
 //
 // Guarantees:
+//  * every future resolves -- with a value, or with an exception from
+//    the Error hierarchy (DeadlineExceeded, Overloaded, Cancelled,
+//    RetryExhausted, or the kernel error). This holds under injected
+//    faults, overload, and destruction with queued or in-flight work;
 //  * results are bit-identical to running each request alone through
 //    run_pool (each device block computes only its own (N, C1) slice);
-//  * the admission queue is bounded (SessionOptions::queue_depth):
-//    submit() blocks -- backpressure -- and try_submit() refuses;
+//  * the admission queue is bounded (SessionOptions::queue_depth) and
+//    governed by SessionOptions::overload: block (submit() waits --
+//    backpressure), reject-new (the new request's future fails with
+//    Overloaded), or shed-oldest (the oldest lowest-priority queued
+//    request is failed to make room). try_submit() always just refuses;
+//  * a request with a deadline that expires while queued fails with
+//    DeadlineExceeded *without* a device launch and never delays or
+//    fails its batchmates;
+//  * under a resilience policy (SessionOptions::resilience) batches run
+//    through Device::run_resilient; a launch that still fails after
+//    retry/quarantine is bisected so a poisoned request fails alone
+//    instead of failing its batchmates, and observed core quarantine
+//    shrinks the cores x ub_waves batch cap;
 //  * input tensors are borrowed: they must stay alive and unmodified
 //    until the request's future resolves.
+//
+// Destruction is a graceful shutdown: still-queued requests are
+// cancelled (their futures fail with Cancelled), in-flight work
+// completes, then the worker and watchdog threads join. Use drain() /
+// drain(timeout) first if queued work must finish.
 //
 // Thread safety: submit/try_submit/drain/stats may be called from any
 // number of threads; the device itself is driven only by the worker.
@@ -30,6 +50,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,18 +59,51 @@
 #include "serve/batcher.h"
 #include "serve/plan_cache.h"
 #include "sim/device.h"
+#include "sim/fault.h"
 #include "sim/metrics_registry.h"
 
 namespace davinci::serve {
 
+// A request's deadline expired before its launch. The device never ran
+// the request (in-queue expiry is checked before coalescing).
+class DeadlineExceeded : public Error {
+ public:
+  using Error::Error;
+};
+
+// The session refused or shed the request under its overload policy.
+class Overloaded : public Error {
+ public:
+  using Error::Error;
+};
+
+// The session was destroyed with the request still queued.
+class Cancelled : public Error {
+ public:
+  using Error::Error;
+};
+
+// What submit() does when the admission queue is full.
+enum class OverloadPolicy : std::uint8_t {
+  kBlock,       // wait for space (backpressure); the pre-deadline default
+  kRejectNew,   // fail the new request's future with Overloaded
+  kShedOldest,  // fail the oldest lowest-priority queued request instead
+};
+
+const char* to_string(OverloadPolicy policy);
+
 struct SessionOptions {
-  // Admission-queue bound: submit() blocks and try_submit() refuses once
-  // this many requests are waiting (in-flight work does not count).
+  // Admission-queue bound: once this many requests are waiting the
+  // overload policy applies to submit() and try_submit() refuses
+  // (in-flight work does not count).
   std::size_t queue_depth = 64;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
   // Launch caps: at most this many requests per coalesced launch, and at
-  // most cores x ub_waves (N, C1) blocks -- each resident block pins its
-  // plan's ub_slots UB tile slots, so ub_waves bounds how many waves of
-  // blocks a launch may queue per core before it is split.
+  // most healthy_cores x ub_waves (N, C1) blocks -- each resident block
+  // pins its plan's ub_slots UB tile slots, so ub_waves bounds how many
+  // waves of blocks a launch may queue per core before it is split.
+  // healthy_cores starts at the device core count and shrinks as the
+  // resilient launch path observes quarantined cores.
   std::size_t max_batch = 16;
   int ub_waves = 4;
   // When false the batcher is bypassed: every request launches alone, in
@@ -58,6 +112,26 @@ struct SessionOptions {
   std::size_t plan_cache_capacity = 64;
   // Device double-buffer policy (feeds the plan-cache key).
   bool double_buffer = true;
+  // When set, every launch routes through Device::run_resilient with
+  // these options (fault plan, retry budget, store-path verification).
+  // Launches that still fail are bisected; see the class comment.
+  std::optional<ResilienceOptions> resilience;
+  // Hung-launch watchdog: a launch exceeding this wall-clock budget is
+  // counted in stats().watchdog_alarms (once per launch). The simulator
+  // cannot preempt a launch, so the watchdog observes and reports -- the
+  // signal an operator (or a test) alarms on. 0 disables the watchdog.
+  std::int64_t watchdog_timeout_us = 0;
+};
+
+// Per-request submission options.
+struct SubmitOptions {
+  // Completion budget in microseconds from submission; 0 = no deadline.
+  // A request still queued when the budget lapses fails with
+  // DeadlineExceeded and never reaches the device.
+  std::int64_t deadline_us = 0;
+  // Shed priority: under OverloadPolicy::kShedOldest the oldest request
+  // of the *lowest* priority present is shed first.
+  int prio = 0;
 };
 
 // Host-side latency distribution in microseconds.
@@ -69,7 +143,11 @@ struct LatencySummary {
 struct SessionStats {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
-  std::int64_t failed = 0;
+  std::int64_t failed = 0;     // validation / launch failures
+  std::int64_t expired = 0;    // deadline lapsed while queued
+  std::int64_t shed = 0;       // dropped by kShedOldest
+  std::int64_t rejected = 0;   // refused by kRejectNew
+  std::int64_t cancelled = 0;  // still queued at destruction
   std::int64_t launches = 0;             // device launches issued
   std::int64_t batches = 0;              // launches with >= 2 members
   std::int64_t coalesced_requests = 0;   // requests sharing a launch
@@ -78,6 +156,14 @@ struct SessionStats {
   std::int64_t peak_queue_depth = 0;
   std::int64_t backpressure_waits = 0;   // submit() calls that blocked
   std::int64_t device_cycles_total = 0;  // sum over launches
+  // Robustness counters (resilient launch path + watchdog).
+  std::int64_t degraded_launches = 0;   // completed with faults absorbed
+  std::int64_t bisections = 0;          // failed launches split in two
+  std::int64_t poisoned_requests = 0;   // failed alone after bisection
+  std::int64_t launch_failures = 0;     // launches that threw
+  std::int64_t watchdog_alarms = 0;     // launches past the watchdog budget
+  int quarantined_cores = 0;            // max cores lost in one launch
+  FaultStats faults;                    // summed over completed launches
   LatencySummary latency;     // submit -> future completed
   LatencySummary queue_wait;  // submit -> dequeued by the worker
   PlanCache::Stats plan_cache;
@@ -89,30 +175,40 @@ class Session {
  public:
   explicit Session(SessionOptions opts = {});
   Session(ArchConfig arch, SessionOptions opts);
-  ~Session();  // drains the queue, then stops the worker
+  // Graceful shutdown: cancels still-queued requests (futures fail with
+  // Cancelled), completes in-flight work, joins the threads.
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  // Enqueues one request. Blocks while the queue is full. The tensors
-  // behind `in` are borrowed until the future resolves. Kernel errors
-  // (invalid descriptor, shape out of schedule scope) surface through
-  // the future.
+  // Enqueues one request. When the queue is full the overload policy
+  // decides: kBlock waits, kRejectNew fails the returned future with
+  // Overloaded, kShedOldest drops a queued request to make room. The
+  // tensors behind `in` are borrowed until the future resolves. Kernel
+  // errors (invalid descriptor, shape out of schedule scope) surface
+  // through the future.
   std::future<kernels::PoolResult> submit(kernels::PoolOp op,
-                                          kernels::PoolInputs in);
+                                          kernels::PoolInputs in,
+                                          SubmitOptions sub = {});
 
   // Non-blocking submit: returns false (and leaves `out` untouched)
-  // when the queue is full.
+  // when the queue is full, whatever the overload policy.
   bool try_submit(kernels::PoolOp op, kernels::PoolInputs in,
-                  std::future<kernels::PoolResult>* out);
+                  std::future<kernels::PoolResult>* out,
+                  SubmitOptions sub = {});
 
   // Blocks until everything dequeued so far has completed and the queue
   // is empty (or the session is paused -- a paused queue is left as is).
   void drain();
+  // Bounded drain: returns false if the session was not idle within
+  // `timeout` (queued or in-flight work remains -- e.g. a hung launch).
+  bool drain(std::chrono::microseconds timeout);
 
   // Batching-window control: while paused the worker dequeues nothing,
   // so requests accumulate (deterministic coalescing and backpressure in
-  // tests). resume() releases the accumulated queue at once.
+  // tests). resume() releases the accumulated queue at once. Deadlines
+  // keep ticking while paused.
   void pause();
   void resume();
 
@@ -120,9 +216,9 @@ class Session {
   const SessionOptions& options() const { return opts_; }
 
   SessionStats stats() const;
-  // The schema-v2 "serve" JSON object for MetricsRegistry::set_serve.
+  // The schema-v3 "serve" JSON object for MetricsRegistry::set_serve.
   std::string serve_json() const;
-  // Attaches serve_json() to `reg` (top-level "serve", schema v2).
+  // Attaches serve_json() to `reg` (top-level "serve", schema v3).
   void add_metrics(MetricsRegistry& reg) const;
 
  private:
@@ -131,11 +227,30 @@ class Session {
     kernels::PoolInputs in;
     std::promise<kernels::PoolResult> promise;
     std::chrono::steady_clock::time_point submitted;
+    // Absolute expiry (submitted + deadline_us); nullopt = no deadline.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    int prio = 0;
   };
 
   void worker_loop();
+  void watchdog_loop();
   void process(std::vector<Pending> taken);
+  // Launches `members` (indices into `views`; views[j] belongs to
+  // taken[taken_of[j]]) as one batch, bisecting on resilient-launch
+  // failure. Expired members are failed before the launch.
+  void execute_members(std::vector<Pending>& taken,
+                       const std::vector<RequestView>& views,
+                       const std::vector<std::size_t>& taken_of,
+                       std::vector<std::size_t> members);
+  // One device launch for `members`; completes their futures on success,
+  // throws on failure. Returns the launch's device cycles.
+  void launch_members(std::vector<Pending>& taken,
+                      const std::vector<RequestView>& views,
+                      const std::vector<std::size_t>& taken_of,
+                      const std::vector<std::size_t>& members);
   void enqueue_locked(Pending p, std::unique_lock<std::mutex>& lock);
+  // The block cap for form_batches given the quarantines observed so far.
+  std::int64_t max_blocks_locked() const;
 
   SessionOptions opts_;
   Device device_;
@@ -145,10 +260,18 @@ class Session {
   std::condition_variable cv_work_;   // queue non-empty / stop
   std::condition_variable cv_space_;  // queue has room
   std::condition_variable cv_idle_;   // queue empty and nothing in flight
+  std::condition_variable cv_watchdog_;  // watchdog wakeup / stop
   std::deque<Pending> queue_;
   std::int64_t in_flight_ = 0;
   bool paused_ = false;
   bool stop_ = false;
+
+  // Watchdog bookkeeping, guarded by mu_: the worker stamps each launch;
+  // the watchdog alarms once per launch sequence number.
+  bool launch_active_ = false;
+  std::int64_t launch_seq_ = 0;
+  std::int64_t alarmed_seq_ = 0;
+  std::chrono::steady_clock::time_point launch_start_{};
 
   // Stats, guarded by mu_.
   SessionStats stats_;
@@ -157,6 +280,7 @@ class Session {
   std::int64_t batch_members_total_ = 0;
 
   std::thread worker_;
+  std::thread watchdog_;
 };
 
 }  // namespace davinci::serve

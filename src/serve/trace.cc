@@ -1,6 +1,7 @@
 #include "serve/trace.h"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/check.h"
@@ -71,6 +72,7 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
     std::string tok;
     TraceEntry e;
     bool have_op = false, impl_auto = false, any_token = false;
+    std::set<std::string> seen;
     while (tokens >> tok) {
       any_token = true;
       const std::size_t eq = tok.find('=');
@@ -80,6 +82,10 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
       }
       const std::string key = tok.substr(0, eq);
       const std::string val = tok.substr(eq + 1);
+      if (!seen.insert(key).second) {
+        throw Error("trace line " + std::to_string(lineno) +
+                    ": duplicate key '" + key + "'");
+      }
       Window2d& w = e.op.window;
       if (key == "op") {
         e.op.kind = parse_kind(val, lineno);
@@ -124,6 +130,10 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
         e.op.merge = parse_merge(val, lineno);
       } else if (key == "x") {
         e.repeat = static_cast<int>(parse_int(val, lineno, key));
+      } else if (key == "deadline_us") {
+        e.deadline_us = parse_int(val, lineno, key);
+      } else if (key == "prio") {
+        e.prio = static_cast<int>(parse_int(val, lineno, key));
       } else {
         throw Error("trace line " + std::to_string(lineno) +
                     ": unknown key '" + key + "'");
@@ -139,6 +149,10 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
     if (e.ih <= 0 || e.iw <= 0 || e.n <= 0 || e.c1 <= 0 || e.repeat < 1) {
       throw Error("trace line " + std::to_string(lineno) +
                   ": n, c1, ih, iw must be positive (and x >= 1)");
+    }
+    if (e.deadline_us < 0) {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": deadline_us must be >= 0");
     }
     if (impl_auto) e.op.fwd = akg::select_fwd_impl(e.op.window);
     entries.push_back(std::move(e));

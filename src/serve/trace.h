@@ -8,14 +8,18 @@
 //   op=maxpool n=1 c1=4 ih=147 iw=147 k=3 s=2  impl=im2col  x=8
 //   op=avgpool n=1 c1=12 ih=71 iw=71 k=3 s=2   impl=auto
 //   op=maxpool_bwd n=1 c1=18 ih=35 iw=35 k=3 s=2 merge=col2im
-//   op=global_avgpool n=1 c1=64 ih=8 iw=8
+//   op=global_avgpool n=1 c1=64 ih=8 iw=8 deadline_us=5000 prio=1
 //
 // Keys: `op` (a PoolOpKind name, required), `n`/`c1`/`ih`/`iw` (tensor
 // geometry; ih/iw required except their defaults never validate), `k`
 // or `kh`/`kw` (kernel), `s` or `sh`/`sw` (stride), `p` or
 // `pt`/`pb`/`pl`/`pr` (padding), `impl` (forward lowering, or `auto`
-// for akg::select_fwd_impl), `merge` (backward merge step) and `x`
-// (how many identical requests this line expands to, default 1).
+// for akg::select_fwd_impl), `merge` (backward merge step), `x`
+// (how many identical requests this line expands to, default 1),
+// `deadline_us` (per-request completion budget, 0 = none -- feeds
+// serve::SubmitOptions::deadline_us) and `prio` (shed priority, feeds
+// SubmitOptions::prio). Unknown keys and a key repeated on one line are
+// errors.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +36,8 @@ struct TraceEntry {
   kernels::PoolOp op;
   std::int64_t n = 1, c1 = 1, ih = 0, iw = 0;
   int repeat = 1;
+  std::int64_t deadline_us = 0;  // 0 = no deadline
+  int prio = 0;                  // shed priority (higher sheds later)
 };
 
 // Parses trace text; throws davinci::Error with a line number on

@@ -5,7 +5,7 @@
 // pipeline layer), derives the roofline from each run's aggregate
 // counters, and serializes everything under a schema marker:
 //
-//   { "schema": "davinci.metrics", "schema_version": 2, "entries": [
+//   { "schema": "davinci.metrics", "schema_version": 3, "entries": [
 //       { "name": ..., "cycles": ..., "cycles_serial": ...,
 //         "traffic": { per-route bytes }, "roofline": { ... },
 //         "attribution": { "horizon", "critical_core", "cores": [
@@ -16,8 +16,13 @@
 // Schema version 2 adds an optional top-level "serve" object -- the
 // serving-session statistics (queue depths, batch sizes, plan-cache hit
 // rates, host-side latency percentiles) attached via set_serve() by
-// serve::Session::add_metrics. Version-1 documents are still accepted by
-// all in-tree consumers; they simply have no "serve" key.
+// serve::Session::add_metrics. Version 3 extends "serve" with the
+// robustness surface: "expired" / "shed" / "rejected" / "cancelled"
+// request counters, "overload_policy", "watchdog_alarms" and a nested
+// "resilience" object (degraded_launches, bisections, poisoned_requests,
+// launch_failures, quarantined_cores and the summed FaultStats).
+// Version-1/2 documents are still accepted by all in-tree consumers;
+// they simply lack those keys.
 //
 // Consumers (tools/davinci_prof.cc, CI) key on schema/schema_version;
 // any breaking field change must bump kSchemaVersion. The critical path
@@ -37,7 +42,7 @@ namespace davinci {
 
 class MetricsRegistry {
  public:
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
   // Critical-path segments serialized verbatim before head-truncation.
   static constexpr std::size_t kMaxPathSegments = 1024;
 

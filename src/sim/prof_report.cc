@@ -111,7 +111,8 @@ void render_metrics_entry(const json::Value& e, std::string* out) {
   }
 }
 
-// Schema-v2 "serve" object (serve::Session::add_metrics).
+// Schema-v3 "serve" object (serve::Session::add_metrics). The v3
+// robustness keys are optional, so v2 documents still render.
 void render_serve(const json::Value& s, std::string* out) {
   *out += "serve: " + std::to_string(int_or(s, "requests", 0)) +
           " requests in " + std::to_string(int_or(s, "launches", 0)) +
@@ -121,6 +122,41 @@ void render_serve(const json::Value& s, std::string* out) {
     *out += ", avg batch " + fmt_num(*ab);
   }
   *out += ", failed " + std::to_string(int_or(s, "failed", 0)) + ")\n";
+  if (s.get("expired") != nullptr || s.get("shed") != nullptr) {
+    *out += "  overload: expired " + std::to_string(int_or(s, "expired", 0)) +
+            ", shed " + std::to_string(int_or(s, "shed", 0)) +
+            ", rejected " + std::to_string(int_or(s, "rejected", 0)) +
+            ", cancelled " + std::to_string(int_or(s, "cancelled", 0));
+    if (const json::Value* pol = s.get("overload_policy")) {
+      *out += " (policy " + pol->as_string() + ")";
+    }
+    *out += ", watchdog alarms " +
+            std::to_string(int_or(s, "watchdog_alarms", 0)) + "\n";
+  }
+  if (const json::Value* r = s.get("resilience")) {
+    const bool enabled =
+        r->get("enabled") != nullptr && r->at("enabled").as_bool();
+    *out += "  resilience: " + std::string(enabled ? "on" : "off") +
+            ", degraded launches " +
+            std::to_string(int_or(*r, "degraded_launches", 0)) +
+            ", bisections " + std::to_string(int_or(*r, "bisections", 0)) +
+            ", poisoned " +
+            std::to_string(int_or(*r, "poisoned_requests", 0)) +
+            ", launch failures " +
+            std::to_string(int_or(*r, "launch_failures", 0)) +
+            ", quarantined cores " +
+            std::to_string(int_or(*r, "quarantined_cores", 0)) + "\n";
+    if (int_or(*r, "faults_injected", 0) > 0 ||
+        int_or(*r, "retries", 0) > 0) {
+      *out += "    faults: injected " +
+              std::to_string(int_or(*r, "faults_injected", 0)) +
+              ", detected " +
+              std::to_string(int_or(*r, "faults_detected", 0)) +
+              ", retries " + std::to_string(int_or(*r, "retries", 0)) +
+              ", blocks redispatched " +
+              std::to_string(int_or(*r, "blocks_redispatched", 0)) + "\n";
+    }
+  }
   if (const json::Value* pc = s.get("plan_cache")) {
     *out += "  plan cache: " + std::to_string(int_or(*pc, "hits", 0)) +
             " hits / " + std::to_string(int_or(*pc, "misses", 0)) +

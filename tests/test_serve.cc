@@ -5,7 +5,11 @@
 // futures, trace parsing, and the Pipeline per-layer PoolOp override.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "nets/pipeline.h"
@@ -199,7 +203,7 @@ TEST(ServeSession, KernelErrorsSurfaceThroughFutureNotTerminate) {
   EXPECT_EQ(session.stats().completed, 1);
 }
 
-TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV2) {
+TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV3) {
   Session session;
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
@@ -211,10 +215,346 @@ TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV2) {
   MetricsRegistry reg;
   session.add_metrics(reg);
   const std::string json = reg.to_json();
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"serve\""), std::string::npos);
   EXPECT_NE(json.find("\"plan_cache\""), std::string::npos);
   EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
+  // The v3 robustness surface.
+  EXPECT_NE(json.find("\"expired\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"overload_policy\":\"block\""), std::string::npos);
+  EXPECT_NE(json.find("\"resilience\""), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog_alarms\""), std::string::npos);
+}
+
+// --- Deadlines -----------------------------------------------------------
+
+TEST(ServeDeadline, ExpiredRequestFailsWithoutDeviceLaunch) {
+  Session session;
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 1);
+
+  session.pause();  // the deadline lapses while the request sits queued
+  auto f = session.submit(op, PoolInputs{.in = &in},
+                          SubmitOptions{.deadline_us = 1000});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  session.resume();
+  session.drain();
+
+  EXPECT_THROW(f.get(), DeadlineExceeded);
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.expired, 1);
+  EXPECT_EQ(s.launches, 0);  // the device never ran
+  EXPECT_EQ(s.completed, 0);
+  EXPECT_EQ(s.failed, 0);  // expiry is its own counter
+}
+
+TEST(ServeDeadline, ExpiredRequestNeverFailsItsBatchmates) {
+  Session session;
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 a = make_input(2, 35, 35, 1);
+  const TensorF16 b = make_input(2, 35, 35, 2);
+  const TensorF16 doomed_in = make_input(2, 35, 35, 3);
+
+  session.pause();  // same geometry: all three coalesce into one batch
+  auto f_a = session.submit(op, PoolInputs{.in = &a});
+  auto doomed = session.submit(op, PoolInputs{.in = &doomed_in},
+                               SubmitOptions{.deadline_us = 1000});
+  auto f_b = session.submit(op, PoolInputs{.in = &b});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  session.resume();
+  session.drain();
+
+  EXPECT_THROW(doomed.get(), DeadlineExceeded);
+  Device lone;
+  lone.set_double_buffer(true);
+  expect_same_tensor(f_a.get().out,
+                     kernels::run_pool(lone, op, {.in = &a}).out);
+  expect_same_tensor(f_b.get().out,
+                     kernels::run_pool(lone, op, {.in = &b}).out);
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.expired, 1);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.failed, 0);
+}
+
+TEST(ServeDeadline, GenerousDeadlineCompletesNormally) {
+  Session session;
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 4);
+  auto f = session.submit(op, PoolInputs{.in = &in},
+                          SubmitOptions{.deadline_us = 60'000'000});
+  session.drain();
+  EXPECT_GT(f.get().out.size(), 0);
+  EXPECT_EQ(session.stats().expired, 0);
+}
+
+// --- Overload policies ---------------------------------------------------
+
+TEST(ServeOverload, RejectNewFailsTheNewRequest) {
+  SessionOptions opts;
+  opts.queue_depth = 2;
+  opts.overload = OverloadPolicy::kRejectNew;
+  Session session(opts);
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 1);
+
+  session.pause();
+  auto f1 = session.submit(op, PoolInputs{.in = &in});
+  auto f2 = session.submit(op, PoolInputs{.in = &in});
+  auto f3 = session.submit(op, PoolInputs{.in = &in});  // queue is full
+  EXPECT_THROW(f3.get(), Overloaded);  // resolved immediately, no blocking
+
+  session.resume();
+  session.drain();
+  EXPECT_GT(f1.get().out.size(), 0);
+  EXPECT_GT(f2.get().out.size(), 0);
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.submitted, 3);
+}
+
+TEST(ServeOverload, ShedOldestDropsTheOldestLowestPriority) {
+  SessionOptions opts;
+  opts.queue_depth = 2;
+  opts.overload = OverloadPolicy::kShedOldest;
+  Session session(opts);
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 1);
+
+  session.pause();
+  // Oldest but high priority: survives. Second oldest (prio 0) is shed.
+  auto keep = session.submit(op, PoolInputs{.in = &in},
+                             SubmitOptions{.prio = 1});
+  auto victim = session.submit(op, PoolInputs{.in = &in});
+  auto newcomer = session.submit(op, PoolInputs{.in = &in});  // full: sheds
+  EXPECT_THROW(victim.get(), Overloaded);
+
+  session.resume();
+  session.drain();
+  EXPECT_GT(keep.get().out.size(), 0);
+  EXPECT_GT(newcomer.get().out.size(), 0);
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.shed, 1);
+  EXPECT_EQ(s.completed, 2);
+}
+
+// --- Fault tolerance -----------------------------------------------------
+
+// All cores poisoned for block ids >= 4: any launch spanning more than 4
+// (N, C1) blocks dies however it is retried (every redistribution target
+// dies too), while launches of <= 4 blocks run fault-free. A fat request
+// (6 blocks) coalesced with skinny ones (2 blocks each) therefore fails
+// the whole batch -- until bisection isolates it.
+TEST(ServeResilience, BisectionIsolatesThePoisonedRequest) {
+  SessionOptions opts;
+  ResilienceOptions res;
+  for (int c = 0; c < 32; ++c) {
+    res.plan.core_failures.push_back(CoreFailTrigger{c, 4});
+  }
+  opts.resilience = res;
+  Session session(ArchConfig::ascend910(), opts);
+  ASSERT_EQ(session.device().num_cores(), 32);
+
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 s1 = make_input(2, 35, 35, 1);
+  const TensorF16 s2 = make_input(2, 35, 35, 2);
+  const TensorF16 s3 = make_input(2, 35, 35, 3);
+  TensorF16 fat(Shape{3, 2, 35, 35, kC0});  // 6 blocks: poisoned
+  fat.fill_random_ints(4);
+
+  session.pause();
+  auto f1 = session.submit(op, PoolInputs{.in = &s1});
+  auto f_fat = session.submit(op, PoolInputs{.in = &fat});
+  auto f2 = session.submit(op, PoolInputs{.in = &s2});
+  auto f3 = session.submit(op, PoolInputs{.in = &s3});
+  session.resume();
+  session.drain();
+
+  // The fat request fails alone; its batchmates complete bit-exactly.
+  EXPECT_THROW(f_fat.get(), RetryExhausted);
+  Device lone;
+  lone.set_double_buffer(true);
+  expect_same_tensor(f1.get().out,
+                     kernels::run_pool(lone, op, {.in = &s1}).out);
+  expect_same_tensor(f2.get().out,
+                     kernels::run_pool(lone, op, {.in = &s2}).out);
+  expect_same_tensor(f3.get().out,
+                     kernels::run_pool(lone, op, {.in = &s3}).out);
+
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.completed, 3);
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_GE(s.bisections, 2);  // full batch split, then the fat half again
+  EXPECT_EQ(s.poisoned_requests, 1);
+  EXPECT_GE(s.launch_failures, 2);
+}
+
+TEST(ServeResilience, QuarantineShrinksTheBatchCapAndCountsDegraded) {
+  SessionOptions opts;
+  ResilienceOptions res;
+  res.plan = FaultPlan::parse("core_fail@2", 7);  // core 2 dies on block 2
+  opts.resilience = res;
+  Session session(ArchConfig::ascend910(), opts);
+
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  TensorF16 in(Shape{2, 2, 35, 35, kC0});  // 4 blocks: core 2 gets one
+  in.fill_random_ints(5);
+  auto f = session.submit(op, PoolInputs{.in = &in});
+  session.drain();
+
+  // The launch survives by quarantining core 2 and redistributing; the
+  // result is still bit-identical to a fault-free run.
+  Device lone;
+  lone.set_double_buffer(true);
+  expect_same_tensor(f.get().out,
+                     kernels::run_pool(lone, op, {.in = &in}).out);
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_EQ(s.quarantined_cores, 1);
+  EXPECT_GE(s.degraded_launches, 1);
+  EXPECT_GE(s.faults.cores_quarantined, 1);
+  EXPECT_GE(s.faults.blocks_redispatched, 1);
+}
+
+// --- Watchdog and bounded drain ------------------------------------------
+
+TEST(ServeWatchdog, SlowLaunchRaisesAnAlarm) {
+  SessionOptions opts;
+  opts.watchdog_timeout_us = 1;  // every real launch overruns this
+  Session session(opts);
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(4, 71, 71, 6);
+  auto f = session.submit(op, PoolInputs{.in = &in});
+  session.drain();
+  EXPECT_GT(f.get().out.size(), 0);
+  EXPECT_GE(session.stats().watchdog_alarms, 1);
+}
+
+TEST(ServeDrain, BoundedDrainTimesOutThenSucceeds) {
+  Session session;
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(4, 71, 71, 7);
+  auto f = session.submit(op, PoolInputs{.in = &in});
+  // A real launch takes far longer than 1us: the bounded drain reports
+  // the session still busy instead of blocking forever.
+  EXPECT_FALSE(session.drain(std::chrono::microseconds(1)));
+  EXPECT_TRUE(session.drain(std::chrono::microseconds(60'000'000)));
+  EXPECT_GT(f.get().out.size(), 0);
+}
+
+// --- Teardown and concurrency --------------------------------------------
+
+TEST(ServeTeardown, QueuedRequestsAreCancelledAndEveryFutureResolves) {
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 1);
+  std::vector<std::future<PoolResult>> futures;
+  {
+    Session session;
+    session.pause();  // everything stays queued: destruction must cancel
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(session.submit(op, PoolInputs{.in = &in}));
+    }
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_THROW(f.get(), Cancelled);
+  }
+}
+
+TEST(ServeTeardown, InFlightWorkCompletesAndEveryFutureResolves) {
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 2);
+  std::vector<std::future<PoolResult>> futures;
+  {
+    Session session;  // not paused: the worker races the destructor
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(session.submit(op, PoolInputs{.in = &in}));
+    }
+  }
+  int completed = 0, cancelled = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    try {
+      EXPECT_GT(f.get().out.size(), 0);
+      completed += 1;
+    } catch (const Cancelled&) {
+      cancelled += 1;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, 8);  // nothing lost, nothing hung
+}
+
+TEST(ServeStress, ManyProducersMixingSubmitAndTrySubmit) {
+  SessionOptions opts;
+  opts.queue_depth = 4;  // small: the queue genuinely fills under load
+  Session session(opts);
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const TensorF16 in = make_input(1, 15, 15, 3);
+
+  constexpr int kBlockingProducers = 3;
+  constexpr int kTryProducers = 2;
+  constexpr int kPerProducer = 16;
+  std::mutex collect_mu;
+  std::vector<std::future<PoolResult>> futures;
+  std::atomic<int> refused{0};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kBlockingProducers; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto f = session.submit(op, PoolInputs{.in = &in});
+        std::lock_guard<std::mutex> lock(collect_mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (int t = 0; t < kTryProducers; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::future<PoolResult> f;
+        if (session.try_submit(op, PoolInputs{.in = &in}, &f)) {
+          std::lock_guard<std::mutex> lock(collect_mu);
+          futures.push_back(std::move(f));
+        } else {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  session.drain();
+
+  for (auto& f : futures) EXPECT_GT(f.get().out.size(), 0);
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.completed, static_cast<std::int64_t>(futures.size()));
+  EXPECT_EQ(s.completed + refused.load(),
+            kBlockingProducers * kPerProducer + kTryProducers * kPerProducer);
 }
 
 TEST(ServeTrace, ParsesOpsGeometriesAndRepeats) {
@@ -236,6 +576,38 @@ TEST(ServeTrace, ParsesOpsGeometriesAndRepeats) {
   EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 bogus=1\n"), Error);
   EXPECT_THROW(parse_trace("n=1 ih=9 iw=9\n"), Error);  // missing op=
   EXPECT_THROW(parse_trace("op=maxpool k=3 s=2\n"), Error);  // no geometry
+}
+
+TEST(ServeTrace, DeadlineAndPriorityFieldsParse) {
+  const auto entries = parse_trace(
+      "op=maxpool c1=2 ih=21 iw=21 k=3 s=2 deadline_us=5000 prio=2\n"
+      "op=avgpool c1=2 ih=21 iw=21 k=3 s=2\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].deadline_us, 5000);
+  EXPECT_EQ(entries[0].prio, 2);
+  EXPECT_EQ(entries[1].deadline_us, 0);  // optional: defaults apply
+  EXPECT_EQ(entries[1].prio, 0);
+
+  // Malformed values and a negative budget are errors.
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 deadline_us=soon\n"),
+               Error);
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 deadline_us=-1\n"),
+               Error);
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 prio=high\n"),
+               Error);
+}
+
+TEST(ServeTrace, DuplicateAndUnknownKeysAreErrors) {
+  // A key repeated on one line is ambiguous -- reject, don't last-wins.
+  EXPECT_THROW(parse_trace("op=maxpool op=avgpool ih=9 iw=9 k=3 s=2\n"),
+               Error);
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 ih=11 iw=9 k=3 s=2\n"), Error);
+  EXPECT_THROW(
+      parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 deadline_us=1 deadline_us=2\n"),
+      Error);
+  // Unknown keys stay an error (no silent typo tolerance).
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 deadline=5\n"),
+               Error);
 }
 
 TEST(ServeTrace, MaterializedRequestsServeEndToEnd) {

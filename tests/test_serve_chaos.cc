@@ -1,0 +1,140 @@
+// Chaos soak, test-sized: trace replay through serve::Session under a
+// seeded fault matrix (the bench/bench_serve_chaos harness shrunk to
+// TSan-friendly geometries). The robustness contract under test:
+//
+//   * every submitted future resolves -- value or exception, no hangs;
+//   * every successful response is bit-identical to a fault-free run of
+//     the same request (silent-fault mixes run with verification on);
+//   * the session's request accounting partitions: submitted =
+//     completed + failed + expired + shed + rejected + cancelled.
+//
+// This file runs in the TSan CI job, so it also stands in as the
+// worker/watchdog/producer race detector for the resilient launch path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/session.h"
+#include "serve/trace.h"
+#include "sim/fault.h"
+
+namespace davinci::serve {
+namespace {
+
+using kernels::PoolResult;
+
+// Small geometries: a TSan run of all mixes stays in seconds.
+constexpr const char* kTrace =
+    "op=maxpool n=1 c1=2 ih=21 iw=21 k=3 s=2 impl=im2col x=3 "
+    "deadline_us=60000000\n"
+    "op=maxpool n=2 c1=2 ih=21 iw=21 k=3 s=2 impl=im2col x=2\n"
+    "op=avgpool n=1 c1=2 ih=21 iw=21 k=3 s=2 impl=im2col x=2\n"
+    "op=maxpool_bwd n=1 c1=2 ih=19 iw=19 k=3 s=2 merge=col2im x=2\n"
+    "op=global_avgpool n=1 c1=8 ih=8 iw=8 x=1\n";
+
+bool same_tensor(const TensorF16& a, const TensorF16& b) {
+  // A rank-0 tensor is an absent result slot (size() reports 1, the
+  // empty product, but owns no data) -- equal iff both are absent.
+  if (a.shape().rank() != b.shape().rank()) return false;
+  if (a.shape().rank() == 0) return true;
+  if (a.size() != b.size()) return false;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    if (!(a.flat(i) == b.flat(i))) return false;
+  }
+  return true;
+}
+
+bool same_result(const PoolResult& a, const PoolResult& b) {
+  return same_tensor(a.out, b.out) && same_tensor(a.mask, b.mask) &&
+         same_tensor(a.grad_in, b.grad_in);
+}
+
+// Replays the trace under one fault mix and checks the contract.
+void soak_one(const std::string& spec, std::uint64_t seed) {
+  SCOPED_TRACE("mix '" + spec + "' seed " + std::to_string(seed));
+  const auto entries = parse_trace(kTrace);
+  std::vector<MaterializedRequest> requests;
+  std::vector<std::size_t> request_entry;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (int r = 0; r < entries[i].repeat; ++r) {
+      requests.push_back(materialize(entries[i], i * 100 + std::uint64_t(r)));
+      request_entry.push_back(i);
+    }
+  }
+
+  Device lone;
+  lone.set_double_buffer(true);
+  std::vector<PoolResult> truth;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    truth.push_back(kernels::run_pool(lone, entries[request_entry[r]].op,
+                                      requests[r].inputs()));
+  }
+
+  SessionOptions opts;
+  ResilienceOptions res;
+  res.plan = FaultPlan::parse(spec, seed);
+  res.verify = res.plan.has_silent_sites();
+  res.max_retries = 4;
+  opts.resilience = res;
+  opts.watchdog_timeout_us = 50'000'000;  // exercises the watchdog thread
+
+  std::int64_t completed = 0, failed = 0;
+  SessionStats stats;
+  {
+    Session session(opts);
+    std::vector<std::future<PoolResult>> futures;
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      const TraceEntry& e = entries[request_entry[r]];
+      futures.push_back(session.submit(
+          e.op, requests[r].inputs(),
+          SubmitOptions{.deadline_us = e.deadline_us, .prio = e.prio}));
+    }
+    ASSERT_TRUE(session.drain(std::chrono::microseconds(120'000'000)));
+    for (std::size_t r = 0; r < futures.size(); ++r) {
+      // Drained: every future must already be resolved -- no hangs.
+      ASSERT_EQ(futures[r].wait_for(std::chrono::seconds(0)),
+                std::future_status::ready)
+          << "request " << r << " left unresolved";
+      try {
+        const PoolResult got = futures[r].get();
+        completed += 1;
+        EXPECT_TRUE(same_result(got, truth[r]))
+            << "request " << r << " served corrupted data";
+      } catch (const Error&) {
+        failed += 1;  // resolved with an exception: the contract holds
+      }
+    }
+    stats = session.stats();
+  }
+
+  EXPECT_EQ(completed, stats.completed);
+  EXPECT_EQ(completed + failed, static_cast<std::int64_t>(requests.size()));
+  // The accounting partition: nothing double-counted, nothing lost.
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed + stats.expired +
+                                 stats.shed + stats.rejected +
+                                 stats.cancelled);
+}
+
+TEST(ServeChaos, BitflipUbMix) { soak_one("bitflip:ub:1e-6", 11); }
+
+TEST(ServeChaos, MteDropMix) { soak_one("mte_drop:1e-3", 23); }
+
+TEST(ServeChaos, CoreFailMix) { soak_one("core_fail@3", 37); }
+
+TEST(ServeChaos, BitflipWithCoreFailMix) {
+  soak_one("bitflip:l1:1e-6,core_fail@5", 41);
+}
+
+TEST(ServeChaos, VecFaultWithLateCoreFailMix) {
+  soak_one("vec_fault:1e-5,core_fail@1@2", 53);
+}
+
+TEST(ServeChaos, TripleCompoundMix) {
+  soak_one("bitflip:ub:5e-7,mte_drop:2e-4,core_fail@7", 67);
+}
+
+}  // namespace
+}  // namespace davinci::serve

@@ -10,15 +10,26 @@
 //   --ub-waves=N         launch block cap, in waves      (default 4)
 //   --plan-cache=N       plan-cache capacity             (default 64)
 //   --no-double-buffer   single-buffered device schedule
+//   --policy=P           overload policy: block | reject | shed
+//   --deadline-us=N      default completion budget for trace lines that
+//                        carry no deadline_us= field (0 = none)
+//   --watchdog-us=N      hung-launch watchdog budget (0 = off)
+//   --inject=SPEC        fault-plan spec (sim/fault.h grammar); routes
+//                        every launch through Device::run_resilient
+//   --seed=N             fault-plan seed                 (default 1)
+//   --retries=N          per-block retry budget          (default 3)
+//   --verify             CRC-verify stores (catches silent corruption)
 //   --json=<path>        machine-readable report ({"bench","rows"}); the
 //                        per-trace-line rows carry non-gated fields, the
 //                        final "total" row carries the gated cycles sum
 //                        so `davinci_prof --diff seq.json batched.json`
-//                        gates batched-vs-sequential regressions
-//   --metrics=<path>     schema-v2 davinci.metrics JSON: one entry per
+//                        gates batched-vs-sequential regressions; the
+//                        total row also reports failed/expired/shed
+//   --metrics=<path>     schema-v3 davinci.metrics JSON: one entry per
 //                        trace line plus the session's "serve" object
 //
-// Exit codes: 0 success, 2 usage, 3 trace error, 4 request failure.
+// Exit codes: 0 success, 2 usage, 3 trace error, 4 any request failed
+// (launch failure, expired deadline, or shed by the overload policy).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -68,7 +79,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: davinci_serve <trace-file> [--sequential] "
                "[--queue=N] [--max-batch=N] [--ub-waves=N] [--plan-cache=N] "
-               "[--no-double-buffer] [--json=path] [--metrics=path]\n");
+               "[--no-double-buffer] [--policy=block|reject|shed] "
+               "[--deadline-us=N] [--watchdog-us=N] [--inject=SPEC] "
+               "[--seed=N] [--retries=N] [--verify] [--json=path] "
+               "[--metrics=path]\n");
   return 2;
 }
 
@@ -88,6 +102,34 @@ int main(int argc, char** argv) {
   opts.plan_cache_capacity = static_cast<std::size_t>(
       int_arg(argc, argv, "--plan-cache=", 64));
   opts.double_buffer = !has_flag(argc, argv, "--no-double-buffer");
+  opts.watchdog_timeout_us = int_arg(argc, argv, "--watchdog-us=", 0);
+  const std::string policy = arg_value(argc, argv, "--policy=");
+  if (policy == "reject") {
+    opts.overload = serve::OverloadPolicy::kRejectNew;
+  } else if (policy == "shed") {
+    opts.overload = serve::OverloadPolicy::kShedOldest;
+  } else if (!policy.empty() && policy != "block") {
+    std::fprintf(stderr, "davinci_serve: unknown --policy '%s'\n",
+                 policy.c_str());
+    return usage();
+  }
+  const std::string inject = arg_value(argc, argv, "--inject=");
+  if (!inject.empty() || has_flag(argc, argv, "--verify")) {
+    ResilienceOptions res;
+    try {
+      res.plan = FaultPlan::parse(
+          inject, static_cast<std::uint64_t>(
+                      int_arg(argc, argv, "--seed=", 1)));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "davinci_serve: bad --inject: %s\n", e.what());
+      return usage();
+    }
+    res.max_retries = static_cast<int>(int_arg(argc, argv, "--retries=", 3));
+    res.verify = has_flag(argc, argv, "--verify");
+    opts.resilience = res;
+  }
+  const std::int64_t default_deadline_us =
+      int_arg(argc, argv, "--deadline-us=", 0);
   const std::string json_path = arg_value(argc, argv, "--json=");
   const std::string metrics_path = arg_value(argc, argv, "--metrics=");
 
@@ -127,8 +169,13 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   try {
     for (std::size_t r = 0; r < requests.size(); ++r) {
-      lines[request_line[r]].futures.push_back(session.submit(
-          entries[request_line[r]].op, requests[r].inputs()));
+      const serve::TraceEntry& e = entries[request_line[r]];
+      serve::SubmitOptions sub;
+      sub.deadline_us =
+          e.deadline_us > 0 ? e.deadline_us : default_deadline_us;
+      sub.prio = e.prio;
+      lines[request_line[r]].futures.push_back(
+          session.submit(e.op, requests[r].inputs(), sub));
     }
     session.drain();
   } catch (const Error& e) {
@@ -141,23 +188,33 @@ int main(int argc, char** argv) {
               trace_path.c_str(), opts.batching ? "batched" : "sequential");
   std::printf("%-44s %-14s %9s %14s\n", "op", "geometry (NC1HWC0)",
               "requests", "launch-cycles");
-  bool failed = false;
+  std::int64_t failed_requests = 0, expired_requests = 0, shed_requests = 0;
   std::vector<std::int64_t> line_cycles(entries.size(), 0);
   for (LineRuns& line : lines) {
     const serve::TraceEntry& e = entries[line.entry];
     std::int64_t rep_cycles = 0;
+    bool added = false;
     for (std::size_t f = 0; f < line.futures.size(); ++f) {
       try {
         kernels::PoolResult r = line.futures[f].get();
-        if (f == 0) {
+        if (!added) {
           rep_cycles = r.cycles();
           registry.add(e.op.to_string() + " " + geom_string(e), r.run,
                        session.device().arch());
+          added = true;
         }
+      } catch (const serve::DeadlineExceeded& err) {
+        std::fprintf(stderr, "request expired (%s): %s\n",
+                     e.op.to_string().c_str(), err.what());
+        expired_requests += 1;
+      } catch (const serve::Overloaded& err) {
+        std::fprintf(stderr, "request shed (%s): %s\n",
+                     e.op.to_string().c_str(), err.what());
+        shed_requests += 1;
       } catch (const Error& err) {
         std::fprintf(stderr, "request failed (%s): %s\n",
                      e.op.to_string().c_str(), err.what());
-        failed = true;
+        failed_requests += 1;
       }
     }
     line_cycles[line.entry] = rep_cycles;
@@ -172,9 +229,26 @@ int main(int argc, char** argv) {
 
   const serve::SessionStats s = session.stats();
   std::printf("\n");
-  std::printf("requests      %lld completed, %lld failed\n",
+  std::printf("requests      %lld completed, %lld failed, %lld expired, "
+              "%lld shed/rejected\n",
               static_cast<long long>(s.completed),
-              static_cast<long long>(s.failed));
+              static_cast<long long>(s.failed),
+              static_cast<long long>(s.expired),
+              static_cast<long long>(s.shed + s.rejected));
+  if (opts.resilience.has_value()) {
+    std::printf("resilience    %lld degraded launches, %lld bisections, "
+                "%lld poisoned requests, %d cores quarantined\n",
+                static_cast<long long>(s.degraded_launches),
+                static_cast<long long>(s.bisections),
+                static_cast<long long>(s.poisoned_requests),
+                s.quarantined_cores);
+    std::printf("faults        %s\n", s.faults.summary().c_str());
+  }
+  if (opts.watchdog_timeout_us > 0) {
+    std::printf("watchdog      %lld alarms (budget %lld us)\n",
+                static_cast<long long>(s.watchdog_alarms),
+                static_cast<long long>(opts.watchdog_timeout_us));
+  }
   std::printf("launches      %lld (%lld coalesced batches, avg %.2f "
               "req/launch, max %zu)\n",
               static_cast<long long>(s.launches),
@@ -224,6 +298,9 @@ int main(int argc, char** argv) {
     j += "{\"name\":\"total\",\"requests\":" + std::to_string(s.completed) +
          ",\"cycles\":" + std::to_string(s.device_cycles_total) +
          ",\"launches\":" + std::to_string(s.launches) +
+         ",\"failed\":" + std::to_string(s.failed) +
+         ",\"expired\":" + std::to_string(s.expired) +
+         ",\"shed\":" + std::to_string(s.shed + s.rejected) +
          ",\"batched\":" + (opts.batching ? std::string("true")
                                           : std::string("false")) +
          extra + "}\n]}\n";
@@ -240,5 +317,5 @@ int main(int argc, char** argv) {
     session.add_metrics(registry);
     registry.write(metrics_path);
   }
-  return failed ? 4 : 0;
+  return (failed_requests + expired_requests + shed_requests) > 0 ? 4 : 0;
 }
