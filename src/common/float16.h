@@ -124,6 +124,22 @@ inline float f16_bits_to_f32(std::uint16_t h) {
   return float_of(sign | (exp32 << 23) | (mant << 13));
 }
 
+// Lazily-built 64K-entry half-bits -> binary32 table: one load replaces
+// the branchy software conversion inside bulk element loops (the
+// functional interpreter's vector/SCU inner loops). Entries match
+// f16_bits_to_f32 exactly by construction, so results are bit-identical
+// to the conversion path.
+inline const float* f16_to_f32_table() {
+  static const float* const table = [] {
+    float* t = new float[65536];
+    for (std::uint32_t i = 0; i < 65536; ++i) {
+      t[i] = f16_bits_to_f32(static_cast<std::uint16_t>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace detail
 
 // A 16-bit IEEE-754 half-precision float value.

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -324,11 +326,15 @@ class Parser {
         // Falls through to double for out-of-range integers.
       }
     }
-    try {
-      return Value(std::stod(tok));
-    } catch (const std::exception&) {
+    // std::from_chars, not std::stod: stod consults LC_NUMERIC, so under a
+    // comma-decimal locale it would stop at the '.' and read "1.5" as 1.0.
+    double d = 0.0;
+    const std::from_chars_result r =
+        std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (r.ec != std::errc() || r.ptr != tok.data() + tok.size()) {
       fail("unparseable number '" + tok + "'");
     }
+    return Value(d);
   }
 
   const std::string& s_;
@@ -341,6 +347,28 @@ class Parser {
 // error (including trailing garbage).
 inline Value parse(const std::string& text) {
   return detail::Parser(text).parse_document();
+}
+
+// Locale-independent number formatting. std::to_chars emits the shortest
+// decimal string that round-trips to the same double, always with '.' as
+// the decimal separator -- unlike the snprintf "%g" family, which
+// consults LC_NUMERIC and writes ',' under e.g. de_DE, producing invalid
+// JSON. Every float the repo serializes (metrics, bench reports, fault
+// specs) must go through here. Non-finite values, which RFC 8259 cannot
+// represent, serialize as null.
+inline std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  DV_CHECK(r.ec == std::errc()) << "json: number buffer too small";
+  return std::string(buf, r.ptr);
+}
+
+inline std::string number(std::int64_t v) {
+  char buf[24];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  DV_CHECK(r.ec == std::errc()) << "json: number buffer too small";
+  return std::string(buf, r.ptr);
 }
 
 // Serializes a string with the escapes parse() understands.

@@ -47,15 +47,21 @@ PoolResult avgpool_bwd_impl(Device& dev, const TensorF16& grad,
                             const Window2d& w, std::int64_t ih,
                             std::int64_t iw, MergeImpl merge,
                             const akg::PoolPlan* plan_in) {
-  w.validate();
-  DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
-  const std::int64_t n = grad.shape()[0], c1 = grad.shape()[1];
+  // Warm lane: a non-null plan means the descriptor/geometry was
+  // validated at plan construction (see pooling_forward_impl).
+  const std::int64_t t_v0 = detail::host_now_ns();
   const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
-  DV_CHECK_EQ(grad.shape()[2], oh);
-  DV_CHECK_EQ(grad.shape()[3], ow);
+  if (plan_in == nullptr) {
+    w.validate();
+    DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
+    DV_CHECK_EQ(grad.shape()[2], oh);
+    DV_CHECK_EQ(grad.shape()[3], ow);
+  }
+  const std::int64_t n = grad.shape()[0], c1 = grad.shape()[1];
   const Float16 inv(1.0f / static_cast<float>(w.kh * w.kw));
 
   const bool db = dev.double_buffer();
+  const std::int64_t t_p0 = detail::host_now_ns();
   const akg::PoolPlan plan =
       plan_in != nullptr ? *plan_in : akg::plan_bwd(dev.arch(), w, ih, iw, db);
   DV_CHECK_GE(plan.oh_tile, 1) << "invalid precomputed plan";
@@ -67,7 +73,16 @@ PoolResult avgpool_bwd_impl(Device& dev, const TensorF16& grad,
   const std::int64_t tp_max = plan.oh_tile * ow;
   const std::int64_t pp_max = round_up(tp_max, kFractalRows);
 
-  TensorF16 grad_in(Shape{n, c1, ih, iw, kC0});
+  const std::int64_t t_a0 = detail::host_now_ns();
+  // Uninitialized only when the tile stores cover every input row (see
+  // maxpool_bwd_impl): with Sh > Kh or a trailing remainder, uncovered
+  // rows must read as the zero gradient.
+  const bool full_cover =
+      w.kh >= w.sh && (oh - 1) * w.sh + w.kh - w.pt >= ih;
+  TensorF16 grad_in =
+      full_cover ? detail::make_output(dev, Shape{n, c1, ih, iw, kC0})
+                 : TensorF16(Shape{n, c1, ih, iw, kC0});
+  const std::int64_t t_a1 = detail::host_now_ns();
 
   auto run = dev.run(n * c1, [&](AiCore& core, std::int64_t b) {
     const std::int64_t q = b % c1;
@@ -199,6 +214,8 @@ PoolResult avgpool_bwd_impl(Device& dev, const TensorF16& grad,
       }
     }
   });
+
+  detail::add_host_overhead(run, t_p0 - t_v0, t_a0 - t_p0, t_a1 - t_a0);
 
   PoolResult res;
   res.grad_in = std::move(grad_in);

@@ -1,14 +1,48 @@
 // Shared helpers for kernel programs (internal to src/kernels).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "common/check.h"
 #include "sim/ai_core.h"
+#include "sim/device.h"
 #include "tensor/fractal.h"
 #include "tensor/tensor.h"
 
 namespace davinci::kernels::detail {
+
+// Host wall clock for the driver-phase attribution buckets.
+inline std::int64_t host_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Folds the driver's validate/plan/alloc phase times into the run result.
+// Device::run filled host_execute_ns (== its host_ns); afterwards host_ns
+// stays the exact sum of the four buckets -- the invariant metrics schema
+// v4 serializes and tests assert.
+inline void add_host_overhead(Device::RunResult& run,
+                              std::int64_t validate_ns, std::int64_t plan_ns,
+                              std::int64_t alloc_ns) {
+  run.host_validate_ns += validate_ns;
+  run.host_plan_ns += plan_ns;
+  run.host_alloc_ns += alloc_ns;
+  run.host_ns += validate_ns + plan_ns + alloc_ns;
+}
+
+// Output-tensor construction: every kernel overwrites every element of
+// the outputs it produces, so storage can start uninitialized (arena
+// reuse without the zero-fill) -- except under a resilience policy,
+// where a truncated (mte_drop) store can leave part of a block's output
+// region unwritten; the zero-filled construction keeps those bytes
+// deterministic for the verification layer, bit-identical to the
+// pre-arena behavior.
+inline TensorF16 make_output(Device& dev, Shape shape) {
+  return dev.resilience().has_value() ? TensorF16(shape)
+                                      : TensorF16(shape, kUninitialized);
+}
 
 // Runs `body` as one pipelined stage on `pipe` when `on`, plain (serial
 // timeline, no stage) when not. Returns the stage's completion event --

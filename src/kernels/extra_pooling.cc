@@ -13,6 +13,7 @@ using detail::gm_view;
 }  // namespace
 
 PoolResult global_avgpool_impl(Device& dev, const TensorF16& in) {
+  const std::int64_t t_v0 = detail::host_now_ns();
   DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
   DV_CHECK_EQ(in.shape()[4], kC0);
   const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
@@ -22,6 +23,7 @@ PoolResult global_avgpool_impl(Device& dev, const TensorF16& in) {
 
   // Row tiling against the Unified Buffer (input tile + the 128-lane
   // accumulator).
+  const std::int64_t t_p0 = detail::host_now_ns();
   const std::int64_t row_elems = iw * kC0;
   std::int64_t rows_per_tile =
       (dev.arch().ub_bytes - 1024) / (row_elems * 2);
@@ -29,7 +31,10 @@ PoolResult global_avgpool_impl(Device& dev, const TensorF16& in) {
   if (rows_per_tile > ih) rows_per_tile = ih;
   const std::int64_t num_tiles = ceil_div(ih, rows_per_tile);
 
-  TensorF16 out(Shape{n, c1, std::int64_t{1}, std::int64_t{1}, kC0});
+  const std::int64_t t_a0 = detail::host_now_ns();
+  TensorF16 out = detail::make_output(
+      dev, Shape{n, c1, std::int64_t{1}, std::int64_t{1}, kC0});
+  const std::int64_t t_a1 = detail::host_now_ns();
 
   auto run = dev.run(n * c1, [&](AiCore& core, std::int64_t b) {
     // The accumulator lives across tile iterations; the tile buffer is
@@ -94,6 +99,8 @@ PoolResult global_avgpool_impl(Device& dev, const TensorF16& in) {
     core.pipe_barrier();
     core.mte().copy(gm_view(out).sub(b * kC0, kC0), acc, kC0);
   });
+
+  detail::add_host_overhead(run, t_p0 - t_v0, t_a0 - t_p0, t_a1 - t_a0);
 
   PoolResult res;
   res.out = std::move(out);

@@ -64,19 +64,25 @@ PoolResult maxpool_bwd_impl(Device& dev, const TensorF16& mask,
                             const TensorF16& grad, const Window2d& w,
                             std::int64_t ih, std::int64_t iw, MergeImpl merge,
                             const akg::PoolPlan* plan_in) {
-  w.validate();
-  DV_CHECK_EQ(mask.shape().rank(), 6) << "mask is (N,C1,Kh,Kw,PP,C0)";
-  DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
-  const std::int64_t n = mask.shape()[0], c1 = mask.shape()[1];
-  DV_CHECK_EQ(mask.shape()[2], w.kh);
-  DV_CHECK_EQ(mask.shape()[3], w.kw);
+  // Warm lane: a non-null plan means the descriptor/geometry was
+  // validated at plan construction (see pooling_forward_impl).
+  const std::int64_t t_v0 = detail::host_now_ns();
   const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
-  DV_CHECK_EQ(grad.shape()[2], oh);
-  DV_CHECK_EQ(grad.shape()[3], ow);
   const std::int64_t ppg = round_up(oh * ow, kFractalRows);
-  DV_CHECK_EQ(mask.shape()[4], ppg);
+  if (plan_in == nullptr) {
+    w.validate();
+    DV_CHECK_EQ(mask.shape().rank(), 6) << "mask is (N,C1,Kh,Kw,PP,C0)";
+    DV_CHECK_EQ(grad.shape().rank(), 5) << "grad is (N,C1,Oh,Ow,C0)";
+    DV_CHECK_EQ(mask.shape()[2], w.kh);
+    DV_CHECK_EQ(mask.shape()[3], w.kw);
+    DV_CHECK_EQ(grad.shape()[2], oh);
+    DV_CHECK_EQ(grad.shape()[3], ow);
+    DV_CHECK_EQ(mask.shape()[4], ppg);
+  }
+  const std::int64_t n = mask.shape()[0], c1 = mask.shape()[1];
 
   const bool db = dev.double_buffer();
+  const std::int64_t t_p0 = detail::host_now_ns();
   const akg::PoolPlan plan =
       plan_in != nullptr ? *plan_in : akg::plan_bwd(dev.arch(), w, ih, iw, db);
   DV_CHECK_GE(plan.oh_tile, 1) << "invalid precomputed plan";
@@ -88,7 +94,16 @@ PoolResult maxpool_bwd_impl(Device& dev, const TensorF16& mask,
   const std::int64_t tp_max = plan.oh_tile * ow;
   const std::int64_t pp_max = round_up(tp_max, kFractalRows);
 
-  TensorF16 grad_in(Shape{n, c1, ih, iw, kC0});
+  const std::int64_t t_a0 = detail::host_now_ns();
+  // Uninitialized only when the tile stores cover every input row: with
+  // Sh > Kh (inter-tile gaps) or a trailing remainder (windows that stop
+  // short of Ih), uncovered rows must read as the zero gradient.
+  const bool full_cover =
+      w.kh >= w.sh && (oh - 1) * w.sh + w.kh - w.pt >= ih;
+  TensorF16 grad_in =
+      full_cover ? detail::make_output(dev, Shape{n, c1, ih, iw, kC0})
+                 : TensorF16(Shape{n, c1, ih, iw, kC0});
+  const std::int64_t t_a1 = detail::host_now_ns();
 
   auto run = dev.run(n * c1, [&](AiCore& core, std::int64_t b) {
     const std::int64_t q = b % c1;
@@ -230,6 +245,8 @@ PoolResult maxpool_bwd_impl(Device& dev, const TensorF16& mask,
       }
     }
   });
+
+  detail::add_host_overhead(run, t_p0 - t_v0, t_a0 - t_p0, t_a1 - t_a0);
 
   PoolResult res;
   res.grad_in = std::move(grad_in);

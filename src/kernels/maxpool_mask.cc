@@ -30,27 +30,38 @@ using detail::gm_view;
 PoolResult maxpool_mask_fwd_impl(Device& dev, const TensorF16& in,
                                  const Window2d& w, akg::PoolImpl impl,
                                  const akg::PoolPlan* plan_in) {
-  DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
-  DV_CHECK_EQ(in.shape()[4], kC0);
-  w.validate();
-  DV_CHECK(impl == PoolImpl::kDirect || impl == PoolImpl::kIm2col)
-      << "mask-producing forward supports kDirect and kIm2col";
-  if (impl == PoolImpl::kDirect) {
-    DV_CHECK(!w.has_padding()) << "direct kernel requires no padding";
+  // Warm lane: a non-null plan means the descriptor/geometry was
+  // validated at plan construction (see pooling_forward_impl).
+  const std::int64_t t_v0 = detail::host_now_ns();
+  if (plan_in == nullptr) {
+    DV_CHECK_EQ(in.shape().rank(), 5) << "expected NC1HWC0";
+    DV_CHECK_EQ(in.shape()[4], kC0);
+    w.validate();
+    DV_CHECK(impl == PoolImpl::kDirect || impl == PoolImpl::kIm2col)
+        << "mask-producing forward supports kDirect and kIm2col";
+    if (impl == PoolImpl::kDirect) {
+      DV_CHECK(!w.has_padding()) << "direct kernel requires no padding";
+    }
   }
   const std::int64_t n = in.shape()[0], c1 = in.shape()[1];
   const std::int64_t ih = in.shape()[2], iw = in.shape()[3];
   const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
   const std::int64_t ppg = round_up(oh * ow, kFractalRows);
 
+  const std::int64_t t_p0 = detail::host_now_ns();
   const akg::PoolPlan plan =
       plan_in != nullptr
           ? *plan_in
           : akg::plan_fwd(impl, dev.arch(), w, ih, iw, /*with_mask=*/true);
   DV_CHECK_GE(plan.oh_tile, 1) << "invalid precomputed plan";
 
-  TensorF16 out(Shape{n, c1, oh, ow, kC0});
+  const std::int64_t t_a0 = detail::host_now_ns();
+  TensorF16 out = detail::make_output(dev, Shape{n, c1, oh, ow, kC0});
+  // The mask keeps zero-filled construction: its fractal padding rows
+  // (ppg - oh*ow per plane) are never stored by the kernel, yet they are
+  // compared by result-equality checks and read by the backward pass.
   TensorF16 mask(Shape{n, c1, w.kh, w.kw, ppg, kC0});
+  const std::int64_t t_a1 = detail::host_now_ns();
 
   // One block per (N, C1) slice; H-tiles run sequentially on the core.
   auto run = dev.run(n * c1, [&](AiCore& core, std::int64_t b) {
@@ -168,6 +179,8 @@ PoolResult maxpool_mask_fwd_impl(Device& dev, const TensorF16& in,
       }
     }
   });
+
+  detail::add_host_overhead(run, t_p0 - t_v0, t_a0 - t_p0, t_a1 - t_a0);
 
   PoolResult res;
   res.out = std::move(out);

@@ -28,7 +28,9 @@ void stack(TensorF16* dst, const Shape& per_image,
   for (const TensorF16* s : srcs) total_n += s->shape()[0];
   Shape stacked = per_image;
   stacked.set_dim(0, total_n);
-  *dst = TensorF16(stacked);
+  // Every element is memcpy'd below, so the staging tensor can skip the
+  // zero-fill (arena reuse without a memset).
+  *dst = TensorF16(stacked, kUninitialized);
   const std::int64_t stride = per_image.stride(0);
   std::int64_t off = 0;
   for (const TensorF16* s : srcs) {
@@ -45,7 +47,7 @@ TensorF16 slice_n(const TensorF16& src, std::int64_t n0, std::int64_t n) {
   Shape dims = src.shape();
   dims.set_dim(0, n);
   const std::int64_t stride = src.shape().stride(0);
-  TensorF16 out{dims};
+  TensorF16 out{dims, kUninitialized};  // fully overwritten just below
   std::memcpy(out.data(), src.data() + n0 * stride,
               static_cast<std::size_t>(n * stride) * sizeof(Float16));
   return out;

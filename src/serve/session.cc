@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
+#include "common/json.h"
+#include "tensor/arena.h"
 
 namespace davinci::serve {
 
@@ -21,7 +22,11 @@ double us_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
 }
 
-double percentile(std::vector<double> sorted, double q) {
+// Both take the samples by const-ref: the latency sample set grows with
+// every completed request, and the old by-value signatures copied it four
+// times per stats() snapshot (once into summarize, once into each of the
+// three percentile calls). `sorted` must already be in ascending order.
+double percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
@@ -30,7 +35,10 @@ double percentile(std::vector<double> sorted, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-LatencySummary summarize(std::vector<double> samples) {
+// Sorts the sample set in place (the caller holds the session mutex and
+// only ever appends to it, so reordering is harmless): one sort, zero
+// copies.
+LatencySummary summarize(std::vector<double>& samples) {
   LatencySummary s;
   s.count = static_cast<std::int64_t>(samples.size());
   if (samples.empty()) return s;
@@ -45,13 +53,9 @@ LatencySummary summarize(std::vector<double> samples) {
   return s;
 }
 
-std::string num(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
+std::string num(double v) { return json::number(v); }
 
-std::string num(std::int64_t v) { return std::to_string(v); }
+std::string num(std::int64_t v) { return json::number(v); }
 
 std::string latency_json(const LatencySummary& l) {
   return "{\"count\":" + num(l.count) + ",\"mean\":" + num(l.mean) +

@@ -273,10 +273,13 @@ class Session {
   std::int64_t alarmed_seq_ = 0;
   std::chrono::steady_clock::time_point launch_start_{};
 
-  // Stats, guarded by mu_.
+  // Stats, guarded by mu_. The sample vectors are mutable because
+  // stats() (const) summarizes them with an in-place sort -- order is
+  // irrelevant to their only other use (appending), and sorting in place
+  // avoids copying the ever-growing sample set on every scrape.
   SessionStats stats_;
-  std::vector<double> latency_us_;
-  std::vector<double> queue_wait_us_;
+  mutable std::vector<double> latency_us_;
+  mutable std::vector<double> queue_wait_us_;
   std::int64_t batch_members_total_ = 0;
 
   std::thread worker_;

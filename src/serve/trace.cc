@@ -185,19 +185,22 @@ MaterializedRequest materialize(const TraceEntry& e, std::uint64_t seed) {
   const Window2d& w = e.op.window;
   if (kernels::is_backward(e.op.kind)) {
     const std::int64_t oh = w.out_h(e.ih), ow = w.out_w(e.iw);
-    r.grad = TensorF16(Shape{e.n, e.c1, oh, ow, kC0});
+    // Every element is overwritten by fill_random_ints, so the tensors can
+    // skip the zero-fill (arena reuse without a memset).
+    r.grad = TensorF16(Shape{e.n, e.c1, oh, ow, kC0}, kUninitialized);
     r.grad.fill_random_ints(seed * 2 + 1, 0, 4);
     r.ih = e.ih;
     r.iw = e.iw;
     if (e.op.kind == kernels::PoolOpKind::kMaxBwd) {
       const std::int64_t ppg = round_up(oh * ow, kFractalRows);
-      r.mask = TensorF16(Shape{e.n, e.c1, w.kh, w.kw, ppg, kC0});
+      r.mask = TensorF16(Shape{e.n, e.c1, w.kh, w.kw, ppg, kC0},
+                         kUninitialized);
       // A plausible 0/1 mask; the backward kernels read it as data, so
       // random bits exercise the same instruction stream as a real one.
       r.mask.fill_random_ints(seed * 2 + 2, 0, 1);
     }
   } else {
-    r.in = TensorF16(Shape{e.n, e.c1, e.ih, e.iw, kC0});
+    r.in = TensorF16(Shape{e.n, e.c1, e.ih, e.iw, kC0}, kUninitialized);
     r.in.fill_random_ints(seed * 2 + 1);
   }
   return r;

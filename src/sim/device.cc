@@ -130,6 +130,7 @@ Device::RunResult Device::run(
 
   RunResult result = collect_result(cores_used);
   result.host_ns = now_ns() - t0;
+  result.host_execute_ns = result.host_ns;
   return result;
 }
 
@@ -425,6 +426,7 @@ Device::RunResult Device::run_resilient(
   RunResult result = collect_result(cores_used);
   result.faults = total;
   result.host_ns = now_ns() - t0;
+  result.host_execute_ns = result.host_ns;
   return result;
 }
 

@@ -90,7 +90,19 @@ class Device {
     std::int64_t busiest_unit_cycles = 0;  // max over used cores of the
                                            // busiest single unit's busy
                                            // time (sandwich lower bound)
-    std::int64_t host_ns = 0;             // host wall-clock of the run
+    // Host wall-clock of the whole launch, split into attribution
+    // buckets. Device::run fills host_execute_ns (the simulation itself);
+    // the kernel drivers (kernels/) add what they spend around it --
+    // tensor allocation, tiling-plan computation, descriptor/shape
+    // validation -- and keep host_ns the exact bucket sum. Invariant
+    // (asserted by tests, serialized in metrics schema v4):
+    //   host_alloc_ns + host_plan_ns + host_validate_ns +
+    //   host_execute_ns == host_ns.
+    std::int64_t host_ns = 0;
+    std::int64_t host_alloc_ns = 0;     // output-tensor construction
+    std::int64_t host_plan_ns = 0;      // akg::plan_fwd / plan_bwd
+    std::int64_t host_validate_ns = 0;  // descriptor/shape checks
+    std::int64_t host_execute_ns = 0;   // inside Device::run[_resilient]
     CycleStats aggregate;                 // sum over used cores
     Profile profile;                      // occupancy, merged over used cores
     std::vector<std::int64_t> core_cycles;  // per-core overlapped makespan

@@ -1,8 +1,11 @@
 #include "sim/fault.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/json.h"
 
 namespace davinci {
 
@@ -38,9 +41,13 @@ bool FaultPlan::has_silent_sites() const {
 namespace {
 
 double parse_rate(const std::string& item, const std::string& text) {
-  char* end = nullptr;
-  const double r = std::strtod(text.c_str(), &end);
-  DV_CHECK(end != nullptr && *end == '\0' && end != text.c_str())
+  // std::from_chars, not strtod: the spec grammar uses '.' decimals, and
+  // strtod would reject them under a comma-decimal locale -- breaking the
+  // to_string() round trip exactly where the formatter fix made it safe.
+  double r = 0.0;
+  const std::from_chars_result res =
+      std::from_chars(text.data(), text.data() + text.size(), r);
+  DV_CHECK(res.ec == std::errc() && res.ptr == text.data() + text.size())
       << "bad fault rate '" << text << "' in spec item '" << item << "'";
   DV_CHECK(r >= 0.0) << "negative fault rate in spec item '" << item << "'";
   return r;
@@ -124,12 +131,12 @@ std::string FaultPlan::to_string() const {
   }
   for (int i = 0; i < kNumFaultSites; ++i) {
     if (rate[i] > 0.0) {
-      // %g, not std::to_string: fixed-point %f would print rates below
-      // 5e-7 as "0.000000" and break the parse round trip.
-      char r[32];
-      std::snprintf(r, sizeof(r), "%g", rate[i]);
+      // json::number, not std::to_string: fixed-point would print rates
+      // below 5e-7 as "0.000000" and break the parse round trip. Unlike
+      // the snprintf("%g") it replaces, the shortest-round-trip form is
+      // also exact and locale-independent (no ',' decimal separator).
       append(std::string(davinci::to_string(static_cast<FaultSite>(i))) +
-             ":" + r);
+             ":" + json::number(rate[i]));
     }
   }
   return s.empty() ? "<empty>" : s;

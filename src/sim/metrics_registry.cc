@@ -11,13 +11,11 @@ namespace davinci {
 
 namespace {
 
-std::string num(std::int64_t v) { return std::to_string(v); }
+// Locale-independent by construction; the old snprintf("%.9g") wrote ','
+// decimals under comma-decimal locales, breaking the JSON.
+std::string num(std::int64_t v) { return json::number(v); }
 
-std::string num(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
+std::string num(double v) { return json::number(v); }
 
 const char* kind_name(CritSegment::Kind k) {
   return k == CritSegment::Kind::kBusy ? "busy" : "stall";
@@ -136,6 +134,12 @@ std::string MetricsRegistry::to_json() const {
     s += ",\"busiest_unit_cycles\":" + num(e.run.busiest_unit_cycles);
     s += ",\"pipelined_bound\":" + num(e.run.device_cycles_pipelined);
     s += ",\"host_ns\":" + num(e.run.host_ns);
+    // Schema v4: where the host time went. Invariant:
+    // alloc + plan + validate + execute == host_ns.
+    s += ",\"host_alloc_ns\":" + num(e.run.host_alloc_ns);
+    s += ",\"host_plan_ns\":" + num(e.run.host_plan_ns);
+    s += ",\"host_validate_ns\":" + num(e.run.host_validate_ns);
+    s += ",\"host_execute_ns\":" + num(e.run.host_execute_ns);
     s += ",\"cores_used\":" + num(static_cast<std::int64_t>(e.run.cores_used));
     s += ",\"traffic\":" + traffic_json(e.run.aggregate.traffic);
     s += ",\"roofline\":" + roofline_json(roof);

@@ -5,7 +5,7 @@
 // pipeline layer), derives the roofline from each run's aggregate
 // counters, and serializes everything under a schema marker:
 //
-//   { "schema": "davinci.metrics", "schema_version": 3, "entries": [
+//   { "schema": "davinci.metrics", "schema_version": 4, "entries": [
 //       { "name": ..., "cycles": ..., "cycles_serial": ...,
 //         "traffic": { per-route bytes }, "roofline": { ... },
 //         "attribution": { "horizon", "critical_core", "cores": [
@@ -21,8 +21,11 @@
 // request counters, "overload_policy", "watchdog_alarms" and a nested
 // "resilience" object (degraded_launches, bisections, poisoned_requests,
 // launch_failures, quarantined_cores and the summed FaultStats).
-// Version-1/2 documents are still accepted by all in-tree consumers;
-// they simply lack those keys.
+// Version 4 splits each entry's "host_ns" into the attribution buckets
+// "host_alloc_ns" / "host_plan_ns" / "host_validate_ns" /
+// "host_execute_ns" (invariant: they sum to host_ns; see
+// Device::RunResult). Version-1/2/3 documents are still accepted by all
+// in-tree consumers; they simply lack those keys.
 //
 // Consumers (tools/davinci_prof.cc, CI) key on schema/schema_version;
 // any breaking field change must bump kSchemaVersion. The critical path
@@ -42,7 +45,7 @@ namespace davinci {
 
 class MetricsRegistry {
  public:
-  static constexpr int kSchemaVersion = 3;
+  static constexpr int kSchemaVersion = 4;
   // Critical-path segments serialized verbatim before head-truncation.
   static constexpr std::size_t kMaxPathSegments = 1024;
 

@@ -5,6 +5,7 @@
 // what makes halo reloads and scattered stores visible in the cycle counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 
@@ -39,7 +40,9 @@ class Mte {
     DV_CHECK_LE(count, src.size());
     DV_CHECK_LE(count, dst.size());
     const std::int64_t moved = fault_ ? fault_->admit_transfer(count) : count;
-    for (std::int64_t i = 0; i < moved; ++i) dst.at(i) = src.at(i);
+    // moved <= count <= both span sizes, so the bulk move is in bounds.
+    std::memcpy(dst.data(), src.data(),
+                static_cast<std::size_t>(moved) * sizeof(T));
     if (fault_) {
       fault_->on_landing(dst.kind(), reinterpret_cast<std::byte*>(dst.data()),
                          moved * static_cast<std::int64_t>(sizeof(T)));
@@ -71,11 +74,29 @@ class Mte {
     DV_CHECK_GE(row_elems, 0);
     const std::int64_t total = rows * row_elems;
     const std::int64_t moved = fault_ ? fault_->admit_transfer(total) : total;
-    std::int64_t copied = 0;
-    for (std::int64_t r = 0; r < rows && copied < moved; ++r) {
-      for (std::int64_t i = 0; i < row_elems && copied < moved; ++i) {
-        dst.at(r * dst_stride + i) = src.at(r * src_stride + i);
-        ++copied;
+    if (moved > 0) {
+      // One bounds check over the touched strided extent (exactly what the
+      // per-element at() accesses enforced), then burst-wise memmove
+      // (operands may overlap within one buffer).
+      DV_CHECK_GE(dst_stride, 0);
+      DV_CHECK_GE(src_stride, 0);
+      const std::int64_t last = (moved - 1) / row_elems;
+      const std::int64_t tail = moved - last * row_elems;
+      std::int64_t dneed = last * dst_stride + tail;
+      std::int64_t sneed = last * src_stride + tail;
+      if (last >= 1) {
+        dneed = std::max(dneed, (last - 1) * dst_stride + row_elems);
+        sneed = std::max(sneed, (last - 1) * src_stride + row_elems);
+      }
+      DV_CHECK_LE(dneed, dst.size());
+      DV_CHECK_LE(sneed, src.size());
+      std::int64_t copied = 0;
+      for (std::int64_t r = 0; r <= last; ++r) {
+        const std::int64_t burst =
+            std::min<std::int64_t>(row_elems, moved - copied);
+        std::memmove(dst.data() + r * dst_stride, src.data() + r * src_stride,
+                     static_cast<std::size_t>(burst) * sizeof(T));
+        copied += burst;
       }
     }
     if (fault_) {

@@ -1,5 +1,7 @@
 #include "sim/scu.h"
 
+#include <cstring>
+
 namespace davinci {
 
 namespace {
@@ -57,26 +59,43 @@ void Scu::im2col_load(Span<Float16> dst, Span<Float16> src,
 
   // Functional semantics: for each kernel-relative position (xk, yk) the
   // instruction walks 16 consecutive patches per fractal, loading the
-  // (xk, yk) element of each patch together with its whole C0 row.
+  // (xk, yk) element of each patch together with its whole C0 row. The
+  // size checks above bound every access, so the loop runs on raw
+  // pointers and moves each C0 row as one 32-byte block.
+  Float16* const d = dst.data();
+  const Float16* const s = src.data();
+  constexpr std::size_t kRowBytes = kC0 * sizeof(Float16);
+  const std::int64_t ow = coords.ow;
+  const std::int64_t oh = patches / ow;
   for (std::int64_t xk = 0; xk < w.kh; ++xk) {
     for (std::int64_t yk = 0; yk < w.kw; ++yk) {
       const std::int64_t plane = (xk * w.kw + yk) * padded * kC0;
-      for (std::int64_t p = 0; p < padded; ++p) {
-        const std::int64_t dbase = plane + p * kC0;
-        if (p >= patches) {  // tail rows of the last fractal
-          for (std::int64_t c = 0; c < kC0; ++c) dst.at(dbase + c) = Float16();
+      Float16* drow = d + plane;
+      // Patches walk row-major: patch oy*Ow + ox reads input position
+      // (oy*Sh + xk - pt, ox*Sw + yk - pl) -- iterate the output grid
+      // directly so the source coordinates advance incrementally.
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t y = oy * w.sh + xk - w.pt;
+        if (y < 0 || y >= args.ih) {
+          // Whole row falls in the zero-padding border.
+          std::memset(drow, 0, static_cast<std::size_t>(ow) * kRowBytes);
+          drow += ow * kC0;
           continue;
         }
-        std::int64_t y, x;
-        if (!coords.source(p, xk, yk, &y, &x)) {
-          // Zero padding applied during the load.
-          for (std::int64_t c = 0; c < kC0; ++c) dst.at(dbase + c) = Float16();
-          continue;
+        const Float16* const srow = s + y * args.iw * kC0;
+        std::int64_t x = yk - w.pl;
+        for (std::int64_t ox = 0; ox < ow; ++ox, x += w.sw, drow += kC0) {
+          if (x < 0 || x >= args.iw) {
+            std::memset(drow, 0, kRowBytes);
+          } else {
+            std::memcpy(drow, srow + x * kC0, kRowBytes);
+          }
         }
-        const std::int64_t sbase = (y * args.iw + x) * kC0;
-        for (std::int64_t c = 0; c < kC0; ++c) {
-          dst.at(dbase + c) = src.at(sbase + c);
-        }
+      }
+      // Tail rows of the last fractal.
+      if (padded > patches) {
+        std::memset(d + plane + patches * kC0, 0,
+                    static_cast<std::size_t>(padded - patches) * kRowBytes);
       }
     }
   }
@@ -132,6 +151,11 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
 
   // Mode 0 (Figure 5): for each group of 16 consecutive patches, emit one
   // fractal per kernel-relative position, concatenated side by side.
+  // Bounds are established by the size checks above; the loop moves each
+  // C0 row as one 32-byte block on raw pointers.
+  Float16* const d = dst.data();
+  const Float16* const s = src.data();
+  constexpr std::size_t kRowBytes = kC0 * sizeof(Float16);
   for (std::int64_t g = 0; g < groups; ++g) {
     for (std::int64_t xk = 0; xk < w.kh; ++xk) {
       for (std::int64_t yk = 0; yk < w.kw; ++yk) {
@@ -139,19 +163,13 @@ void Scu::im2col_load_mode0(Span<Float16> dst, Span<Float16> src,
             (g * kk + xk * w.kw + yk) * kFractalElems;
         for (std::int64_t r = 0; r < kFractalRows; ++r) {
           const std::int64_t p = g * kFractalRows + r;
-          const std::int64_t dbase = fbase + r * kC0;
-          if (p >= patches) {
-            for (std::int64_t c = 0; c < kC0; ++c) {
-              dst.at(dbase + c) = Float16();
-            }
+          Float16* const drow = d + fbase + r * kC0;
+          std::int64_t y, x;
+          if (p >= patches || !coords.source(p, xk, yk, &y, &x)) {
+            std::memset(drow, 0, kRowBytes);
             continue;
           }
-          std::int64_t y, x;
-          const bool inside = coords.source(p, xk, yk, &y, &x);
-          for (std::int64_t c = 0; c < kC0; ++c) {
-            dst.at(dbase + c) =
-                inside ? src.at((y * args.iw + x) * kC0 + c) : Float16();
-          }
+          std::memcpy(drow, s + (y * args.iw + x) * kC0, kRowBytes);
         }
       }
     }
@@ -202,19 +220,33 @@ void Scu::col2im(Span<Float16> out, Span<Float16> src, const Im2colArgs& args) {
   // Functional semantics (Figure 6): for each fractal, load the 16 target
   // positions from `out`, add the input fractal, store back. Overlapping
   // patches accumulate because execution is sequential; every add rounds
-  // to fp16 like the hardware's 16-bit vector adder.
+  // to fp16 like the hardware's 16-bit vector adder. The raw-pointer loop
+  // keeps that exact per-element accumulation order (it is load-bearing
+  // for bit-identity); only the per-access bounds checks are hoisted into
+  // the size checks above.
+  Float16* const o = out.data();
+  const Float16* const s = src.data();
+  const float* const cvt = detail::f16_to_f32_table();
+  const std::int64_t ow = coords.ow;
+  const std::int64_t oh = patches / ow;
   for (std::int64_t xk = 0; xk < w.kh; ++xk) {
     for (std::int64_t yk = 0; yk < w.kw; ++yk) {
       const std::int64_t plane = (xk * w.kw + yk) * padded * kC0;
-      for (std::int64_t p = 0; p < patches; ++p) {
-        std::int64_t y, x;
-        if (!coords.source(p, xk, yk, &y, &x)) {
-          continue;  // gradient into the zero-padding border is dropped
+      const Float16* srow = s + plane;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t y = oy * w.sh + xk - w.pt;
+        if (y < 0 || y >= args.ih) {
+          srow += ow * kC0;  // gradient into the padding border is dropped
+          continue;
         }
-        const std::int64_t obase = (y * args.iw + x) * kC0;
-        const std::int64_t sbase = plane + p * kC0;
-        for (std::int64_t c = 0; c < kC0; ++c) {
-          out.at(obase + c) = out.at(obase + c) + src.at(sbase + c);
+        Float16* const obase = o + y * args.iw * kC0;
+        std::int64_t x = yk - w.pl;
+        for (std::int64_t ox = 0; ox < ow; ++ox, x += w.sw, srow += kC0) {
+          if (x < 0 || x >= args.iw) continue;
+          Float16* const orow = obase + x * kC0;
+          for (std::int64_t c = 0; c < kC0; ++c) {
+            orow[c] = Float16(cvt[orow[c].bits()] + cvt[srow[c].bits()]);
+          }
         }
       }
     }

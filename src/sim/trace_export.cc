@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "sim/device.h"
 
 namespace davinci {
@@ -112,13 +113,13 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
       append_escaped(&out, e.detail);
       out += "\",\"cycles\":" + std::to_string(e.cycles);
       if (e.slots_capacity > 0) {
-        char occ[32];
-        std::snprintf(occ, sizeof(occ), "%.4f",
-                      static_cast<double>(e.slots_used) /
-                          static_cast<double>(e.slots_capacity));
+        // json::number keeps the decimal separator '.' regardless of
+        // LC_NUMERIC (snprintf "%f" would not).
         out += ",\"slots_used\":" + std::to_string(e.slots_used) +
                ",\"slots_capacity\":" + std::to_string(e.slots_capacity) +
-               ",\"occupancy\":" + occ;
+               ",\"occupancy\":" +
+               json::number(static_cast<double>(e.slots_used) /
+                            static_cast<double>(e.slots_capacity));
       }
       out += "}},\n";
 
@@ -127,12 +128,10 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
         // to zero when the Vector Unit goes idle.
         const double lanes = 128.0 * static_cast<double>(e.slots_used) /
                              static_cast<double>(e.slots_capacity);
-        char val[32];
-        std::snprintf(val, sizeof(val), "%.1f", lanes);
         out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
                ",\"ts\":" + std::to_string(ev_ts) +
-               ",\"name\":\"vec active lanes\",\"args\":{\"lanes\":" + val +
-               "}},\n";
+               ",\"name\":\"vec active lanes\",\"args\":{\"lanes\":" +
+               json::number(lanes) + "}},\n";
         out += "{\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
                ",\"ts\":" + std::to_string(ev_ts + e.cycles) +
                ",\"name\":\"vec active lanes\",\"args\":{\"lanes\":0}},\n";

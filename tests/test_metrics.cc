@@ -218,5 +218,32 @@ TEST(MetricsJson, RoundTripsWithInvariantsIntact) {
   }
 }
 
+// Schema v4 host-phase buckets: every kernel driver stamps where its host
+// time went, and the four buckets partition host_ns exactly -- both on
+// the RunResult itself and in the serialized metrics entry.
+TEST(MetricsJson, HostPhaseBucketsPartitionHostNs) {
+  Device dev;
+  const TensorF16 in = inception_input();
+  const Window2d w = Window2d::pool(3, 2);
+  auto r = kernels::maxpool_forward(dev, in, w, akg::PoolImpl::kIm2col);
+
+  EXPECT_GE(r.run.host_alloc_ns, 0);
+  EXPECT_GE(r.run.host_plan_ns, 0);
+  EXPECT_GE(r.run.host_validate_ns, 0);
+  EXPECT_GT(r.run.host_execute_ns, 0);
+  EXPECT_EQ(r.run.host_alloc_ns + r.run.host_plan_ns +
+                r.run.host_validate_ns + r.run.host_execute_ns,
+            r.run.host_ns);
+
+  MetricsRegistry reg;
+  reg.add("im2col", r.run, dev.arch());
+  const json::Value doc = json::parse(reg.to_json());
+  const json::Value& e = doc.at("entries").as_array().at(0);
+  EXPECT_EQ(e.at("host_alloc_ns").as_int() + e.at("host_plan_ns").as_int() +
+                e.at("host_validate_ns").as_int() +
+                e.at("host_execute_ns").as_int(),
+            e.at("host_ns").as_int());
+}
+
 }  // namespace
 }  // namespace davinci

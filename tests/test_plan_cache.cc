@@ -120,6 +120,59 @@ TEST(PlanKeyFor, MapsOpsToPlanningInputs) {
   EXPECT_FALSE(plan_key_for(gap, 8, 8, true).has_value());
 }
 
+// Warm-lane equivalence: a kernel launch with a cached plan attached
+// skips in-kernel validation and re-planning entirely, so its outputs
+// must be bit-for-bit those of the cold launch that validates and plans
+// from scratch.
+TEST(WarmLane, PlanHitOutputsMatchPlanMissOutputs) {
+  TensorF16 in(Shape{1, 2, 35, 35, kC0});
+  in.fill_random_ints(5);
+  PoolOp cold;
+  cold.kind = PoolOpKind::kMaxFwd;
+  cold.window = Window2d::pool(3, 2);
+  kernels::PoolInputs pi;
+  pi.in = &in;
+
+  Device dev_cold;
+  const kernels::PoolResult miss = kernels::run_pool(dev_cold, cold, pi);
+
+  PlanCache cache(4);
+  PoolOp warm = cold;
+  const auto key = plan_key_for(warm, 35, 35, dev_cold.double_buffer());
+  ASSERT_TRUE(key.has_value());
+  warm.plan = cache.get(ArchConfig::ascend910(), *key);
+  Device dev_warm;
+  const kernels::PoolResult hit = kernels::run_pool(dev_warm, warm, pi);
+
+  ASSERT_EQ(miss.out.size(), hit.out.size());
+  for (std::int64_t i = 0; i < miss.out.size(); ++i) {
+    ASSERT_EQ(miss.out.flat(i).bits(), hit.out.flat(i).bits())
+        << "flat " << i;
+  }
+}
+
+// The warm lane is sound because validation moved *into* plan
+// construction: a bad descriptor must fail on its first (planning) use,
+// never reach a launch unvalidated.
+TEST(WarmLane, ValidationFailuresSurfaceAtFirstUse) {
+  PlanCache cache(4);
+  PlanKey bad = fwd_key(71, 71);
+  bad.window.kh = 0;  // invalid: empty window
+  EXPECT_THROW(cache.get(ArchConfig::ascend910(), bad), Error);
+
+  // The cold (plan-less) kernel path still validates itself.
+  TensorF16 in(Shape{1, 1, 16, 16, kC0});
+  in.fill_random_ints(2);
+  PoolOp op;
+  op.kind = PoolOpKind::kMaxFwd;
+  op.window = Window2d::pool(3, 2);
+  op.window.kh = 0;
+  kernels::PoolInputs pi;
+  pi.in = &in;
+  Device dev;
+  EXPECT_THROW(kernels::run_pool(dev, op, pi), Error);
+}
+
 TEST(PlanCache, ClearResetsEntriesButKeepsStats) {
   PlanCache cache(4);
   const ArchConfig arch = ArchConfig::ascend910();

@@ -203,7 +203,7 @@ TEST(ServeSession, KernelErrorsSurfaceThroughFutureNotTerminate) {
   EXPECT_EQ(session.stats().completed, 1);
 }
 
-TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV3) {
+TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV4) {
   Session session;
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
@@ -215,7 +215,9 @@ TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV3) {
   MetricsRegistry reg;
   session.add_metrics(reg);
   const std::string json = reg.to_json();
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
+  // The v4 host-phase buckets are per-entry fields; the host_ns bucket
+  // invariant itself is covered in test_metrics.cc.
   EXPECT_NE(json.find("\"serve\""), std::string::npos);
   EXPECT_NE(json.find("\"plan_cache\""), std::string::npos);
   EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
@@ -453,12 +455,18 @@ TEST(ServeDrain, BoundedDrainTimesOutThenSucceeds) {
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
-  const TensorF16 in = make_input(4, 71, 71, 7);
-  auto f = session.submit(op, PoolInputs{.in = &in});
-  // A real launch takes far longer than 1us: the bounded drain reports
-  // the session still busy instead of blocking forever.
+  // Enough queued work that the worker cannot possibly retire all of it
+  // in the submit-to-drain gap (the host fast path made a single small
+  // launch quick enough to lose that race): the bounded drain reports the
+  // session still busy instead of blocking forever.
+  const TensorF16 in = make_input(32, 95, 95, 7);
+  std::vector<std::future<PoolResult>> fs;
+  for (int i = 0; i < 8; ++i) {
+    fs.push_back(session.submit(op, PoolInputs{.in = &in}));
+  }
   EXPECT_FALSE(session.drain(std::chrono::microseconds(1)));
   EXPECT_TRUE(session.drain(std::chrono::microseconds(60'000'000)));
+  auto& f = fs.front();
   EXPECT_GT(f.get().out.size(), 0);
 }
 

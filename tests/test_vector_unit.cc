@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <iterator>
+
 #include "arch/arch_config.h"
 #include "arch/cost_model.h"
 #include "common/check.h"
@@ -174,6 +177,44 @@ TEST_F(VectorUnitTest, OutOfBoundsActiveLaneThrows) {
   cfg.mask = VecMask::first_n(100);
   vec_.dup(a, Float16(3.0f), cfg);
   EXPECT_EQ(a.at(99).to_float(), 3.0f);
+}
+
+// The prefix-mask fast path orders vmax/vmin by a signed-magnitude bits
+// key instead of converting to float. Sweep a value set covering every
+// encoding class (zeros of both signs, subnormals, normals, infinities,
+// NaN) against the fmax16/fmin16 reference -- results must match
+// bit-for-bit, including the which-operand-wins tie rule for -0/+0 and
+// the "number wins" NaN rule.
+TEST_F(VectorUnitTest, MaxMinFastPathMatchesReferenceOnSpecialValues) {
+  const std::uint16_t specials[] = {
+      0x0000, 0x8000,          // +0, -0
+      0x0001, 0x8001, 0x03FF,  // subnormals
+      0x0400, 0x8400,          // smallest normals
+      0x3C00, 0xBC00,          // +-1
+      0x7BFF, 0xFBFF,          // +-max finite
+      0x7C00, 0xFC00,          // +-inf
+      0x7C01, 0x7E00, 0xFE00,  // NaNs
+  };
+  const int n = static_cast<int>(std::size(specials));
+  auto a = ub_.alloc<Float16>(128);
+  auto b = ub_.alloc<Float16>(128);
+  auto d = ub_.alloc<Float16>(128);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Float16 x = Float16::from_bits(specials[i]);
+      const Float16 y = Float16::from_bits(specials[j]);
+      for (int k = 0; k < 128; ++k) {
+        a.at(k) = x;
+        b.at(k) = y;
+      }
+      vec_.binary(VecOp::kMax, d, a, b, VecConfig::flat(1));
+      EXPECT_EQ(d.at(0).bits(), fmax16(x, y).bits())
+          << "vmax " << specials[i] << " vs " << specials[j];
+      vec_.binary(VecOp::kMin, d, a, b, VecConfig::flat(1));
+      EXPECT_EQ(d.at(0).bits(), fmin16(x, y).bits())
+          << "vmin " << specials[i] << " vs " << specials[j];
+    }
+  }
 }
 
 }  // namespace

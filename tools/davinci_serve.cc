@@ -19,13 +19,19 @@
 //   --seed=N             fault-plan seed                 (default 1)
 //   --retries=N          per-block retry budget          (default 3)
 //   --verify             CRC-verify stores (catches silent corruption)
+//   --no-arena           disable the tensor arena (allocate-per-request
+//                        baseline; results must be bit-identical)
 //   --json=<path>        machine-readable report ({"bench","rows"}); the
 //                        per-trace-line rows carry non-gated fields, the
 //                        final "total" row carries the gated cycles sum
 //                        so `davinci_prof --diff seq.json batched.json`
 //                        gates batched-vs-sequential regressions; the
-//                        total row also reports failed/expired/shed
-//   --metrics=<path>     schema-v3 davinci.metrics JSON: one entry per
+//                        total row also reports failed/expired/shed plus
+//                        host_ms and the host-phase sums (host_alloc_ms /
+//                        host_plan_ms / host_validate_ms /
+//                        host_execute_ms), which only gate a diff under
+//                        davinci_prof --include-host
+//   --metrics=<path>     schema-v4 davinci.metrics JSON: one entry per
 //                        trace line plus the session's "serve" object
 //
 // Exit codes: 0 success, 2 usage, 3 trace error, 4 any request failed
@@ -38,9 +44,11 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "serve/session.h"
 #include "serve/trace.h"
 #include "sim/metrics_registry.h"
+#include "tensor/arena.h"
 
 using namespace davinci;
 
@@ -81,8 +89,8 @@ int usage() {
                "[--queue=N] [--max-batch=N] [--ub-waves=N] [--plan-cache=N] "
                "[--no-double-buffer] [--policy=block|reject|shed] "
                "[--deadline-us=N] [--watchdog-us=N] [--inject=SPEC] "
-               "[--seed=N] [--retries=N] [--verify] [--json=path] "
-               "[--metrics=path]\n");
+               "[--seed=N] [--retries=N] [--verify] [--no-arena] "
+               "[--json=path] [--metrics=path]\n");
   return 2;
 }
 
@@ -91,6 +99,9 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') return usage();
   const std::string trace_path = argv[1];
+  if (has_flag(argc, argv, "--no-arena")) {
+    TensorArena::global().set_enabled(false);
+  }
 
   serve::SessionOptions opts;
   opts.batching = !has_flag(argc, argv, "--sequential");
@@ -166,8 +177,15 @@ int main(int argc, char** argv) {
   std::vector<LineRuns> lines(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) lines[i].entry = i;
 
+  // Replay in paused admission windows (at most queue_depth requests
+  // each, so submit never blocks on a paused queue): the worker sees
+  // each window all at once, which makes coalescing -- and therefore
+  // the launch count and cycle totals -- deterministic run to run. The
+  // CI host gate diffs cycles at zero tolerance on top of this.
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    std::size_t window = 0;
+    session.pause();
     for (std::size_t r = 0; r < requests.size(); ++r) {
       const serve::TraceEntry& e = entries[request_line[r]];
       serve::SubmitOptions sub;
@@ -176,7 +194,14 @@ int main(int argc, char** argv) {
       sub.prio = e.prio;
       lines[request_line[r]].futures.push_back(
           session.submit(e.op, requests[r].inputs(), sub));
+      if (++window == static_cast<std::size_t>(opts.queue_depth)) {
+        session.resume();
+        session.drain();
+        session.pause();
+        window = 0;
+      }
     }
+    session.resume();
     session.drain();
   } catch (const Error& e) {
     std::fprintf(stderr, "davinci_serve: submit failed: %s\n", e.what());
@@ -189,6 +214,8 @@ int main(int argc, char** argv) {
   std::printf("%-44s %-14s %9s %14s\n", "op", "geometry (NC1HWC0)",
               "requests", "launch-cycles");
   std::int64_t failed_requests = 0, expired_requests = 0, shed_requests = 0;
+  std::int64_t host_alloc_ns = 0, host_plan_ns = 0, host_validate_ns = 0,
+               host_execute_ns = 0;
   std::vector<std::int64_t> line_cycles(entries.size(), 0);
   for (LineRuns& line : lines) {
     const serve::TraceEntry& e = entries[line.entry];
@@ -197,6 +224,10 @@ int main(int argc, char** argv) {
     for (std::size_t f = 0; f < line.futures.size(); ++f) {
       try {
         kernels::PoolResult r = line.futures[f].get();
+        host_alloc_ns += r.run.host_alloc_ns;
+        host_plan_ns += r.run.host_plan_ns;
+        host_validate_ns += r.run.host_validate_ns;
+        host_execute_ns += r.run.host_execute_ns;
         if (!added) {
           rep_cycles = r.cycles();
           registry.add(e.op.to_string() + " " + geom_string(e), r.run,
@@ -278,6 +309,12 @@ int main(int argc, char** argv) {
               host_ms > 0.0
                   ? 1000.0 * static_cast<double>(s.completed) / host_ms
                   : 0.0);
+  std::printf("host phases   alloc %.2fms, plan %.2fms, validate %.2fms, "
+              "execute %.2fms (per-request attribution)\n",
+              static_cast<double>(host_alloc_ns) / 1e6,
+              static_cast<double>(host_plan_ns) / 1e6,
+              static_cast<double>(host_validate_ns) / 1e6,
+              static_cast<double>(host_execute_ns) / 1e6);
 
   if (!json_path.empty()) {
     // Hand-rolled report in the bench {"bench","rows"} shape: per-line
@@ -291,10 +328,8 @@ int main(int argc, char** argv) {
            "\",\"requests\":" + std::to_string(lines[i].futures.size()) +
            ",\"launch_cycles\":" + std::to_string(line_cycles[i]) + "},\n";
     }
-    char extra[256];
-    std::snprintf(extra, sizeof(extra),
-                  ",\"avg_batch\":%.4f,\"plan_cache_hit_rate\":%.4f",
-                  s.avg_batch, s.plan_cache.hit_rate());
+    // json::number, not snprintf("%.4f"): the latter consults LC_NUMERIC
+    // and writes ',' decimals under comma-decimal locales -- invalid JSON.
     j += "{\"name\":\"total\",\"requests\":" + std::to_string(s.completed) +
          ",\"cycles\":" + std::to_string(s.device_cycles_total) +
          ",\"launches\":" + std::to_string(s.launches) +
@@ -303,7 +338,18 @@ int main(int argc, char** argv) {
          ",\"shed\":" + std::to_string(s.shed + s.rejected) +
          ",\"batched\":" + (opts.batching ? std::string("true")
                                           : std::string("false")) +
-         extra + "}\n]}\n";
+         ",\"avg_batch\":" + json::number(s.avg_batch) +
+         ",\"plan_cache_hit_rate\":" + json::number(s.plan_cache.hit_rate()) +
+         ",\"host_ms\":" + json::number(host_ms) +
+         ",\"host_alloc_ms\":" +
+         json::number(static_cast<double>(host_alloc_ns) / 1e6) +
+         ",\"host_plan_ms\":" +
+         json::number(static_cast<double>(host_plan_ns) / 1e6) +
+         ",\"host_validate_ms\":" +
+         json::number(static_cast<double>(host_validate_ns) / 1e6) +
+         ",\"host_execute_ms\":" +
+         json::number(static_cast<double>(host_execute_ns) / 1e6) +
+         "}\n]}\n";
     std::FILE* f = std::fopen(json_path.c_str(), "wb");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
