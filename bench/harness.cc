@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "sim/metrics.h"
 #include "sim/trace_export.h"
 
@@ -125,6 +126,26 @@ JsonReport& JsonReport::field(const std::string& key, bool value) {
   r += "\"";
   append_json_escaped(&r, key);
   r += value ? "\":true" : "\":false";
+  return *this;
+}
+
+JsonReport& JsonReport::field(const std::string& key, double value) {
+  DV_CHECK(!rows_.empty()) << "field() before row()";
+  std::string& r = rows_.back();
+  if (!r.empty()) r += ",";
+  r += "\"";
+  append_json_escaped(&r, key);
+  r += "\":" + json::number(value);
+  return *this;
+}
+
+JsonReport& JsonReport::summary_fields(const std::string& prefix,
+                                       const stats::Summary& s) {
+  field(prefix + "_mean", s.mean);
+  field(prefix + "_p50", s.p50);
+  field(prefix + "_p90", s.p90);
+  field(prefix + "_p99", s.p99);
+  field(prefix + "_max", s.max);
   return *this;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/percentile.h"
 #include "sim/device.h"
 #include "tensor/fractal.h"
 #include "tensor/pool_geometry.h"
@@ -59,6 +60,14 @@ class JsonReport {
   JsonReport& field(const std::string& key, const std::string& value);
   JsonReport& field(const std::string& key, std::int64_t value);
   JsonReport& field(const std::string& key, bool value);
+  // Serialized via json::number (locale-proof decimal separator).
+  JsonReport& field(const std::string& key, double value);
+  // The shared distribution-summary fields: "<prefix>_mean" / "_p50" /
+  // "_p90" / "_p99" / "_max" from a stats::Summary
+  // (common/percentile.h) -- the same summary shape the serving session
+  // reports, so bench rows and serve stats stay comparable.
+  JsonReport& summary_fields(const std::string& prefix,
+                             const stats::Summary& s);
   // The standard per-run fields: cycles (overlapped makespan),
   // cycles_serial, busiest_unit_cycles, pipelined_bound, host_ns.
   JsonReport& run_fields(const Device::RunResult& run);

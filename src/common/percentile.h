@@ -1,0 +1,52 @@
+// Shared percentile / distribution-summary helpers.
+//
+// Exactly one implementation of linear-interpolation percentiles lives
+// here; the serving session's latency stats, the bench harness and the
+// serving tools all summarize their sample sets through it, so every
+// surface reports the same p50/p90/p99 for the same samples.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace davinci::stats {
+
+// Linear-interpolation percentile of an ascending-sorted sample set.
+// q in [0, 1]; an empty set yields 0. Takes the samples by const-ref:
+// sample sets grow with every completed request, and copying them per
+// query made stats() snapshots O(n) copies (see serve/session.cc
+// history).
+inline double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+// The standard distribution summary every reporting surface shares.
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+// Sorts the sample set in place (callers only ever append, so reordering
+// is harmless): one sort, zero copies.
+inline Summary summarize(std::vector<double>& samples) {
+  Summary s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile(samples, 0.50);
+  s.p90 = percentile(samples, 0.90);
+  s.p99 = percentile(samples, 0.99);
+  s.max = samples.back();
+  return s;
+}
+
+}  // namespace davinci::stats

@@ -72,6 +72,19 @@ const TensorF16& need(const TensorF16* t, const PoolOp& op,
 }  // namespace
 
 PoolResult run_pool(Device& dev, const PoolOp& op, const PoolInputs& in) {
+  // With an instruction-stream VM attached (serve::Session), stage the
+  // launch's identity before dispatch: the display label and the input
+  // buffers it reads, which the stream's dependency tracker uses for
+  // RAW/WAR hazards. The annotation is free when no stream is attached.
+  if (dev.vm_stream() != nullptr) {
+    std::vector<vm::BufferId> reads;
+    for (const TensorF16* t : {in.in, in.mask, in.grad}) {
+      if (t != nullptr) {
+        reads.push_back(reinterpret_cast<vm::BufferId>(t->data()));
+      }
+    }
+    dev.annotate_vm_launch(op.to_string(), std::move(reads));
+  }
   switch (op.kind) {
     case PoolOpKind::kMaxFwd:
       return pooling_forward_impl(dev, need(in.in, op, "in"), op.window,

@@ -76,6 +76,9 @@ class PlanCache {
   std::size_t capacity() const { return capacity_; }
   const Stats& stats() const { return stats_; }
   void clear();
+  // Zeroes the hit/miss/eviction counters but keeps the cached plans --
+  // the warmup path wants a warm cache with cold counters.
+  void reset_stats() { stats_ = {}; }
 
  private:
   struct Node {

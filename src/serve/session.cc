@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/json.h"
+#include "common/percentile.h"
 #include "tensor/arena.h"
 
 namespace davinci::serve {
@@ -20,37 +21,6 @@ using Clock = std::chrono::steady_clock;
 
 double us_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-}
-
-// Both take the samples by const-ref: the latency sample set grows with
-// every completed request, and the old by-value signatures copied it four
-// times per stats() snapshot (once into summarize, once into each of the
-// three percentile calls). `sorted` must already be in ascending order.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-// Sorts the sample set in place (the caller holds the session mutex and
-// only ever appends to it, so reordering is harmless): one sort, zero
-// copies.
-LatencySummary summarize(std::vector<double>& samples) {
-  LatencySummary s;
-  s.count = static_cast<std::int64_t>(samples.size());
-  if (samples.empty()) return s;
-  std::sort(samples.begin(), samples.end());
-  double sum = 0.0;
-  for (double v : samples) sum += v;
-  s.mean = sum / static_cast<double>(samples.size());
-  s.p50 = percentile(samples, 0.50);
-  s.p90 = percentile(samples, 0.90);
-  s.p99 = percentile(samples, 0.99);
-  s.max = samples.back();
-  return s;
 }
 
 std::string num(double v) { return json::number(v); }
@@ -88,12 +58,18 @@ Session::Session(SessionOptions opts)
     : Session(ArchConfig::ascend910(), opts) {}
 
 Session::Session(ArchConfig arch, SessionOptions opts)
-    : opts_(opts), device_(arch), plans_(opts.plan_cache_capacity) {
+    : opts_(opts),
+      device_(arch),
+      plans_(opts.plan_cache_capacity),
+      vm_stream_(
+          vm::VmStreamOptions{opts.vm_in_flight, opts.vm_capture}) {
   DV_CHECK_GE(opts_.queue_depth, 1u);
   DV_CHECK_GE(opts_.max_batch, 1u);
   DV_CHECK_GE(opts_.ub_waves, 1);
   DV_CHECK_GE(opts_.watchdog_timeout_us, 0);
+  DV_CHECK_GE(opts_.vm_in_flight, 1);
   device_.set_double_buffer(opts_.double_buffer);
+  if (opts_.vm) device_.set_vm_stream(&vm_stream_);
   if (opts_.resilience.has_value()) {
     device_.set_resilience(*opts_.resilience);
   }
@@ -512,8 +488,9 @@ void Session::launch_members(std::vector<Pending>& taken,
 SessionStats Session::stats() const {
   std::unique_lock<std::mutex> lock(mu_);
   SessionStats s = stats_;
-  s.latency = summarize(latency_us_);
-  s.queue_wait = summarize(queue_wait_us_);
+  s.latency = stats::summarize(latency_us_);
+  s.queue_wait = stats::summarize(queue_wait_us_);
+  s.vm = vm_stream_.stats();
   s.avg_batch = s.launches > 0
                     ? static_cast<double>(batch_members_total_) /
                           static_cast<double>(s.launches)
@@ -522,6 +499,18 @@ SessionStats Session::stats() const {
   s.plan_cache_size = plans_.size();
   s.plan_cache_capacity = plans_.capacity();
   return s;
+}
+
+void Session::reset_stats() {
+  std::unique_lock<std::mutex> lock(mu_);
+  DV_CHECK(in_flight_ == 0 && queue_.empty())
+      << "reset_stats on a non-idle session";
+  stats_ = {};
+  latency_us_.clear();
+  queue_wait_us_.clear();
+  batch_members_total_ = 0;
+  plans_.reset_stats();
+  vm_stream_.reset();
 }
 
 std::string Session::serve_json() const {
@@ -540,6 +529,34 @@ std::string Session::serve_json() const {
   j += ",\"max_batch\":" + num(static_cast<std::int64_t>(s.max_batch));
   j += ",\"avg_batch\":" + num(s.avg_batch);
   j += ",\"device_cycles_total\":" + num(s.device_cycles_total);
+  // Schema v5: the cross-launch VM schedule. "makespan" is the
+  // overlapped device time of the whole request stream (a gated metric
+  // in davinci_prof --diff); each per-pipe stream holds the PR-4 bucket
+  // invariant busy + wait + flag + idle == makespan * tracks.
+  j += ",\"vm\":{\"enabled\":" +
+       std::string(opts_.vm ? "true" : "false") +
+       ",\"in_flight\":" + num(static_cast<std::int64_t>(s.vm.in_flight)) +
+       ",\"launches\":" + num(s.vm.launches) +
+       ",\"makespan\":" + num(s.vm.makespan) +
+       ",\"serial_sum\":" + num(s.vm.serial_sum) +
+       ",\"overlap_cycles\":" + num(s.vm.overlap_cycles) +
+       ",\"window_stalls\":" + num(s.vm.window_stalls) +
+       ",\"hazard_stalls\":" + num(s.vm.hazard_stalls) + ",\"streams\":{";
+  {
+    bool first = true;
+    for (int pi = 0; pi < PipeScheduler::kNumPipes; ++pi) {
+      const vm::VmStream::PipeStream& ps = s.vm.streams[pi];
+      if (ps.tracks == 0) continue;
+      if (!first) j += ",";
+      first = false;
+      j += "\"" + std::string(to_string(static_cast<Pipe>(pi))) +
+           "\":{\"tracks\":" + num(ps.tracks) + ",\"busy\":" + num(ps.busy) +
+           ",\"wait\":" + num(ps.wait) + ",\"flag\":" + num(ps.flag) +
+           ",\"idle\":" + num(ps.idle) +
+           ",\"occupancy\":" + num(ps.occupancy) + "}";
+    }
+  }
+  j += "}}";
   j += ",\"overload_policy\":\"" + std::string(to_string(opts_.overload)) +
        "\"";
   j += ",\"watchdog_alarms\":" + num(s.watchdog_alarms);

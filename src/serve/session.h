@@ -55,12 +55,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/percentile.h"
 #include "kernels/pooling.h"
 #include "serve/batcher.h"
 #include "serve/plan_cache.h"
 #include "sim/device.h"
 #include "sim/fault.h"
 #include "sim/metrics_registry.h"
+#include "sim/vm/stream.h"
 
 namespace davinci::serve {
 
@@ -121,6 +123,18 @@ struct SessionOptions {
   // cannot preempt a launch, so the watchdog observes and reports -- the
   // signal an operator (or a test) alarms on. 0 disables the watchdog.
   std::int64_t watchdog_timeout_us = 0;
+  // Async instruction-stream VM (sim/vm/, docs/ASYNC_VM.md): on (the
+  // default), every launch's captured pipe timeline is enqueued on the
+  // session's VmStream, which pipelines launches across batch boundaries
+  // under a bounded in-flight window; stats().vm.makespan then models
+  // the whole trace's device time. Off, launches are modeled strictly
+  // back to back (the pre-VM serial behavior). Outputs, launch order and
+  // device_cycles_total are identical either way -- the VM only re-times.
+  bool vm = true;
+  int vm_in_flight = 2;
+  // Retain per-launch placed intervals for the Chrome trace exporter
+  // (write_vm_chrome_trace); bounded, off by default.
+  bool vm_capture = false;
 };
 
 // Per-request submission options.
@@ -134,11 +148,10 @@ struct SubmitOptions {
   int prio = 0;
 };
 
-// Host-side latency distribution in microseconds.
-struct LatencySummary {
-  std::int64_t count = 0;
-  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
-};
+// Host-side latency distribution in microseconds (the shared summary
+// shape from common/percentile.h -- one percentile implementation for
+// every reporting surface).
+using LatencySummary = stats::Summary;
 
 struct SessionStats {
   std::int64_t submitted = 0;
@@ -155,7 +168,13 @@ struct SessionStats {
   double avg_batch = 0.0;                // requests per launch
   std::int64_t peak_queue_depth = 0;
   std::int64_t backpressure_waits = 0;   // submit() calls that blocked
-  std::int64_t device_cycles_total = 0;  // sum over launches
+  std::int64_t device_cycles_total = 0;  // sum of per-launch makespans
+  // Cross-launch VM schedule (all-zero with SessionOptions::vm off):
+  // vm.makespan is the overlapped device time of everything served so
+  // far; vm.serial_sum equals device_cycles_total; the per-pipe streams
+  // carry busy/wait/flag/idle with busy+wait+flag+idle ==
+  // makespan * tracks exactly (docs/ASYNC_VM.md).
+  vm::VmStream::Stats vm;
   // Robustness counters (resilient launch path + watchdog).
   std::int64_t degraded_launches = 0;   // completed with faults absorbed
   std::int64_t bisections = 0;          // failed launches split in two
@@ -214,11 +233,21 @@ class Session {
 
   Device& device() { return device_; }
   const SessionOptions& options() const { return opts_; }
+  // The session's instruction-stream VM (valid for the session's
+  // lifetime; a no-op empty stream when SessionOptions::vm is off).
+  const vm::VmStream& vm_stream() const { return vm_stream_; }
 
   SessionStats stats() const;
-  // The schema-v3 "serve" JSON object for MetricsRegistry::set_serve.
+  // Forgets everything measured so far -- counters, latency samples,
+  // plan-cache hit/miss stats and the VM stream timeline -- while
+  // keeping cached plans and the warmed tensor arena. The warmup path
+  // (davinci_serve --warmup) replays a prefix, drains, then resets so
+  // cold-start costs never skew the timed replay. Call only while idle
+  // (after drain()); resetting mid-launch would tear the accounting.
+  void reset_stats();
+  // The schema-v5 "serve" JSON object for MetricsRegistry::set_serve.
   std::string serve_json() const;
-  // Attaches serve_json() to `reg` (top-level "serve", schema v3).
+  // Attaches serve_json() to `reg` (top-level "serve", schema v5).
   void add_metrics(MetricsRegistry& reg) const;
 
  private:
@@ -255,6 +284,10 @@ class Session {
   SessionOptions opts_;
   Device device_;
   PlanCache plans_;
+  // The cross-launch VM stream; attached to device_ when opts_.vm. Has
+  // its own mutex (enqueues come from the worker inside launches, which
+  // run outside mu_).
+  vm::VmStream vm_stream_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   // queue non-empty / stop

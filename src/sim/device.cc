@@ -157,6 +157,43 @@ Device::RunResult Device::collect_result(int cores_used) {
     scheds.push_back(&core.sched());
   }
   result.attribution = attribute_cores(scheds);
+
+  // Hand the captured launch timeline to the attached instruction-stream
+  // VM: the stream shifts the whole launch onto its cross-launch tracks
+  // and returns the scheduled start. Writes get a fresh tagged id per
+  // launch -- serving outputs are never re-read by a later launch, and a
+  // recycled arena address must not alias a retired buffer.
+  if (vm_stream_ != nullptr) {
+    vm::VmLaunch launch;
+    launch.label = std::move(vm_label_);
+    vm_label_.clear();
+    launch.reads = std::move(vm_reads_);
+    vm_reads_.clear();
+    launch.writes.push_back(
+        (std::uint64_t{1} << 63) +
+        static_cast<std::uint64_t>(vm_write_seq_++));
+    launch.makespan = result.device_cycles;
+    const bool capture = vm_stream_->options().capture;
+    launch.cores.reserve(static_cast<std::size_t>(cores_used));
+    for (int c = 0; c < cores_used; ++c) {
+      const PipeScheduler& sched = cores_[static_cast<std::size_t>(c)]->sched();
+      vm::CoreWork cw;
+      cw.core = c;
+      cw.makespan = sched.makespan();
+      for (int pi = 0; pi < PipeScheduler::kNumPipes; ++pi) {
+        const Pipe p = static_cast<Pipe>(pi);
+        cw.pipes[pi] = {sched.busy(p), sched.flag(p), sched.first_busy(p),
+                        sched.last_busy(p)};
+      }
+      if (capture) {
+        cw.intervals = sched.intervals();
+        cw.tile_marks = sched.tile_marks();
+      }
+      launch.cores.push_back(std::move(cw));
+    }
+    result.vm_start = vm_stream_->enqueue(std::move(launch));
+    result.vm_end = result.vm_start + result.device_cycles;
+  }
   return result;
 }
 

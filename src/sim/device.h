@@ -51,6 +51,7 @@
 #include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/stats.h"
+#include "sim/vm/stream.h"
 
 namespace davinci {
 
@@ -111,6 +112,11 @@ class Device {
     // Per-pipe busy/wait/flag/idle buckets and the critical core's
     // bounding chain (sim/metrics.h); attribution.horizon == device_cycles.
     DeviceAttribution attribution;
+    // When a VmStream is attached (set_vm_stream), the launch's scheduled
+    // span on the cross-launch stream timeline; vm_end == 0 means the
+    // launch was not stream-placed.
+    std::int64_t vm_start = 0;
+    std::int64_t vm_end = 0;
   };
 
   // Executes blocks [0, num_blocks) with `fn(core, block_index)`, block b
@@ -172,6 +178,27 @@ class Device {
   void set_double_buffer(bool on) { double_buffer_ = on; }
   bool double_buffer() const { return double_buffer_; }
 
+  // --- Async instruction-stream VM (sim/vm/, docs/ASYNC_VM.md) ----------
+  // With a stream attached, every completed launch's captured per-core
+  // pipe timeline is enqueued on it: the stream schedules launches to
+  // overlap across batch boundaries, so the *stream's* makespan models
+  // the trace's device time while each RunResult keeps its own per-launch
+  // makespan. Functional execution is untouched -- outputs are
+  // bit-identical with and without a stream. The stream pointer and the
+  // staged annotation are driven by a single launcher thread (the serving
+  // worker); they are intentionally not synchronized.
+  void set_vm_stream(vm::VmStream* stream) { vm_stream_ = stream; }
+  vm::VmStream* vm_stream() const { return vm_stream_; }
+
+  // Stages the next launch's identity for the stream: a display label and
+  // the input buffers it reads (dependency tracking). Consumed by the
+  // next collect_result; kernels::run_pool stages this automatically when
+  // a stream is attached.
+  void annotate_vm_launch(std::string label, std::vector<vm::BufferId> reads) {
+    vm_label_ = std::move(label);
+    vm_reads_ = std::move(reads);
+  }
+
  private:
   struct Sched;  // shared scheduling state of one resilient run
 
@@ -192,6 +219,10 @@ class Device {
   std::vector<std::unique_ptr<AiCore>> cores_;
   std::optional<ResilienceOptions> resilience_;
   bool double_buffer_ = true;
+  vm::VmStream* vm_stream_ = nullptr;
+  std::string vm_label_;
+  std::vector<vm::BufferId> vm_reads_;
+  std::int64_t vm_write_seq_ = 0;
   // Lazily started on the first parallel run; workers persist for the
   // Device's lifetime (see sim/executor.h).
   WorkStealingPool pool_;

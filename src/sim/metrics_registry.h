@@ -24,8 +24,13 @@
 // Version 4 splits each entry's "host_ns" into the attribution buckets
 // "host_alloc_ns" / "host_plan_ns" / "host_validate_ns" /
 // "host_execute_ns" (invariant: they sum to host_ns; see
-// Device::RunResult). Version-1/2/3 documents are still accepted by all
-// in-tree consumers; they simply lack those keys.
+// Device::RunResult). Version 5 extends "serve" with the async
+// instruction-stream VM object ("vm": enabled/in_flight/launches/
+// makespan/serial_sum/overlap_cycles/window_stalls/hazard_stalls plus
+// per-pipe "streams" occupancy buckets where busy + wait + flag + idle
+// == makespan * tracks exactly; docs/ASYNC_VM.md). Version-1..4
+// documents are still accepted by all in-tree consumers; they simply
+// lack those keys.
 //
 // Consumers (tools/davinci_prof.cc, CI) key on schema/schema_version;
 // any breaking field change must bump kSchemaVersion. The critical path
@@ -45,7 +50,7 @@ namespace davinci {
 
 class MetricsRegistry {
  public:
-  static constexpr int kSchemaVersion = 4;
+  static constexpr int kSchemaVersion = 5;
   // Critical-path segments serialized verbatim before head-truncation.
   static constexpr std::size_t kMaxPathSegments = 1024;
 

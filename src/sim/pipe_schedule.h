@@ -107,6 +107,16 @@ class PipeScheduler {
 
   static constexpr int kNumPipes = static_cast<int>(Pipe::kCount);
 
+  // One logged busy interval (bounded; see kMaxLoggedIntervals). Public
+  // so the async VM (sim/vm/) can replay a captured launch timeline onto
+  // its cross-launch stream tracks and the trace exporter can render the
+  // shifted intervals.
+  struct LoggedInterval {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    Pipe pipe = Pipe::kSync;
+  };
+
   // Opens a stage on `pipe`; operations issued until end_stage() land on
   // that pipe in order, starting no earlier than `after` (0 = no
   // dependency). The flag-wait cost of the dependency is folded into
@@ -203,6 +213,26 @@ class PipeScheduler {
 
   // Busy (charged) cycles of one pipe.
   std::int64_t busy(Pipe p) const { return busy_[pipe_index(p)]; }
+
+  // Dependency-wait and flag-stall cycles of one pipe (the other two
+  // attribution buckets; idle is derived against a horizon).
+  std::int64_t wait(Pipe p) const { return wait_[pipe_index(p)]; }
+  std::int64_t flag(Pipe p) const { return flag_[pipe_index(p)]; }
+
+  // The pipe's timeline frontier: the end of its last interval or
+  // barrier hold (busy + wait + flag == ready by construction).
+  std::int64_t ready(Pipe p) const { return ready_[pipe_index(p)]; }
+
+  // First/last cycle the pipe was *occupied* by an interval (-1 / 0 when
+  // it never ran anything). The async VM shifts a whole launch timeline
+  // by one delta; these bounds are the per-pipe contact points that
+  // decide how far two launches may overlap, and they stay exact even
+  // when the interval log truncates.
+  std::int64_t first_busy(Pipe p) const { return first_busy_[pipe_index(p)]; }
+  std::int64_t last_busy(Pipe p) const { return last_busy_[pipe_index(p)]; }
+
+  // The bounded interval log (start/end/pipe per scheduled interval).
+  const std::vector<LoggedInterval>& intervals() const { return log_; }
 
   // Busy time of the busiest real execution unit (Sync excluded) -- the
   // lower half of the sandwich bound.
@@ -314,6 +344,8 @@ class PipeScheduler {
       busy_[i] = 0;
       wait_[i] = 0;
       flag_[i] = 0;
+      first_busy_[i] = -1;
+      last_busy_[i] = 0;
     }
     stage_open_ = false;
     stage_dep_ = 0;
@@ -331,16 +363,13 @@ class PipeScheduler {
   // interval_log_truncated()).
   static constexpr std::size_t kMaxLoggedIntervals = 1 << 18;
 
-  struct LoggedInterval {
-    std::int64_t start = 0;
-    std::int64_t end = 0;
-    Pipe pipe = Pipe::kSync;
-  };
-
   static int pipe_index(Pipe p) { return static_cast<int>(p); }
 
   void log_interval(Pipe p, Interval iv) {
     if (iv.end == iv.start) return;  // zero-length: nothing to attribute
+    const int pi = pipe_index(p);
+    if (first_busy_[pi] < 0) first_busy_[pi] = iv.start;
+    if (iv.end > last_busy_[pi]) last_busy_[pi] = iv.end;
     if (log_.size() >= kMaxLoggedIntervals) {
       log_truncated_ = true;
       return;
@@ -360,6 +389,8 @@ class PipeScheduler {
   std::int64_t busy_[kNumPipes] = {};
   std::int64_t wait_[kNumPipes] = {};
   std::int64_t flag_[kNumPipes] = {};
+  std::int64_t first_busy_[kNumPipes] = {-1, -1, -1, -1, -1, -1};
+  std::int64_t last_busy_[kNumPipes] = {};
   bool stage_open_ = false;
   Pipe stage_pipe_ = Pipe::kVector;
   std::int64_t stage_dep_ = 0;

@@ -111,8 +111,9 @@ void render_metrics_entry(const json::Value& e, std::string* out) {
   }
 }
 
-// Schema-v3 "serve" object (serve::Session::add_metrics). The v3
-// robustness keys are optional, so v2 documents still render.
+// Schema-v5 "serve" object (serve::Session::add_metrics). The v3
+// robustness keys and the v5 "vm" object are optional, so v2..v4
+// documents still render.
 void render_serve(const json::Value& s, std::string* out) {
   *out += "serve: " + std::to_string(int_or(s, "requests", 0)) +
           " requests in " + std::to_string(int_or(s, "launches", 0)) +
@@ -181,6 +182,44 @@ void render_serve(const json::Value& s, std::string* out) {
   }
   *out += "  device cycles total " +
           std::to_string(int_or(s, "device_cycles_total", 0)) + "\n";
+  if (const json::Value* vm = s.get("vm")) {
+    const bool enabled =
+        vm->get("enabled") != nullptr && vm->at("enabled").as_bool();
+    const std::int64_t makespan = int_or(*vm, "makespan", 0);
+    const std::int64_t serial_sum = int_or(*vm, "serial_sum", 0);
+    *out += "  vm: " + std::string(enabled ? "on" : "off") + ", in-flight " +
+            std::to_string(int_or(*vm, "in_flight", 0)) + ", " +
+            std::to_string(int_or(*vm, "launches", 0)) +
+            " launches, makespan " + std::to_string(makespan) +
+            " (serial sum " + std::to_string(serial_sum) + ", overlap " +
+            std::to_string(int_or(*vm, "overlap_cycles", 0)) + " = " +
+            pct_of(int_or(*vm, "overlap_cycles", 0), serial_sum) +
+            "), stalls window " +
+            std::to_string(int_or(*vm, "window_stalls", 0)) + " / hazard " +
+            std::to_string(int_or(*vm, "hazard_stalls", 0)) + "\n";
+    if (const json::Value* streams = vm->get("streams")) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "    %-8s %6s %12s %12s %12s %12s %9s\n", "stream",
+                    "tracks", "busy", "wait", "flag", "idle", "occupancy");
+      *out += line;
+      for (const auto& [pipe, b] : streams->as_object()) {
+        const double occ = b.get("occupancy") != nullptr
+                               ? b.at("occupancy").as_double()
+                               : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "    %-8s %6lld %12lld %12lld %12lld %12lld %8.1f%%\n",
+                      pipe.c_str(),
+                      static_cast<long long>(int_or(b, "tracks", 0)),
+                      static_cast<long long>(int_or(b, "busy", 0)),
+                      static_cast<long long>(int_or(b, "wait", 0)),
+                      static_cast<long long>(int_or(b, "flag", 0)),
+                      static_cast<long long>(int_or(b, "idle", 0)),
+                      occ * 100.0);
+        *out += line;
+      }
+    }
+  }
 }
 
 void render_bench(const json::Value& doc, std::string* out) {

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/json.h"
 #include "sim/device.h"
+#include "sim/vm/stream.h"
 
 namespace davinci {
 
@@ -200,6 +201,89 @@ void write_chrome_trace(const std::string& path, Device& dev) {
   std::ofstream f(path, std::ios::binary);
   DV_CHECK(f.good()) << "cannot open trace output file " << path;
   const std::string json = chrome_trace_json(dev);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  DV_CHECK(f.good()) << "failed writing trace output file " << path;
+}
+
+std::string vm_chrome_trace_json(const vm::VmStream& stream) {
+  const std::vector<vm::PlacedLaunch> placed = stream.placements();
+  const vm::VmStream::Stats stats = stream.stats();
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\n";
+  out += "\"otherData\":{\"generator\":\"davinci-sim vm\","
+         "\"time_unit\":\"1 event microsecond = 1 simulated cycle\"},\n";
+  out += "\"traceEvents\":[\n";
+
+  append_meta(&out, 0, -1, "process_name", "VM stream");
+
+  // The stream-global ping-pong depth: every launch's tile marks shifted
+  // to their scheduled position, merged across batches.
+  std::vector<std::pair<std::int64_t, int>> marks;
+
+  for (const vm::PlacedLaunch& p : placed) {
+    const int pid = static_cast<int>(p.seq) + 1;
+    append_meta(&out, pid, -1, "process_name",
+                "launch " + std::to_string(p.seq) + ": " + p.label);
+    for (const vm::CoreWork& cw : p.cores) {
+      bool named[PipeScheduler::kNumPipes] = {};
+      for (const PipeScheduler::LoggedInterval& iv : cw.intervals) {
+        const int pi = static_cast<int>(iv.pipe);
+        const int tid = cw.core * PipeScheduler::kNumPipes + pi;
+        if (!named[pi]) {
+          named[pi] = true;
+          append_meta(&out, pid, tid, "thread_name",
+                      "core " + std::to_string(cw.core) + " " +
+                          to_string(iv.pipe));
+        }
+        const std::int64_t ts = p.start + iv.start;
+        out += "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+               ",\"tid\":" + std::to_string(tid) +
+               ",\"ts\":" + std::to_string(ts) +
+               ",\"dur\":" + std::to_string(iv.end - iv.start) +
+               ",\"name\":\"";
+        append_escaped(&out, to_string(iv.pipe));
+        out += "\",\"cat\":\"vm\",\"args\":{\"launch\":" +
+               std::to_string(p.seq) +
+               ",\"cycles\":" + std::to_string(iv.end - iv.start) + "}},\n";
+      }
+      for (const auto& mark : cw.tile_marks) {
+        marks.emplace_back(p.start + mark.first, mark.second);
+      }
+    }
+  }
+
+  if (!marks.empty()) {
+    std::stable_sort(
+        marks.begin(), marks.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::int64_t depth = 0;
+    for (const auto& mark : marks) {
+      depth += mark.second;
+      out += "{\"ph\":\"C\",\"pid\":0,\"ts\":" + std::to_string(mark.first) +
+             ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":" +
+             std::to_string(depth) + "}},\n";
+    }
+    // Close at the cross-batch makespan so the viewer does not extend
+    // the last sample to infinity -- with inter-batch pipelining the
+    // relevant end is the stream's, not any single launch's.
+    std::int64_t end_ts = stats.makespan;
+    if (end_ts < marks.back().first) end_ts = marks.back().first;
+    out += "{\"ph\":\"C\",\"pid\":0,\"ts\":" + std::to_string(end_ts) +
+           ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":0}},\n";
+  }
+
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+void write_vm_chrome_trace(const std::string& path,
+                           const vm::VmStream& stream) {
+  std::ofstream f(path, std::ios::binary);
+  DV_CHECK(f.good()) << "cannot open trace output file " << path;
+  const std::string json = vm_chrome_trace_json(stream);
   f.write(json.data(), static_cast<std::streamsize>(json.size()));
   DV_CHECK(f.good()) << "failed writing trace output file " << path;
 }

@@ -29,6 +29,10 @@
 
 namespace davinci {
 
+namespace vm {
+class VmStream;
+}  // namespace vm
+
 class Device;
 
 // Serializes the given per-core traces; entry i is rendered as the track
@@ -46,5 +50,22 @@ std::string chrome_trace_json(Device& dev);
 
 // Writes chrome_trace_json(dev) to `path`. Throws Error on I/O failure.
 void write_chrome_trace(const std::string& path, Device& dev);
+
+// Cross-batch view of an instruction-stream VM (docs/ASYNC_VM.md): each
+// placed launch becomes one process track (pid = launch sequence + 1,
+// labeled with the launch's op string) with one thread row per
+// (core, pipe) lane, and every interval is rendered at its stream-
+// scheduled start -- overlap between consecutive batches shows as
+// process tracks overlapping in time. pid 0 carries the stream-global
+// "ub tiles in flight" counter, aggregated over all launches' shifted
+// tile marks and closed with a zero sample at the cross-batch makespan.
+// The stream must have been constructed with VmStreamOptions::capture;
+// without it placements() is empty and the trace has no launch tracks.
+std::string vm_chrome_trace_json(const vm::VmStream& stream);
+
+// Writes vm_chrome_trace_json(stream) to `path`. Throws Error on I/O
+// failure.
+void write_vm_chrome_trace(const std::string& path,
+                           const vm::VmStream& stream);
 
 }  // namespace davinci

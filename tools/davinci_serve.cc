@@ -21,6 +21,15 @@
 //   --verify             CRC-verify stores (catches silent corruption)
 //   --no-arena           disable the tensor arena (allocate-per-request
 //                        baseline; results must be bit-identical)
+//   --no-vm              disable the instruction-stream VM (per-batch
+//                        serial device timing; outputs are bit-identical
+//                        either way, only the cycle model changes)
+//   --in-flight=N        VM in-flight launch window        (default 2)
+//   --warmup=N           replay the first N requests once before the
+//                        measured run (warm plan cache / arena), then
+//                        reset the statistics and the wall clock
+//   --chrome-trace=path  write the VM cross-batch Chrome trace (enables
+//                        stream capture; one track per placed launch)
 //   --json=<path>        machine-readable report ({"bench","rows"}); the
 //                        per-trace-line rows carry non-gated fields, the
 //                        final "total" row carries the gated cycles sum
@@ -31,8 +40,9 @@
 //                        host_plan_ms / host_validate_ms /
 //                        host_execute_ms), which only gate a diff under
 //                        davinci_prof --include-host
-//   --metrics=<path>     schema-v4 davinci.metrics JSON: one entry per
+//   --metrics=<path>     schema-v5 davinci.metrics JSON: one entry per
 //                        trace line plus the session's "serve" object
+//                        (including the VM cross-batch "vm" sub-object)
 //
 // Exit codes: 0 success, 2 usage, 3 trace error, 4 any request failed
 // (launch failure, expired deadline, or shed by the overload policy).
@@ -48,6 +58,7 @@
 #include "serve/session.h"
 #include "serve/trace.h"
 #include "sim/metrics_registry.h"
+#include "sim/trace_export.h"
 #include "tensor/arena.h"
 
 using namespace davinci;
@@ -90,7 +101,8 @@ int usage() {
                "[--no-double-buffer] [--policy=block|reject|shed] "
                "[--deadline-us=N] [--watchdog-us=N] [--inject=SPEC] "
                "[--seed=N] [--retries=N] [--verify] [--no-arena] "
-               "[--json=path] [--metrics=path]\n");
+               "[--no-vm] [--in-flight=N] [--warmup=N] "
+               "[--chrome-trace=path] [--json=path] [--metrics=path]\n");
   return 2;
 }
 
@@ -143,6 +155,12 @@ int main(int argc, char** argv) {
       int_arg(argc, argv, "--deadline-us=", 0);
   const std::string json_path = arg_value(argc, argv, "--json=");
   const std::string metrics_path = arg_value(argc, argv, "--metrics=");
+  const std::string chrome_trace_path =
+      arg_value(argc, argv, "--chrome-trace=");
+  const std::int64_t warmup = int_arg(argc, argv, "--warmup=", 0);
+  opts.vm = !has_flag(argc, argv, "--no-vm");
+  opts.vm_in_flight = static_cast<int>(int_arg(argc, argv, "--in-flight=", 2));
+  opts.vm_capture = !chrome_trace_path.empty();
 
   std::vector<serve::TraceEntry> entries;
   try {
@@ -176,6 +194,46 @@ int main(int argc, char** argv) {
   serve::Session session(opts);
   std::vector<LineRuns> lines(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) lines[i].entry = i;
+
+  // Warmup: replay the first --warmup requests once so the measured run
+  // starts with a warm plan cache and arena, then discard every counter
+  // (including the VM stream clock) so the measured cycles are those of
+  // the measured replay alone. Warmup failures are ignored on purpose --
+  // they would double-count against the measured run's exit code.
+  if (warmup > 0) {
+    try {
+      std::size_t window = 0;
+      std::vector<std::future<kernels::PoolResult>> warm;
+      session.pause();
+      for (std::size_t r = 0;
+           r < requests.size() && r < static_cast<std::size_t>(warmup); ++r) {
+        const serve::TraceEntry& e = entries[request_line[r]];
+        serve::SubmitOptions sub;
+        sub.deadline_us =
+            e.deadline_us > 0 ? e.deadline_us : default_deadline_us;
+        sub.prio = e.prio;
+        warm.push_back(session.submit(e.op, requests[r].inputs(), sub));
+        if (++window == static_cast<std::size_t>(opts.queue_depth)) {
+          session.resume();
+          session.drain();
+          session.pause();
+          window = 0;
+        }
+      }
+      session.resume();
+      session.drain();
+      for (auto& f : warm) {
+        try {
+          f.get();
+        } catch (const Error&) {
+        }
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "davinci_serve: warmup failed: %s\n", e.what());
+      return 4;
+    }
+    session.reset_stats();
+  }
 
   // Replay in paused admission windows (at most queue_depth requests
   // each, so submit never blocks on a paused queue): the worker sees
@@ -290,6 +348,21 @@ int main(int argc, char** argv) {
                   ? 1e6 * static_cast<double>(s.completed) /
                         static_cast<double>(s.device_cycles_total)
                   : 0.0);
+  if (opts.vm) {
+    std::printf("vm            makespan %lld (serial sum %lld, overlap "
+                "%lld cycles, %.1f%%), in-flight %d, stalls window %lld / "
+                "hazard %lld\n",
+                static_cast<long long>(s.vm.makespan),
+                static_cast<long long>(s.vm.serial_sum),
+                static_cast<long long>(s.vm.overlap_cycles),
+                s.vm.serial_sum > 0
+                    ? 100.0 * static_cast<double>(s.vm.overlap_cycles) /
+                          static_cast<double>(s.vm.serial_sum)
+                    : 0.0,
+                s.vm.in_flight,
+                static_cast<long long>(s.vm.window_stalls),
+                static_cast<long long>(s.vm.hazard_stalls));
+  }
   std::printf("plan cache    %lld hits / %lld misses (%.1f%%), %zu/%zu "
               "entries, %lld evictions\n",
               static_cast<long long>(s.plan_cache.hits),
@@ -330,8 +403,20 @@ int main(int argc, char** argv) {
     }
     // json::number, not snprintf("%.4f"): the latter consults LC_NUMERIC
     // and writes ',' decimals under comma-decimal locales -- invalid JSON.
+    // With the VM on, the gated "cycles" metric IS the cross-batch
+    // overlapped makespan -- the quantity the serving path actually
+    // spends on the device; the plain per-launch sum stays visible as
+    // the non-gated "cycles_sum".
+    const std::int64_t gated_cycles =
+        opts.vm ? s.vm.makespan : s.device_cycles_total;
     j += "{\"name\":\"total\",\"requests\":" + std::to_string(s.completed) +
-         ",\"cycles\":" + std::to_string(s.device_cycles_total) +
+         ",\"cycles\":" + std::to_string(gated_cycles) +
+         ",\"cycles_sum\":" + std::to_string(s.device_cycles_total) +
+         ",\"vm\":" + (opts.vm ? std::string("true") : std::string("false")) +
+         ",\"in_flight\":" + std::to_string(s.vm.in_flight) +
+         ",\"overlap_cycles\":" + std::to_string(s.vm.overlap_cycles) +
+         ",\"window_stalls\":" + std::to_string(s.vm.window_stalls) +
+         ",\"hazard_stalls\":" + std::to_string(s.vm.hazard_stalls) +
          ",\"launches\":" + std::to_string(s.launches) +
          ",\"failed\":" + std::to_string(s.failed) +
          ",\"expired\":" + std::to_string(s.expired) +
@@ -362,6 +447,12 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     session.add_metrics(registry);
     registry.write(metrics_path);
+  }
+  if (!chrome_trace_path.empty()) {
+    write_vm_chrome_trace(chrome_trace_path, session.vm_stream());
+    std::printf("chrome-trace: wrote %s (%zu placed launches)\n",
+                chrome_trace_path.c_str(),
+                session.vm_stream().placements().size());
   }
   return (failed_requests + expired_requests + shed_requests) > 0 ? 4 : 0;
 }
