@@ -145,6 +145,7 @@ JsonReport& JsonReport::summary_fields(const std::string& prefix,
   field(prefix + "_p50", s.p50);
   field(prefix + "_p90", s.p90);
   field(prefix + "_p99", s.p99);
+  field(prefix + "_p999", s.p999);
   field(prefix + "_max", s.max);
   return *this;
 }

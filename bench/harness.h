@@ -63,7 +63,7 @@ class JsonReport {
   // Serialized via json::number (locale-proof decimal separator).
   JsonReport& field(const std::string& key, double value);
   // The shared distribution-summary fields: "<prefix>_mean" / "_p50" /
-  // "_p90" / "_p99" / "_max" from a stats::Summary
+  // "_p90" / "_p99" / "_p999" / "_max" from a stats::Summary
   // (common/percentile.h) -- the same summary shape the serving session
   // reports, so bench rows and serve stats stay comparable.
   JsonReport& summary_fields(const std::string& prefix,

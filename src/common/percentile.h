@@ -7,18 +7,20 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 namespace davinci::stats {
 
 // Linear-interpolation percentile of an ascending-sorted sample set.
-// q in [0, 1]; an empty set yields 0. Takes the samples by const-ref:
-// sample sets grow with every completed request, and copying them per
-// query made stats() snapshots O(n) copies (see serve/session.cc
-// history).
+// q is clamped to [0, 1]; an empty set yields 0. Takes the samples by
+// const-ref: sample sets grow with every completed request, and copying
+// them per query made stats() snapshots O(n) copies (see
+// serve/session.cc history).
 inline double percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
@@ -29,23 +31,43 @@ inline double percentile(const std::vector<double>& sorted, double q) {
 // The standard distribution summary every reporting surface shares.
 struct Summary {
   std::int64_t count = 0;
-  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0,
+         max = 0.0;
 };
 
 // Sorts the sample set in place (callers only ever append, so reordering
-// is harmless): one sort, zero copies.
+// is harmless): one sort, zero copies. Non-finite samples are moved to
+// the tail and excluded -- sorting NaNs with operator< violates
+// std::sort's strict-weak-ordering contract (UB), and a single
+// instrumentation bug upstream should not poison every percentile.
 inline Summary summarize(std::vector<double>& samples) {
   Summary s;
-  s.count = static_cast<std::int64_t>(samples.size());
-  if (samples.empty()) return s;
-  std::sort(samples.begin(), samples.end());
+  const auto finite_end =
+      std::partition(samples.begin(), samples.end(),
+                     [](double v) { return std::isfinite(v); });
+  const std::size_t n =
+      static_cast<std::size_t>(finite_end - samples.begin());
+  s.count = static_cast<std::int64_t>(n);
+  if (n == 0) return s;
+  std::sort(samples.begin(), finite_end);
   double sum = 0.0;
-  for (double v : samples) sum += v;
-  s.mean = sum / static_cast<double>(samples.size());
-  s.p50 = percentile(samples, 0.50);
-  s.p90 = percentile(samples, 0.90);
-  s.p99 = percentile(samples, 0.99);
-  s.max = samples.back();
+  for (std::size_t i = 0; i < n; ++i) sum += samples[i];
+  s.mean = sum / static_cast<double>(n);
+  // percentile() reads samples.size(), so summarize the finite prefix
+  // through a bounded view only when the tail holds dropped samples.
+  if (finite_end == samples.end()) {
+    s.p50 = percentile(samples, 0.50);
+    s.p90 = percentile(samples, 0.90);
+    s.p99 = percentile(samples, 0.99);
+    s.p999 = percentile(samples, 0.999);
+  } else {
+    const std::vector<double> finite(samples.begin(), finite_end);
+    s.p50 = percentile(finite, 0.50);
+    s.p90 = percentile(finite, 0.90);
+    s.p99 = percentile(finite, 0.99);
+    s.p999 = percentile(finite, 0.999);
+  }
+  s.max = samples[n - 1];
   return s;
 }
 

@@ -1,0 +1,128 @@
+// Request-scoped lifecycle tracing for the serving session
+// (docs/OBSERVABILITY.md § "Unified host/device timeline").
+//
+// Every request a Session admits gets a monotonically increasing trace
+// id, and every lifecycle transition -- submit, admission, batching,
+// plan resolution, launch, VM placement, completion or any of the
+// failure exits -- is recorded as one fixed-size event in a bounded
+// ring. The ring makes the serving layer's "black box between submit()
+// and the future resolving" observable without unbounded growth: when
+// it fills, the oldest events are overwritten and counted in
+// Stats::dropped instead of the ring growing; the cumulative per-kind
+// counters stay exact either way.
+//
+// Timestamps are host-monotonic microseconds since the ring's epoch
+// (construction or the last reset()), so a warmed-up replay's events
+// start near zero. Events carry no strings -- two int64 payload slots
+// (`a`, `b`) hold the kind-specific detail (batch id, plan-cache hit,
+// VM span), which keeps recording allocation-free on the hot path.
+//
+// build_request_spans() folds a ring snapshot into Chrome-trace host
+// spans (sim/trace_export.h HostSpan) on the device-cycle timeline:
+// each request's execute span is placed at exactly its launch's VM
+// placement [vm_start, vm_end), and the queued/batching phases before
+// it are mapped from host microseconds to cycles with an affine fit
+// anchored on the launch events -- so one trace file shows a request
+// waiting in queue, its batch forming, and its launch overlapping the
+// previous batch's tail.
+//
+// Thread safety: the ring has its own leaf mutex; record() may be
+// called with or without the session lock held.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/trace_export.h"
+
+namespace davinci::serve {
+
+// One lifecycle transition. Payload slots by kind:
+//   kSubmitted    a = prio,           b = deadline_us (0 = none)
+//   kAdmitted     a = queue wait, us (rounded)
+//   kPlanned      a = 1 plan-cache hit / 0 miss
+//   kBatched      a = batch id,       b = batch size (requests)
+//   kLaunched     a = batch id,       b = batch size
+//   kVmScheduled  a = vm_start,       b = vm_end (stream cycles)
+//   kCompleted    a = latency, us (rounded), b = batch id
+//   kBisected     a = size of the failed launch being split
+//   kExpired      a = time in queue, us (rounded)
+//   kShed / kRejected / kCancelled / kPoisoned / kFailed: no payload
+enum class ReqEventKind : std::uint8_t {
+  kSubmitted = 0,
+  kAdmitted,
+  kBatched,
+  kPlanned,
+  kLaunched,
+  kVmScheduled,
+  kCompleted,
+  kExpired,
+  kShed,
+  kRejected,
+  kCancelled,
+  kBisected,
+  kPoisoned,
+  kFailed,
+};
+constexpr int kNumReqEventKinds = static_cast<int>(ReqEventKind::kFailed) + 1;
+
+const char* to_string(ReqEventKind kind);
+
+struct ReqEvent {
+  std::int64_t request = 0;  // session-assigned trace id
+  ReqEventKind kind = ReqEventKind::kSubmitted;
+  double t_us = 0.0;  // monotonic microseconds since the ring epoch
+  std::int64_t a = 0, b = 0;
+};
+
+class RequestTraceRing {
+ public:
+  struct Stats {
+    std::size_t capacity = 0;
+    std::int64_t recorded = 0;  // cumulative, including overwritten
+    std::int64_t dropped = 0;   // overwritten by ring wrap-around
+    std::int64_t by_kind[kNumReqEventKinds] = {};
+  };
+
+  // capacity 0 disables recording entirely (record() is a cheap no-op).
+  explicit RequestTraceRing(std::size_t capacity);
+
+  bool enabled() const { return capacity_ > 0; }
+
+  void record(std::int64_t request, ReqEventKind kind, std::int64_t a = 0,
+              std::int64_t b = 0);
+
+  Stats stats() const;
+
+  // The retained events, oldest first.
+  std::vector<ReqEvent> snapshot() const;
+
+  // Forgets every event and counter and restarts the timestamp epoch
+  // (the reset_stats() path -- warmup events never leak into the
+  // measured replay's timeline).
+  void reset();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<ReqEvent> ring_;  // ring_[i % capacity_], i < recorded_
+  Stats stats_;
+};
+
+// Folds ring events into host-side Chrome-trace spans on the device
+// cycle timeline (see the file comment for the mapping). Requests with
+// a VM placement render their execute span at exactly [vm_start,
+// vm_end); terminal failures render as instant events. Deterministic
+// for a given snapshot.
+std::vector<HostSpan> build_request_spans(
+    const std::vector<ReqEvent>& events);
+
+// The schema-v6 "request_trace" JSON object (capacity / recorded /
+// dropped / per-kind counters).
+std::string request_trace_json(const RequestTraceRing::Stats& stats);
+
+}  // namespace davinci::serve

@@ -27,10 +27,17 @@ std::string num(double v) { return json::number(v); }
 
 std::string num(std::int64_t v) { return json::number(v); }
 
-std::string latency_json(const LatencySummary& l) {
-  return "{\"count\":" + num(l.count) + ",\"mean\":" + num(l.mean) +
+// The open-ended summary fields; callers append histogram / exact
+// sub-objects before closing the brace.
+std::string latency_json_fields(const LatencySummary& l) {
+  return "\"count\":" + num(l.count) + ",\"mean\":" + num(l.mean) +
          ",\"p50\":" + num(l.p50) + ",\"p90\":" + num(l.p90) +
-         ",\"p99\":" + num(l.p99) + ",\"max\":" + num(l.max) + "}";
+         ",\"p99\":" + num(l.p99) + ",\"p999\":" + num(l.p999) +
+         ",\"max\":" + num(l.max);
+}
+
+std::int64_t round_us(double v) {
+  return static_cast<std::int64_t>(v + 0.5);
 }
 
 // A completed resilient launch absorbed faults when any of these moved.
@@ -62,7 +69,8 @@ Session::Session(ArchConfig arch, SessionOptions opts)
       device_(arch),
       plans_(opts.plan_cache_capacity),
       vm_stream_(
-          vm::VmStreamOptions{opts.vm_in_flight, opts.vm_capture}) {
+          vm::VmStreamOptions{opts.vm_in_flight, opts.vm_capture}),
+      req_trace_(opts.request_trace_capacity) {
   DV_CHECK_GE(opts_.queue_depth, 1u);
   DV_CHECK_GE(opts_.max_batch, 1u);
   DV_CHECK_GE(opts_.ub_waves, 1);
@@ -97,6 +105,7 @@ Session::~Session() {
   cv_space_.notify_all();
   cv_watchdog_.notify_all();
   for (Pending& p : dropped) {
+    req_trace_.record(p.id, ReqEventKind::kCancelled);
     p.promise.set_exception(std::make_exception_ptr(
         Cancelled("session destroyed with the request still queued")));
   }
@@ -127,6 +136,11 @@ std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in,
   std::optional<Pending> shed;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Trace ids are assigned in admission order, before the overload
+    // policy runs, so a blocked submit keeps the id it arrived with.
+    p.id = next_trace_id_++;
+    if (sub.trace_id != nullptr) *sub.trace_id = p.id;
+    const std::int64_t id = p.id;
     if (queue_.size() >= opts_.queue_depth && !stop_) {
       switch (opts_.overload) {
         case OverloadPolicy::kBlock:
@@ -138,6 +152,9 @@ std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in,
         case OverloadPolicy::kRejectNew: {
           stats_.submitted += 1;
           stats_.rejected += 1;
+          req_trace_.record(id, ReqEventKind::kSubmitted, sub.prio,
+                            sub.deadline_us);
+          req_trace_.record(id, ReqEventKind::kRejected);
           p.promise.set_exception(std::make_exception_ptr(Overloaded(
               "admission queue full (" + std::to_string(opts_.queue_depth) +
               " requests) and overload policy is reject-new")));
@@ -153,17 +170,23 @@ std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in,
           shed.emplace(std::move(*victim));
           queue_.erase(victim);
           stats_.shed += 1;
+          req_trace_.record(shed->id, ReqEventKind::kShed);
           break;
         }
       }
     }
     if (stop_) {
       stats_.cancelled += 1;
+      req_trace_.record(id, ReqEventKind::kSubmitted, sub.prio,
+                        sub.deadline_us);
+      req_trace_.record(id, ReqEventKind::kCancelled);
       p.promise.set_exception(std::make_exception_ptr(
           Cancelled("session shutting down")));
       return f;
     }
     enqueue_locked(std::move(p), lock);
+    req_trace_.record(id, ReqEventKind::kSubmitted, sub.prio,
+                      sub.deadline_us);
   }
   if (shed.has_value()) {
     shed->promise.set_exception(std::make_exception_ptr(Overloaded(
@@ -189,7 +212,13 @@ bool Session::try_submit(PoolOp op, PoolInputs in,
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stop_ || queue_.size() >= opts_.queue_depth) return false;
+    // Refused probes never consume a trace id.
+    p.id = next_trace_id_++;
+    if (sub.trace_id != nullptr) *sub.trace_id = p.id;
+    const std::int64_t id = p.id;
     enqueue_locked(std::move(p), lock);
+    req_trace_.record(id, ReqEventKind::kSubmitted, sub.prio,
+                      sub.deadline_us);
   }
   cv_work_.notify_one();
   *out = std::move(f);
@@ -245,7 +274,12 @@ void Session::worker_loop() {
       }
       in_flight_ += static_cast<std::int64_t>(taken.size());
       for (Pending& p : taken) {
-        queue_wait_us_.push_back(us_since(p.submitted));
+        const double w = us_since(p.submitted);
+        queue_wait_hist_.record(w);
+        if (queue_wait_exact_.size() < opts_.latency_sample_cap) {
+          queue_wait_exact_.push_back(w);
+        }
+        req_trace_.record(p.id, ReqEventKind::kAdmitted, round_us(w));
       }
     }
     cv_space_.notify_all();
@@ -285,6 +319,7 @@ void Session::process(std::vector<Pending> taken) {
       (void)batch_key(taken[i].op, taken[i].in);
     } catch (...) {
       taken[i].promise.set_exception(std::current_exception());
+      req_trace_.record(taken[i].id, ReqEventKind::kFailed);
       std::unique_lock<std::mutex> lock(mu_);
       stats_.failed += 1;
       continue;
@@ -348,6 +383,8 @@ void Session::execute_members(std::vector<Pending>& taken,
       p.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
           "deadline exceeded after " + std::to_string(us_since(p.submitted)) +
           "us in queue (request never launched)")));
+      req_trace_.record(p.id, ReqEventKind::kExpired,
+                        round_us(us_since(p.submitted)));
       expired += 1;
     } else {
       live.push_back(m);
@@ -386,6 +423,10 @@ void Session::execute_members(std::vector<Pending>& taken,
       std::unique_lock<std::mutex> lock(mu_);
       stats_.bisections += 1;
     }
+    for (std::size_t m : live) {
+      req_trace_.record(taken[taken_of[m]].id, ReqEventKind::kBisected,
+                        static_cast<std::int64_t>(live.size()));
+    }
     const std::size_t mid = live.size() / 2;
     std::vector<std::size_t> lo(live.begin(),
                                 live.begin() + static_cast<long>(mid));
@@ -398,6 +439,9 @@ void Session::execute_members(std::vector<Pending>& taken,
 
   for (std::size_t m : live) {
     taken[taken_of[m]].promise.set_exception(err);
+    req_trace_.record(taken[taken_of[m]].id,
+                      bisectable ? ReqEventKind::kPoisoned
+                                 : ReqEventKind::kFailed);
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -420,17 +464,38 @@ void Session::launch_members(std::vector<Pending>& taken,
   const RequestGeometry g = request_geometry(op, first_in);
   const std::optional<PlanKey> key =
       plan_key_for(op, g.ih, g.iw, device_.double_buffer());
+  std::int64_t plan_hit = -1;  // -1: no plan lookup for this launch
   if (key.has_value() && !op.plan.has_value()) {
     std::unique_lock<std::mutex> lock(mu_);
+    const std::int64_t hits_before = plans_.stats().hits;
     op.plan = plans_.get(device_.arch(), *key);
+    plan_hit = plans_.stats().hits > hits_before ? 1 : 0;
+  }
+  if (plan_hit >= 0) {
+    for (std::size_t m : members) {
+      req_trace_.record(taken[taken_of[m]].id, ReqEventKind::kPlanned,
+                        plan_hit);
+    }
   }
 
-  // Stamp the launch for the watchdog; cleared on every exit path.
+  // Stamp the launch for the watchdog; cleared on every exit path. The
+  // 0-based sequence number doubles as the batch id in the request
+  // trace -- after reset_stats it re-aligns with the VM stream's launch
+  // sequence, so trace consumers can join host and device spans.
+  std::int64_t batch_id = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    batch_id = launch_seq_;
     launch_seq_ += 1;
     launch_start_ = Clock::now();
     launch_active_ = true;
+  }
+  const std::int64_t batch_n = static_cast<std::int64_t>(members.size());
+  for (std::size_t m : members) {
+    req_trace_.record(taken[taken_of[m]].id, ReqEventKind::kBatched,
+                      batch_id, batch_n);
+    req_trace_.record(taken[taken_of[m]].id, ReqEventKind::kLaunched,
+                      batch_id, batch_n);
   }
   struct LaunchScope {
     Session* s;
@@ -443,12 +508,15 @@ void Session::launch_members(std::vector<Pending>& taken,
   std::int64_t launch_cycles = 0;
   FaultStats launch_faults;
   int cores_lost = 0;
+  std::int64_t vm_start = 0, vm_end = 0;
   if (members.size() == 1) {
     // Singleton fast path: run on the caller's tensors directly.
     PoolResult r = kernels::run_pool(device_, op, first_in);
     launch_cycles = r.cycles();
     launch_faults = r.run.faults;
     cores_lost = static_cast<int>(r.run.faults.cores_quarantined);
+    vm_start = r.run.vm_start;
+    vm_end = r.run.vm_end;
     taken[taken_of[members.front()]].promise.set_value(std::move(r));
   } else {
     Batch b;
@@ -459,9 +527,20 @@ void Session::launch_members(std::vector<Pending>& taken,
     launch_cycles = batched.cycles();
     launch_faults = batched.run.faults;
     cores_lost = static_cast<int>(batched.run.faults.cores_quarantined);
+    vm_start = batched.run.vm_start;
+    vm_end = batched.run.vm_end;
     std::vector<PoolResult> parts = split_result(b, c, batched);
     for (std::size_t m = 0; m < members.size(); ++m) {
       taken[taken_of[members[m]]].promise.set_value(std::move(parts[m]));
+    }
+  }
+  if (vm_end > 0) {
+    // The launch's scheduled span on the cross-launch stream timeline --
+    // the anchor that aligns request rows with device tracks in the
+    // unified Chrome trace.
+    for (std::size_t m : members) {
+      req_trace_.record(taken[taken_of[m]].id, ReqEventKind::kVmScheduled,
+                        vm_start, vm_end);
     }
   }
 
@@ -481,15 +560,25 @@ void Session::launch_members(std::vector<Pending>& taken,
     stats_.coalesced_requests += static_cast<std::int64_t>(members.size());
   }
   for (std::size_t m : members) {
-    latency_us_.push_back(us_since(taken[taken_of[m]].submitted));
+    const double lat = us_since(taken[taken_of[m]].submitted);
+    latency_hist_.record(lat);
+    if (latency_exact_.size() < opts_.latency_sample_cap) {
+      latency_exact_.push_back(lat);
+    }
+    req_trace_.record(taken[taken_of[m]].id, ReqEventKind::kCompleted,
+                      round_us(lat), batch_id);
   }
 }
 
 SessionStats Session::stats() const {
   std::unique_lock<std::mutex> lock(mu_);
   SessionStats s = stats_;
-  s.latency = stats::summarize(latency_us_);
-  s.queue_wait = stats::summarize(queue_wait_us_);
+  s.latency = latency_hist_.summary();
+  s.queue_wait = queue_wait_hist_.summary();
+  s.latency_exact = stats::summarize(latency_exact_);
+  s.queue_wait_exact = stats::summarize(queue_wait_exact_);
+  s.queue_depth = static_cast<std::int64_t>(queue_.size());
+  s.request_trace = req_trace_.stats();
   s.vm = vm_stream_.stats();
   s.avg_batch = s.launches > 0
                     ? static_cast<double>(batch_members_total_) /
@@ -506,15 +595,46 @@ void Session::reset_stats() {
   DV_CHECK(in_flight_ == 0 && queue_.empty())
       << "reset_stats on a non-idle session";
   stats_ = {};
-  latency_us_.clear();
-  queue_wait_us_.clear();
+  latency_hist_.reset();
+  queue_wait_hist_.reset();
+  latency_exact_.clear();
+  queue_wait_exact_.clear();
   batch_members_total_ = 0;
+  // Re-align the batch-id sequence with the (reset) VM stream's launch
+  // sequence so post-warmup trace events join cleanly.
+  launch_seq_ = 0;
+  alarmed_seq_ = 0;
+  req_trace_.reset();
   plans_.reset_stats();
   vm_stream_.reset();
 }
 
 std::string Session::serve_json() const {
   const SessionStats s = stats();
+  // The histogram serializations are grabbed under a second short lock;
+  // between stats() and here new samples may land, so the buckets can be
+  // marginally newer than the summary -- fine for reporting.
+  std::string lat_buckets, qw_buckets;
+  std::int64_t lat_dropped = 0, qw_dropped = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    lat_buckets = latency_hist_.buckets_json();
+    lat_dropped = latency_hist_.dropped();
+    qw_buckets = queue_wait_hist_.buckets_json();
+    qw_dropped = queue_wait_hist_.dropped();
+  }
+  auto latency_obj = [](const LatencySummary& l, const LatencySummary& ex,
+                        const std::string& buckets, std::int64_t dropped) {
+    // "complete" marks an exact set that saw every sample (count within
+    // the retention cap), i.e. the histogram percentiles can be
+    // cross-checked against exact ones at full fidelity.
+    return "{" + latency_json_fields(l) + ",\"hist\":{\"buckets\":" +
+           buckets + ",\"dropped\":" + num(dropped) +
+           "},\"exact\":{\"count\":" + num(ex.count) +
+           ",\"p50\":" + num(ex.p50) + ",\"p99\":" + num(ex.p99) +
+           ",\"p999\":" + num(ex.p999) + ",\"complete\":" +
+           (ex.count == l.count ? "true" : "false") + "}}";
+  };
   std::string j = "{";
   j += "\"requests\":" + num(s.submitted);
   j += ",\"completed\":" + num(s.completed);
@@ -529,10 +649,10 @@ std::string Session::serve_json() const {
   j += ",\"max_batch\":" + num(static_cast<std::int64_t>(s.max_batch));
   j += ",\"avg_batch\":" + num(s.avg_batch);
   j += ",\"device_cycles_total\":" + num(s.device_cycles_total);
-  // Schema v5: the cross-launch VM schedule. "makespan" is the
-  // overlapped device time of the whole request stream (a gated metric
-  // in davinci_prof --diff); each per-pipe stream holds the PR-4 bucket
-  // invariant busy + wait + flag + idle == makespan * tracks.
+  // Schema v5 (kept in v6): the cross-launch VM schedule. "makespan" is
+  // the overlapped device time of the whole request stream (a gated
+  // metric in davinci_prof --diff); each per-pipe stream holds the PR-4
+  // bucket invariant busy + wait + flag + idle == makespan * tracks.
   j += ",\"vm\":{\"enabled\":" +
        std::string(opts_.vm ? "true" : "false") +
        ",\"in_flight\":" + num(static_cast<std::int64_t>(s.vm.in_flight)) +
@@ -585,10 +705,29 @@ std::string Session::serve_json() const {
        ",\"capacity\":" +
        num(static_cast<std::int64_t>(s.plan_cache_capacity)) +
        ",\"hit_rate\":" + num(s.plan_cache.hit_rate()) + "}";
-  j += ",\"host_latency_us\":" + latency_json(s.latency);
-  j += ",\"host_queue_wait_us\":" + latency_json(s.queue_wait);
+  // Schema v6: p999 joins the summary fields, each latency object gains
+  // a "hist" (sparse log-linear buckets, offline-mergeable) and an
+  // "exact" cross-check sub-object, and "request_trace" reports the
+  // lifecycle ring's counters.
+  j += ",\"host_latency_us\":" +
+       latency_obj(s.latency, s.latency_exact, lat_buckets, lat_dropped);
+  j += ",\"host_queue_wait_us\":" +
+       latency_obj(s.queue_wait, s.queue_wait_exact, qw_buckets,
+                   qw_dropped);
+  j += ",\"queue_depth\":" + num(s.queue_depth);
+  j += ",\"request_trace\":" + request_trace_json(s.request_trace);
   j += "}";
   return j;
+}
+
+std::string Session::unified_chrome_trace() const {
+  return unified_chrome_trace_json(vm_stream_,
+                                   build_request_spans(req_trace_.snapshot()));
+}
+
+void Session::write_unified_chrome_trace(const std::string& path) const {
+  davinci::write_unified_chrome_trace(
+      path, vm_stream_, build_request_spans(req_trace_.snapshot()));
 }
 
 void Session::add_metrics(MetricsRegistry& reg) const {

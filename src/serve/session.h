@@ -55,10 +55,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/percentile.h"
 #include "kernels/pooling.h"
 #include "serve/batcher.h"
 #include "serve/plan_cache.h"
+#include "serve/request_trace.h"
 #include "sim/device.h"
 #include "sim/fault.h"
 #include "sim/metrics_registry.h"
@@ -135,6 +137,18 @@ struct SessionOptions {
   // Retain per-launch placed intervals for the Chrome trace exporter
   // (write_vm_chrome_trace); bounded, off by default.
   bool vm_capture = false;
+  // Request lifecycle tracing (serve/request_trace.h): every request
+  // gets a trace id and its transitions land in a bounded event ring of
+  // this capacity; when the ring fills, the oldest events are
+  // overwritten and counted (never unbounded growth). 0 disables
+  // recording (ids are still assigned).
+  std::size_t request_trace_capacity = 16384;
+  // Exact-sample retention cap for latency / queue-wait cross-checks:
+  // the first this-many samples are kept verbatim next to the bounded
+  // histograms, so tests and the CI gate can compare histogram
+  // percentiles against exact ones. Past the cap only the histograms
+  // keep counting (constant memory for million-request replays).
+  std::size_t latency_sample_cap = 8192;
 };
 
 // Per-request submission options.
@@ -146,6 +160,11 @@ struct SubmitOptions {
   // Shed priority: under OverloadPolicy::kShedOldest the oldest request
   // of the *lowest* priority present is shed first.
   int prio = 0;
+  // When non-null, receives the request's session-assigned trace id
+  // (monotonic, never reused) before submit/try_submit returns -- the
+  // key for correlating the future with ring events and the unified
+  // Chrome trace's request rows.
+  std::int64_t* trace_id = nullptr;
 };
 
 // Host-side latency distribution in microseconds (the shared summary
@@ -183,8 +202,20 @@ struct SessionStats {
   std::int64_t watchdog_alarms = 0;     // launches past the watchdog budget
   int quarantined_cores = 0;            // max cores lost in one launch
   FaultStats faults;                    // summed over completed launches
+  // Latency distributions come from the bounded log-linear histograms
+  // (common/histogram.h): count / mean / max are exact, percentiles are
+  // bucket-quantized within ~3.1%. The *_exact twins summarize the
+  // first SessionOptions::latency_sample_cap samples verbatim -- when
+  // their count matches, the histogram percentiles can be cross-checked
+  // against the exact ones (the CI 5%-tolerance gate).
   LatencySummary latency;     // submit -> future completed
   LatencySummary queue_wait;  // submit -> dequeued by the worker
+  LatencySummary latency_exact;
+  LatencySummary queue_wait_exact;
+  std::int64_t queue_depth = 0;  // requests waiting right now
+  // The request lifecycle ring's counters (capacity / recorded /
+  // dropped / per-kind totals).
+  RequestTraceRing::Stats request_trace;
   PlanCache::Stats plan_cache;
   std::size_t plan_cache_size = 0;
   std::size_t plan_cache_capacity = 0;
@@ -238,17 +269,32 @@ class Session {
   const vm::VmStream& vm_stream() const { return vm_stream_; }
 
   SessionStats stats() const;
-  // Forgets everything measured so far -- counters, latency samples,
-  // plan-cache hit/miss stats and the VM stream timeline -- while
-  // keeping cached plans and the warmed tensor arena. The warmup path
-  // (davinci_serve --warmup) replays a prefix, drains, then resets so
-  // cold-start costs never skew the timed replay. Call only while idle
-  // (after drain()); resetting mid-launch would tear the accounting.
+  // Forgets everything measured so far -- counters, latency histograms,
+  // plan-cache hit/miss stats, the request-trace ring and the VM stream
+  // timeline -- while keeping cached plans and the warmed tensor arena.
+  // The warmup path (davinci_serve --warmup) replays a prefix, drains,
+  // then resets so cold-start costs never skew the timed replay. Call
+  // only while idle (after drain()); resetting mid-launch would tear
+  // the accounting.
   void reset_stats();
-  // The schema-v5 "serve" JSON object for MetricsRegistry::set_serve.
+  // The schema-v6 "serve" JSON object for MetricsRegistry::set_serve.
   std::string serve_json() const;
-  // Attaches serve_json() to `reg` (top-level "serve", schema v5).
+  // Attaches serve_json() to `reg` (top-level "serve", schema v6).
   void add_metrics(MetricsRegistry& reg) const;
+
+  // The request lifecycle ring (serve/request_trace.h).
+  const RequestTraceRing& request_trace() const { return req_trace_; }
+  // Ring snapshot, oldest first.
+  std::vector<ReqEvent> request_events() const {
+    return req_trace_.snapshot();
+  }
+  // The unified host+device Chrome trace: the VM stream's per-launch
+  // device tracks plus one row per traced request showing queued /
+  // batching / execute phases on the same cycle timeline
+  // (docs/OBSERVABILITY.md). Device tracks require
+  // SessionOptions::vm_capture; without it the trace is host-only.
+  std::string unified_chrome_trace() const;
+  void write_unified_chrome_trace(const std::string& path) const;
 
  private:
   struct Pending {
@@ -259,6 +305,7 @@ class Session {
     // Absolute expiry (submitted + deadline_us); nullopt = no deadline.
     std::optional<std::chrono::steady_clock::time_point> deadline;
     int prio = 0;
+    std::int64_t id = 0;  // session-assigned trace id
   };
 
   void worker_loop();
@@ -306,14 +353,23 @@ class Session {
   std::int64_t alarmed_seq_ = 0;
   std::chrono::steady_clock::time_point launch_start_{};
 
-  // Stats, guarded by mu_. The sample vectors are mutable because
-  // stats() (const) summarizes them with an in-place sort -- order is
-  // irrelevant to their only other use (appending), and sorting in place
-  // avoids copying the ever-growing sample set on every scrape.
+  // Stats, guarded by mu_. The latency distributions live in bounded
+  // log-linear histograms (constant memory however long the session
+  // runs); the *_exact vectors retain the first latency_sample_cap
+  // samples verbatim for percentile cross-checks and are mutable
+  // because stats() (const) summarizes them with an in-place sort --
+  // order is irrelevant to their only other use (appending).
   SessionStats stats_;
-  mutable std::vector<double> latency_us_;
-  mutable std::vector<double> queue_wait_us_;
+  stats::Histogram latency_hist_;
+  stats::Histogram queue_wait_hist_;
+  mutable std::vector<double> latency_exact_;
+  mutable std::vector<double> queue_wait_exact_;
   std::int64_t batch_members_total_ = 0;
+  std::int64_t next_trace_id_ = 0;  // guarded by mu_
+
+  // The request lifecycle ring; has its own leaf mutex, so events can
+  // be recorded with or without mu_ held.
+  RequestTraceRing req_trace_;
 
   std::thread worker_;
   std::thread watchdog_;

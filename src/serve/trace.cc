@@ -160,6 +160,42 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
   return entries;
 }
 
+std::string to_line(const TraceEntry& e) {
+  const Window2d& w = e.op.window;
+  std::string out = "op=" + std::string(kernels::to_string(e.op.kind));
+  out += " n=" + std::to_string(e.n) + " c1=" + std::to_string(e.c1) +
+         " ih=" + std::to_string(e.ih) + " iw=" + std::to_string(e.iw);
+  if (w.kh == w.kw) {
+    out += " k=" + std::to_string(w.kh);
+  } else {
+    out += " kh=" + std::to_string(w.kh) + " kw=" + std::to_string(w.kw);
+  }
+  if (w.sh == w.sw) {
+    out += " s=" + std::to_string(w.sh);
+  } else {
+    out += " sh=" + std::to_string(w.sh) + " sw=" + std::to_string(w.sw);
+  }
+  if (w.pt != 0 || w.pb != 0 || w.pl != 0 || w.pr != 0) {
+    if (w.pt == w.pb && w.pb == w.pl && w.pl == w.pr) {
+      out += " p=" + std::to_string(w.pt);
+    } else {
+      out += " pt=" + std::to_string(w.pt) + " pb=" + std::to_string(w.pb) +
+             " pl=" + std::to_string(w.pl) + " pr=" + std::to_string(w.pr);
+    }
+  }
+  if (kernels::is_backward(e.op.kind)) {
+    out += " merge=" + std::string(kernels::to_string(e.op.merge));
+  } else {
+    out += " impl=" + std::string(akg::to_string(e.op.fwd));
+  }
+  if (e.repeat != 1) out += " x=" + std::to_string(e.repeat);
+  if (e.deadline_us != 0) {
+    out += " deadline_us=" + std::to_string(e.deadline_us);
+  }
+  if (e.prio != 0) out += " prio=" + std::to_string(e.prio);
+  return out;
+}
+
 std::vector<TraceEntry> load_trace(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   DV_CHECK(f.good()) << "cannot open trace file " << path;

@@ -44,6 +44,13 @@ struct TraceEntry {
 // malformed input.
 std::vector<TraceEntry> parse_trace(const std::string& text);
 
+// Serializes one entry back to a trace line (no trailing newline).
+// Geometry and window are always explicit (kh/kw/sh/sw, padding when
+// non-zero); forward kinds carry impl=, backward kinds merge=; x /
+// deadline_us / prio appear when non-default. Round-trips:
+// parse_trace(to_line(e)) yields an entry equal to `e` field by field.
+std::string to_line(const TraceEntry& e);
+
 // Reads and parses a trace file.
 std::vector<TraceEntry> load_trace(const std::string& path);
 

@@ -28,9 +28,17 @@
 // instruction-stream VM object ("vm": enabled/in_flight/launches/
 // makespan/serial_sum/overlap_cycles/window_stalls/hazard_stalls plus
 // per-pipe "streams" occupancy buckets where busy + wait + flag + idle
-// == makespan * tracks exactly; docs/ASYNC_VM.md). Version-1..4
-// documents are still accepted by all in-tree consumers; they simply
-// lack those keys.
+// == makespan * tracks exactly; docs/ASYNC_VM.md). Version 6 extends
+// "serve" again: the latency objects ("host_latency_us" /
+// "host_queue_wait_us") gain "p999", a "hist" sub-object (sparse
+// log-linear buckets from common/histogram.h plus a dropped-sample
+// counter -- offline-mergeable, any percentile re-derivable) and an
+// "exact" sub-object (the first latency_sample_cap samples' percentiles
+// with a "complete" flag for cross-checking the histogram), and the
+// top-level "serve" adds "queue_depth" plus a "request_trace" object
+// (lifecycle ring capacity / recorded / dropped / by_kind counters;
+// serve/request_trace.h). Version-1..5 documents are still accepted by
+// all in-tree consumers; they simply lack those keys.
 //
 // Consumers (tools/davinci_prof.cc, CI) key on schema/schema_version;
 // any breaking field change must bump kSchemaVersion. The critical path
@@ -50,7 +58,7 @@ namespace davinci {
 
 class MetricsRegistry {
  public:
-  static constexpr int kSchemaVersion = 5;
+  static constexpr int kSchemaVersion = 6;
   // Critical-path segments serialized verbatim before head-truncation.
   static constexpr std::size_t kMaxPathSegments = 1024;
 

@@ -111,9 +111,10 @@ void render_metrics_entry(const json::Value& e, std::string* out) {
   }
 }
 
-// Schema-v5 "serve" object (serve::Session::add_metrics). The v3
-// robustness keys and the v5 "vm" object are optional, so v2..v4
-// documents still render.
+// Schema-v6 "serve" object (serve::Session::add_metrics). The v3
+// robustness keys, the v5 "vm" object and the v6 p999 / hist /
+// request_trace keys are all optional, so v2..v5 documents still
+// render.
 void render_serve(const json::Value& s, std::string* out) {
   *out += "serve: " + std::to_string(int_or(s, "requests", 0)) +
           " requests in " + std::to_string(int_or(s, "launches", 0)) +
@@ -177,8 +178,23 @@ void render_serve(const json::Value& s, std::string* out) {
   }
   if (const json::Value* lat = s.get("host_latency_us")) {
     *out += "  latency (host us): p50 " + fmt_num(lat->at("p50")) + ", p90 " +
-            fmt_num(lat->at("p90")) + ", p99 " + fmt_num(lat->at("p99")) +
-            ", max " + fmt_num(lat->at("max")) + "\n";
+            fmt_num(lat->at("p90")) + ", p99 " + fmt_num(lat->at("p99"));
+    if (const json::Value* p999 = lat->get("p999")) {
+      *out += ", p999 " + fmt_num(*p999);
+    }
+    *out += ", max " + fmt_num(lat->at("max"));
+    if (const json::Value* h = lat->get("hist")) {
+      *out += " (hist dropped " + std::to_string(int_or(*h, "dropped", 0)) +
+              ")";
+    }
+    *out += "\n";
+  }
+  if (const json::Value* rt = s.get("request_trace")) {
+    *out += "  request trace: " +
+            std::to_string(int_or(*rt, "recorded", 0)) + " events (" +
+            std::to_string(int_or(*rt, "dropped", 0)) +
+            " dropped, ring capacity " +
+            std::to_string(int_or(*rt, "capacity", 0)) + ")\n";
   }
   *out += "  device cycles total " +
           std::to_string(int_or(s, "device_cycles_total", 0)) + "\n";

@@ -1,7 +1,6 @@
 #include "sim/trace_export.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 
 #include "common/check.h"
@@ -32,35 +31,19 @@ int tid_of(TraceKind k) {
   return kTidSync;
 }
 
-void append_escaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      case '\r': *out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
-
+// All string emission goes through json::escape (common/json.h) so a
+// kernel label or detail string carrying quotes, backslashes or control
+// bytes cannot produce an invalid trace file. escape() returns the
+// string already quoted.
 void append_meta(std::string* out, int pid, int tid, const char* key,
                  const std::string& value) {
   *out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid);
   if (tid >= 0) *out += ",\"tid\":" + std::to_string(tid);
   *out += ",\"name\":\"";
   *out += key;
-  *out += "\",\"args\":{\"name\":\"";
-  append_escaped(out, value);
-  *out += "\"}},\n";
+  *out += "\",\"args\":{\"name\":";
+  *out += json::escape(value);
+  *out += "}},\n";
 }
 
 // The event's display name: the first token of the detail string (the
@@ -71,6 +54,124 @@ std::string event_name(const TraceEvent& e) {
   return sp == std::string::npos ? e.detail : e.detail.substr(0, sp);
 }
 
+// One VM process track per placed launch, events at their stream-
+// scheduled starts. Collects every launch's shifted tile marks into
+// `marks` for the stream-global counter.
+void append_vm_launch_tracks(
+    std::string* out, const std::vector<vm::PlacedLaunch>& placed,
+    std::vector<std::pair<std::int64_t, int>>* marks) {
+  for (const vm::PlacedLaunch& p : placed) {
+    const int pid = static_cast<int>(p.seq) + 1;
+    append_meta(out, pid, -1, "process_name",
+                "launch " + std::to_string(p.seq) + ": " + p.label);
+    for (const vm::CoreWork& cw : p.cores) {
+      bool named[PipeScheduler::kNumPipes] = {};
+      for (const PipeScheduler::LoggedInterval& iv : cw.intervals) {
+        const int pi = static_cast<int>(iv.pipe);
+        const int tid = cw.core * PipeScheduler::kNumPipes + pi;
+        if (!named[pi]) {
+          named[pi] = true;
+          append_meta(out, pid, tid, "thread_name",
+                      "core " + std::to_string(cw.core) + " " +
+                          to_string(iv.pipe));
+        }
+        const std::int64_t ts = p.start + iv.start;
+        *out += "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+                ",\"tid\":" + std::to_string(tid) +
+                ",\"ts\":" + std::to_string(ts) +
+                ",\"dur\":" + std::to_string(iv.end - iv.start) +
+                ",\"name\":" + json::escape(to_string(iv.pipe)) +
+                ",\"cat\":\"vm\",\"args\":{\"launch\":" +
+                std::to_string(p.seq) +
+                ",\"cycles\":" + std::to_string(iv.end - iv.start) + "}},\n";
+      }
+      for (const auto& mark : cw.tile_marks) {
+        marks->emplace_back(p.start + mark.first, mark.second);
+      }
+    }
+  }
+}
+
+// The stream-global "ub tiles in flight" counter on pid 0, closed with a
+// zero sample at the cross-batch makespan. Callers must emit this LAST:
+// CI asserts the final counter sample is the close at the makespan.
+void append_vm_counter(std::string* out,
+                       std::vector<std::pair<std::int64_t, int>> marks,
+                       std::int64_t makespan) {
+  if (marks.empty()) return;
+  std::stable_sort(
+      marks.begin(), marks.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::int64_t depth = 0;
+  for (const auto& mark : marks) {
+    depth += mark.second;
+    *out += "{\"ph\":\"C\",\"pid\":0,\"ts\":" + std::to_string(mark.first) +
+            ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":" +
+            std::to_string(depth) + "}},\n";
+  }
+  // Close the counter at the end of the stream; without this the viewer
+  // extends the last sample's value to infinity, which reads as tiles
+  // still in flight after the device has drained. With inter-batch
+  // pipelining the relevant end is the stream's, not any single
+  // launch's.
+  std::int64_t end_ts = makespan;
+  if (end_ts < marks.back().first) end_ts = marks.back().first;
+  *out += "{\"ph\":\"C\",\"pid\":0,\"ts\":" + std::to_string(end_ts) +
+          ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":0}},\n";
+}
+
+void append_host_spans(std::string* out,
+                       const std::vector<HostSpan>& spans) {
+  if (spans.empty()) return;
+  append_meta(out, kHostTrackPid, -1, "process_name", "serve requests");
+  std::vector<int> named_rows;
+  for (const HostSpan& h : spans) {
+    if (std::find(named_rows.begin(), named_rows.end(), h.row) ==
+        named_rows.end()) {
+      named_rows.push_back(h.row);
+      append_meta(out, kHostTrackPid, h.row, "thread_name", h.row_name);
+    }
+    if (h.instant) {
+      *out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" +
+              std::to_string(kHostTrackPid) +
+              ",\"tid\":" + std::to_string(h.row) +
+              ",\"ts\":" + std::to_string(h.start) +
+              ",\"name\":" + json::escape(h.name) + ",\"cat\":\"serve\"";
+    } else {
+      *out += "{\"ph\":\"X\",\"pid\":" + std::to_string(kHostTrackPid) +
+              ",\"tid\":" + std::to_string(h.row) +
+              ",\"ts\":" + std::to_string(h.start) +
+              ",\"dur\":" + std::to_string(h.end - h.start) +
+              ",\"name\":" + json::escape(h.name) + ",\"cat\":\"serve\"";
+    }
+    if (!h.args_json.empty()) *out += ",\"args\":" + h.args_json;
+    *out += "},\n";
+  }
+}
+
+void strip_trailing_comma(std::string* out) {
+  if (out->size() >= 2 && (*out)[out->size() - 2] == ',') {
+    out->erase(out->size() - 2, 1);
+  }
+}
+
+std::string trace_header(const char* generator) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\n";
+  out += "\"otherData\":{\"generator\":\"";
+  out += generator;
+  out += "\",\"time_unit\":\"1 event microsecond = 1 simulated cycle\"},\n";
+  out += "\"traceEvents\":[\n";
+  return out;
+}
+
+void write_trace_file(const std::string& path, const std::string& json) {
+  std::ofstream f(path, std::ios::binary);
+  DV_CHECK(f.good()) << "cannot open trace output file " << path;
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  DV_CHECK(f.good()) << "failed writing trace output file " << path;
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<const Trace*>& traces,
@@ -79,11 +180,7 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
                                   scheds) {
   DV_CHECK_EQ(traces.size(), core_ids.size());
   if (!scheds.empty()) DV_CHECK_EQ(scheds.size(), traces.size());
-  std::string out;
-  out += "{\"displayTimeUnit\":\"ms\",\n";
-  out += "\"otherData\":{\"generator\":\"davinci-sim\","
-         "\"time_unit\":\"1 event microsecond = 1 simulated cycle\"},\n";
-  out += "\"traceEvents\":[\n";
+  std::string out = trace_header("davinci-sim");
 
   for (std::size_t i = 0; i < traces.size(); ++i) {
     const Trace& trace = *traces[i];
@@ -106,13 +203,11 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
       out += "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
              ",\"tid\":" + std::to_string(tid_of(e.kind)) +
              ",\"ts\":" + std::to_string(ev_ts) +
-             ",\"dur\":" + std::to_string(e.cycles) + ",\"name\":\"";
-      append_escaped(&out, event_name(e));
-      out += "\",\"cat\":\"";
-      out += to_string(e.kind);
-      out += "\",\"args\":{\"detail\":\"";
-      append_escaped(&out, e.detail);
-      out += "\",\"cycles\":" + std::to_string(e.cycles);
+             ",\"dur\":" + std::to_string(e.cycles) +
+             ",\"name\":" + json::escape(event_name(e)) +
+             ",\"cat\":" + json::escape(to_string(e.kind)) +
+             ",\"args\":{\"detail\":" + json::escape(e.detail) +
+             ",\"cycles\":" + std::to_string(e.cycles);
       if (e.slots_capacity > 0) {
         // json::number keeps the decimal separator '.' regardless of
         // LC_NUMERIC (snprintf "%f" would not).
@@ -175,9 +270,7 @@ std::string chrome_trace_json(const std::vector<const Trace*>& traces,
   }
 
   // Strip the trailing ",\n" so the array is valid JSON.
-  if (out.size() >= 2 && out[out.size() - 2] == ',') {
-    out.erase(out.size() - 2, 1);
-  }
+  strip_trailing_comma(&out);
   out += "]}\n";
   return out;
 }
@@ -198,94 +291,46 @@ std::string chrome_trace_json(Device& dev) {
 }
 
 void write_chrome_trace(const std::string& path, Device& dev) {
-  std::ofstream f(path, std::ios::binary);
-  DV_CHECK(f.good()) << "cannot open trace output file " << path;
-  const std::string json = chrome_trace_json(dev);
-  f.write(json.data(), static_cast<std::streamsize>(json.size()));
-  DV_CHECK(f.good()) << "failed writing trace output file " << path;
+  write_trace_file(path, chrome_trace_json(dev));
 }
 
 std::string vm_chrome_trace_json(const vm::VmStream& stream) {
-  const std::vector<vm::PlacedLaunch> placed = stream.placements();
-  const vm::VmStream::Stats stats = stream.stats();
-  std::string out;
-  out += "{\"displayTimeUnit\":\"ms\",\n";
-  out += "\"otherData\":{\"generator\":\"davinci-sim vm\","
-         "\"time_unit\":\"1 event microsecond = 1 simulated cycle\"},\n";
-  out += "\"traceEvents\":[\n";
-
+  std::string out = trace_header("davinci-sim vm");
   append_meta(&out, 0, -1, "process_name", "VM stream");
-
-  // The stream-global ping-pong depth: every launch's tile marks shifted
-  // to their scheduled position, merged across batches.
   std::vector<std::pair<std::int64_t, int>> marks;
-
-  for (const vm::PlacedLaunch& p : placed) {
-    const int pid = static_cast<int>(p.seq) + 1;
-    append_meta(&out, pid, -1, "process_name",
-                "launch " + std::to_string(p.seq) + ": " + p.label);
-    for (const vm::CoreWork& cw : p.cores) {
-      bool named[PipeScheduler::kNumPipes] = {};
-      for (const PipeScheduler::LoggedInterval& iv : cw.intervals) {
-        const int pi = static_cast<int>(iv.pipe);
-        const int tid = cw.core * PipeScheduler::kNumPipes + pi;
-        if (!named[pi]) {
-          named[pi] = true;
-          append_meta(&out, pid, tid, "thread_name",
-                      "core " + std::to_string(cw.core) + " " +
-                          to_string(iv.pipe));
-        }
-        const std::int64_t ts = p.start + iv.start;
-        out += "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
-               ",\"tid\":" + std::to_string(tid) +
-               ",\"ts\":" + std::to_string(ts) +
-               ",\"dur\":" + std::to_string(iv.end - iv.start) +
-               ",\"name\":\"";
-        append_escaped(&out, to_string(iv.pipe));
-        out += "\",\"cat\":\"vm\",\"args\":{\"launch\":" +
-               std::to_string(p.seq) +
-               ",\"cycles\":" + std::to_string(iv.end - iv.start) + "}},\n";
-      }
-      for (const auto& mark : cw.tile_marks) {
-        marks.emplace_back(p.start + mark.first, mark.second);
-      }
-    }
-  }
-
-  if (!marks.empty()) {
-    std::stable_sort(
-        marks.begin(), marks.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    std::int64_t depth = 0;
-    for (const auto& mark : marks) {
-      depth += mark.second;
-      out += "{\"ph\":\"C\",\"pid\":0,\"ts\":" + std::to_string(mark.first) +
-             ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":" +
-             std::to_string(depth) + "}},\n";
-    }
-    // Close at the cross-batch makespan so the viewer does not extend
-    // the last sample to infinity -- with inter-batch pipelining the
-    // relevant end is the stream's, not any single launch's.
-    std::int64_t end_ts = stats.makespan;
-    if (end_ts < marks.back().first) end_ts = marks.back().first;
-    out += "{\"ph\":\"C\",\"pid\":0,\"ts\":" + std::to_string(end_ts) +
-           ",\"name\":\"ub tiles in flight\",\"args\":{\"tiles\":0}},\n";
-  }
-
-  if (out.size() >= 2 && out[out.size() - 2] == ',') {
-    out.erase(out.size() - 2, 1);
-  }
+  append_vm_launch_tracks(&out, stream.placements(), &marks);
+  append_vm_counter(&out, std::move(marks), stream.stats().makespan);
+  strip_trailing_comma(&out);
   out += "]}\n";
   return out;
 }
 
 void write_vm_chrome_trace(const std::string& path,
                            const vm::VmStream& stream) {
-  std::ofstream f(path, std::ios::binary);
-  DV_CHECK(f.good()) << "cannot open trace output file " << path;
-  const std::string json = vm_chrome_trace_json(stream);
-  f.write(json.data(), static_cast<std::streamsize>(json.size()));
-  DV_CHECK(f.good()) << "failed writing trace output file " << path;
+  write_trace_file(path, vm_chrome_trace_json(stream));
+}
+
+std::string unified_chrome_trace_json(const vm::VmStream& stream,
+                                      const std::vector<HostSpan>& spans) {
+  std::string out = trace_header("davinci-sim serve");
+  append_meta(&out, 0, -1, "process_name", "VM stream");
+  // Host request tracks first, then the device launch tracks, and the
+  // stream counter strictly last -- the "ub tiles in flight" counter's
+  // final sample must stay the zero close at the makespan (the CI
+  // invariant), so nothing may append counter samples after it.
+  append_host_spans(&out, spans);
+  std::vector<std::pair<std::int64_t, int>> marks;
+  append_vm_launch_tracks(&out, stream.placements(), &marks);
+  append_vm_counter(&out, std::move(marks), stream.stats().makespan);
+  strip_trailing_comma(&out);
+  out += "]}\n";
+  return out;
+}
+
+void write_unified_chrome_trace(const std::string& path,
+                                const vm::VmStream& stream,
+                                const std::vector<HostSpan>& spans) {
+  write_trace_file(path, unified_chrome_trace_json(stream, spans));
 }
 
 }  // namespace davinci

@@ -68,4 +68,38 @@ std::string vm_chrome_trace_json(const vm::VmStream& stream);
 void write_vm_chrome_trace(const std::string& path,
                            const vm::VmStream& stream);
 
+// One host-side span for the unified host+device timeline: a row of the
+// dedicated "serve requests" process track (pid kHostTrackPid), placed
+// directly on the VM stream's cycle timeline so request lifecycle phases
+// line up with the device tracks they caused. Rows are labeled once via
+// row_name; args_json, when non-empty, must be a serialized JSON object
+// and is embedded verbatim as the event's args.
+struct HostSpan {
+  int row = 0;
+  std::string row_name;
+  std::string name;
+  std::int64_t start = 0, end = 0;  // stream cycles
+  std::string args_json;
+  bool instant = false;  // render as an instant event at `start`
+};
+
+// The host track's pid: far above any VM launch pid (seq + 1, bounded
+// by vm::VmStream::kMaxPlacedLaunches).
+constexpr int kHostTrackPid = 1000000;
+
+// The unified host+device timeline (docs/OBSERVABILITY.md): every VM
+// device track and counter of vm_chrome_trace_json plus the given host
+// spans, in one trace file. The VM counter samples stay the final "C"
+// events, so the "counter closes at the makespan" CI invariant is
+// unchanged. Host spans with cat "serve" render even when the stream
+// captured nothing (VM off), so a host-only trace is still valid.
+std::string unified_chrome_trace_json(const vm::VmStream& stream,
+                                      const std::vector<HostSpan>& spans);
+
+// Writes unified_chrome_trace_json to `path`. Throws Error on I/O
+// failure.
+void write_unified_chrome_trace(const std::string& path,
+                                const vm::VmStream& stream,
+                                const std::vector<HostSpan>& spans);
+
 }  // namespace davinci

@@ -1,0 +1,235 @@
+// Tests for the bounded log-linear histogram (common/histogram.h),
+// including the gated accuracy property: every reported percentile is
+// within 5% of the exact-sample percentile -- the tolerance the CI
+// pipelined-serve gate asserts on the metrics document.
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/json.h"
+#include "common/percentile.h"
+#include "common/prng.h"
+#include "gtest/gtest.h"
+
+using davinci::Xoshiro256;
+using davinci::stats::Histogram;
+using davinci::stats::Summary;
+
+namespace {
+
+// |hist - exact| relative to the exact value (absolute when exact ~ 0).
+double rel_err(double hist, double exact) {
+  if (std::abs(exact) < 1e-12) return std::abs(hist - exact);
+  return std::abs(hist - exact) / std::abs(exact);
+}
+
+void expect_percentiles_within(const std::vector<double>& samples,
+                               double tol, const char* label) {
+  Histogram h;
+  for (double v : samples) h.record(v);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = davinci::stats::percentile(sorted, q);
+    const double approx = h.percentile(q);
+    EXPECT_LE(rel_err(approx, exact), tol)
+        << label << ": q=" << q << " exact=" << exact
+        << " hist=" << approx;
+  }
+}
+
+}  // namespace
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.dropped(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  const Summary s = h.summary();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p999, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(h.buckets_json(), "[]");
+}
+
+TEST(Histogram, ExactFieldsAreExact) {
+  Histogram h;
+  h.record(3.0);
+  h.record(5.0);
+  h.record(100.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 108.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 36.0);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, NonFiniteSamplesAreDroppedAndCounted) {
+  Histogram h;
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.dropped(), 3);
+  h.record(7.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.0);
+}
+
+TEST(Histogram, NegativesClampToZero) {
+  Histogram h;
+  h.record(-12.5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.dropped(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsReproducedExactly) {
+  // min/max clamping pins a one-sample histogram to the sample itself,
+  // whatever the bucket geometry quantizes to.
+  for (double v : {0.25, 1.0, 37.5, 1234.0, 9.9e9}) {
+    Histogram h;
+    h.record(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), v);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), v);
+  }
+}
+
+TEST(Histogram, BucketGeometryIsMonotoneAndTight) {
+  // Every bucket's bounds nest: lo(b) < hi(b) == lo(b+1), and bucket_of
+  // maps each bound into the bucket it opens.
+  for (int b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    EXPECT_LT(Histogram::bucket_lo(b), Histogram::bucket_hi(b)) << b;
+    EXPECT_DOUBLE_EQ(Histogram::bucket_hi(b), Histogram::bucket_lo(b + 1))
+        << b;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b) << b;
+  }
+  // Relative bucket width above 1.0 is bounded by 1/kSub (the 3.125%
+  // quantization the 5% gate rides on).
+  for (int b = Histogram::kSub; b + 1 < Histogram::kBuckets; ++b) {
+    const double lo = Histogram::bucket_lo(b);
+    const double width = Histogram::bucket_hi(b) - lo;
+    EXPECT_LE(width / lo, 1.0 / Histogram::kSub + 1e-12) << b;
+  }
+}
+
+TEST(Histogram, PercentilesWithin5PercentUniform) {
+  Xoshiro256 rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(1.0 + rng.next_double() * 5000.0);
+  }
+  expect_percentiles_within(samples, 0.05, "uniform");
+}
+
+TEST(Histogram, PercentilesWithin5PercentHeavyTail) {
+  // Exponential-ish latencies spanning several octaves -- the shape a
+  // serving replay actually produces (many fast, a long tail).
+  Xoshiro256 rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.next_double();
+    samples.push_back(20.0 * (1.0 + -std::log(1.0 - u) * 40.0));
+  }
+  expect_percentiles_within(samples, 0.05, "heavy-tail");
+}
+
+TEST(Histogram, PercentilesWithin5PercentBimodal) {
+  // Cache-hit/cache-miss bimodality: two tight clusters far apart.
+  Xoshiro256 rng(1234);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double base = rng.next_below(4) == 0 ? 900.0 : 30.0;
+    samples.push_back(base * (1.0 + 0.05 * rng.next_double()));
+  }
+  expect_percentiles_within(samples, 0.05, "bimodal");
+}
+
+TEST(Histogram, MergeMatchesRecordingEverythingInOne) {
+  Xoshiro256 rng(99);
+  Histogram all, a, b;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 1.0 + rng.next_double() * 800.0;
+    all.record(v);
+    (i % 2 == 0 ? a : b).record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  // Summation order differs between the merged and the all-in-one
+  // histogram, so the sums agree only to rounding.
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-6 * all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q)) << q;
+  }
+  EXPECT_EQ(a.buckets_json(), all.buckets_json());
+}
+
+TEST(Histogram, ResetForgetsEverything) {
+  Histogram h;
+  h.record(5.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.dropped(), 0);
+  EXPECT_EQ(h.buckets_json(), "[]");
+}
+
+TEST(Histogram, BucketsJsonParsesAndSumsToCount) {
+  Xoshiro256 rng(5);
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1.0 + rng.next_double() * 300.0);
+  const davinci::json::Value v = davinci::json::parse(h.buckets_json());
+  std::int64_t total = 0;
+  double prev_lo = -1.0;
+  for (const davinci::json::Value& pair : v.as_array()) {
+    const double lo = pair.as_array()[0].as_double();
+    EXPECT_GT(lo, prev_lo);  // ascending, no duplicates
+    prev_lo = lo;
+    total += pair.as_array()[1].as_int();
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, HugeValuesClampIntoTopBucketButMaxStaysExact) {
+  Histogram h;
+  const double huge = 1e15;  // beyond 2^40
+  h.record(huge);
+  h.record(2.0);
+  EXPECT_DOUBLE_EQ(h.max(), huge);
+  // The top-bucket percentile clamps to the exact max envelope.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), huge);
+}
+
+TEST(SummaryGuards, EmptyAndNonFiniteSamples) {
+  // stats::summarize must not sort NaNs (UB) and must zero-fill on
+  // empty input; non-finite samples are excluded from the percentiles.
+  std::vector<double> empty;
+  const Summary z = davinci::stats::summarize(empty);
+  EXPECT_EQ(z.count, 0);
+  EXPECT_EQ(z.p50, 0.0);
+  EXPECT_EQ(z.max, 0.0);
+
+  std::vector<double> mixed = {5.0,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               1.0,
+                               std::numeric_limits<double>::infinity(),
+                               3.0};
+  const Summary s = davinci::stats::summarize(mixed);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+
+  // percentile() clamps out-of-range quantiles instead of indexing OOB.
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(davinci::stats::percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(davinci::stats::percentile(v, 1.5), 3.0);
+}

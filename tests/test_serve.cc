@@ -203,7 +203,7 @@ TEST(ServeSession, KernelErrorsSurfaceThroughFutureNotTerminate) {
   EXPECT_EQ(session.stats().completed, 1);
 }
 
-TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV5) {
+TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV6) {
   Session session;
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
@@ -215,7 +215,7 @@ TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV5) {
   MetricsRegistry reg;
   session.add_metrics(reg);
   const std::string json = reg.to_json();
-  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
   // The v4 host-phase buckets are per-entry fields; the host_ns bucket
   // invariant itself is covered in test_metrics.cc. The v5 "vm" object
   // and its stream buckets are covered in test_vm.cc.
@@ -229,6 +229,16 @@ TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV5) {
   EXPECT_NE(json.find("\"overload_policy\":\"block\""), std::string::npos);
   EXPECT_NE(json.find("\"resilience\""), std::string::npos);
   EXPECT_NE(json.find("\"watchdog_alarms\""), std::string::npos);
+  // The v6 surface: p999 + histogram + exact cross-check inside the
+  // latency objects, queue depth, and the request-trace ring counters.
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(json.find("\"hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"exact\""), std::string::npos);
+  EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"by_kind\""), std::string::npos);
 }
 
 // --- Deadlines -----------------------------------------------------------
@@ -618,6 +628,56 @@ TEST(ServeTrace, DuplicateAndUnknownKeysAreErrors) {
   // Unknown keys stay an error (no silent typo tolerance).
   EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 deadline=5\n"),
                Error);
+}
+
+TEST(ServeTrace, TruncatedLinesAreErrors) {
+  // A line cut mid-token must not silently drop the fragment.
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=\n"), Error);  // cut value
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw\n"), Error);   // cut token
+  EXPECT_THROW(parse_trace("op=\n"), Error);                  // empty value
+  EXPECT_THROW(parse_trace("=3\n"), Error);                   // empty key
+  // A file truncated without its final newline still parses the tokens
+  // it has -- and still rejects the dangling fragment.
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 x"), Error);
+  const auto ok = parse_trace("op=maxpool ih=9 iw=9 k=3 s=2");
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_EQ(ok[0].ih, 9);
+}
+
+TEST(ServeTrace, ToLineRoundTripsThroughParse) {
+  const auto entries = parse_trace(
+      "op=maxpool n=2 c1=4 ih=35 iw=35 kh=3 kw=2 sh=2 sw=1 pt=1 pb=0 pl=1 "
+      "pr=0 impl=im2col x=3 deadline_us=500 prio=2\n"
+      "op=avgpool c1=2 ih=21 iw=21 k=3 s=2 p=1 impl=expansion\n"
+      "op=maxpool_bwd c1=2 ih=19 iw=19 k=3 s=2 merge=col2im\n"
+      "op=avgpool_bwd c1=2 ih=19 iw=19 k=2 s=2 merge=vadd\n"
+      "op=global_avgpool c1=4 ih=8 iw=8\n");
+  std::string text;
+  for (const auto& e : entries) text += to_line(e) + "\n";
+  const auto reparsed = parse_trace(text);
+  ASSERT_EQ(reparsed.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& a = entries[i];
+    const auto& b = reparsed[i];
+    EXPECT_EQ(a.op.kind, b.op.kind) << "line " << i;
+    EXPECT_EQ(a.op.fwd, b.op.fwd) << "line " << i;
+    EXPECT_EQ(a.op.merge, b.op.merge) << "line " << i;
+    EXPECT_EQ(a.op.window.kh, b.op.window.kh) << "line " << i;
+    EXPECT_EQ(a.op.window.kw, b.op.window.kw) << "line " << i;
+    EXPECT_EQ(a.op.window.sh, b.op.window.sh) << "line " << i;
+    EXPECT_EQ(a.op.window.sw, b.op.window.sw) << "line " << i;
+    EXPECT_EQ(a.op.window.pt, b.op.window.pt) << "line " << i;
+    EXPECT_EQ(a.op.window.pb, b.op.window.pb) << "line " << i;
+    EXPECT_EQ(a.op.window.pl, b.op.window.pl) << "line " << i;
+    EXPECT_EQ(a.op.window.pr, b.op.window.pr) << "line " << i;
+    EXPECT_EQ(a.n, b.n) << "line " << i;
+    EXPECT_EQ(a.c1, b.c1) << "line " << i;
+    EXPECT_EQ(a.ih, b.ih) << "line " << i;
+    EXPECT_EQ(a.iw, b.iw) << "line " << i;
+    EXPECT_EQ(a.repeat, b.repeat) << "line " << i;
+    EXPECT_EQ(a.deadline_us, b.deadline_us) << "line " << i;
+    EXPECT_EQ(a.prio, b.prio) << "line " << i;
+  }
 }
 
 TEST(ServeTrace, MaterializedRequestsServeEndToEnd) {

@@ -28,8 +28,19 @@
 //   --warmup=N           replay the first N requests once before the
 //                        measured run (warm plan cache / arena), then
 //                        reset the statistics and the wall clock
-//   --chrome-trace=path  write the VM cross-batch Chrome trace (enables
-//                        stream capture; one track per placed launch)
+//   --chrome-trace=path  write the unified host+device Chrome trace
+//                        (enables stream capture): the VM cross-batch
+//                        launch tracks plus one "serve requests" row per
+//                        traced request (queued / batching / execute) on
+//                        the same cycle timeline
+//   --stats-every-ms=N   live telemetry: while the measured replay runs,
+//                        emit one JSON line every N ms (interval qps,
+//                        latency p50/p99/p999, queue depth, failure
+//                        counters, plan-cache hit rate, VM overlap,
+//                        trace-ring drops); a final line always flushes
+//                        at the end of the replay
+//   --stats-out=path     write the telemetry lines to a file (default
+//                        stdout)
 //   --json=<path>        machine-readable report ({"bench","rows"}); the
 //                        per-trace-line rows carry non-gated fields, the
 //                        final "total" row carries the gated cycles sum
@@ -40,17 +51,21 @@
 //                        host_plan_ms / host_validate_ms /
 //                        host_execute_ms), which only gate a diff under
 //                        davinci_prof --include-host
-//   --metrics=<path>     schema-v5 davinci.metrics JSON: one entry per
+//   --metrics=<path>     schema-v6 davinci.metrics JSON: one entry per
 //                        trace line plus the session's "serve" object
-//                        (including the VM cross-batch "vm" sub-object)
+//                        (VM "vm" sub-object, latency histograms and the
+//                        "request_trace" ring counters)
 //
 // Exit codes: 0 success, 2 usage, 3 trace error, 4 any request failed
 // (launch failure, expired deadline, or shed by the overload policy).
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
@@ -102,9 +117,100 @@ int usage() {
                "[--deadline-us=N] [--watchdog-us=N] [--inject=SPEC] "
                "[--seed=N] [--retries=N] [--verify] [--no-arena] "
                "[--no-vm] [--in-flight=N] [--warmup=N] "
-               "[--chrome-trace=path] [--json=path] [--metrics=path]\n");
+               "[--chrome-trace=path] [--stats-every-ms=N] "
+               "[--stats-out=path] [--json=path] [--metrics=path]\n");
   return 2;
 }
+
+// The live telemetry stream (--stats-every-ms): a sampler thread scrapes
+// session.stats() every interval and appends one JSON line per snapshot.
+// qps is the *interval* completion rate (delta completed / delta time);
+// everything else is the cumulative value at sample time. finish()
+// always emits one final line, so even a replay shorter than the
+// interval yields a non-empty stream.
+class StatsStream {
+ public:
+  void start(serve::Session* session, std::int64_t every_ms,
+             const std::string& out_path) {
+    session_ = session;
+    if (!out_path.empty()) {
+      out_ = std::fopen(out_path.c_str(), "wb");
+      DV_CHECK(out_ != nullptr) << "cannot open " << out_path;
+      owns_file_ = true;
+    } else {
+      out_ = stdout;
+    }
+    t0_ = std::chrono::steady_clock::now();
+    thread_ = std::thread([this, every_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        if (cv_.wait_for(lock, std::chrono::milliseconds(every_ms),
+                         [this] { return stop_; })) {
+          return;
+        }
+        lock.unlock();
+        emit_line();
+        lock.lock();
+      }
+    });
+  }
+
+  void finish() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    emit_line();
+    if (owns_file_) std::fclose(out_);
+    out_ = nullptr;
+  }
+
+ private:
+  void emit_line() {
+    const serve::SessionStats s = session_->stats();
+    const double t_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0_)
+                            .count();
+    const double dt_s = (t_ms - last_t_ms_) / 1000.0;
+    const double qps =
+        dt_s > 0.0
+            ? static_cast<double>(s.completed - last_completed_) / dt_s
+            : 0.0;
+    const std::string j =
+        "{\"t_ms\":" + json::number(t_ms) + ",\"qps\":" + json::number(qps) +
+        ",\"completed\":" + std::to_string(s.completed) +
+        ",\"p50_us\":" + json::number(s.latency.p50) +
+        ",\"p99_us\":" + json::number(s.latency.p99) +
+        ",\"p999_us\":" + json::number(s.latency.p999) +
+        ",\"queue_depth\":" + std::to_string(s.queue_depth) +
+        ",\"failed\":" + std::to_string(s.failed) +
+        ",\"expired\":" + std::to_string(s.expired) +
+        ",\"shed\":" + std::to_string(s.shed + s.rejected) +
+        ",\"poisoned\":" + std::to_string(s.poisoned_requests) +
+        ",\"plan_cache_hit_rate\":" + json::number(s.plan_cache.hit_rate()) +
+        ",\"vm_overlap_cycles\":" + std::to_string(s.vm.overlap_cycles) +
+        ",\"trace_dropped\":" + std::to_string(s.request_trace.dropped) +
+        "}\n";
+    std::fwrite(j.data(), 1, j.size(), out_);
+    std::fflush(out_);
+    last_completed_ = s.completed;
+    last_t_ms_ = t_ms;
+  }
+
+  serve::Session* session_ = nullptr;
+  std::FILE* out_ = nullptr;
+  bool owns_file_ = false;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::chrono::steady_clock::time_point t0_;
+  std::int64_t last_completed_ = 0;
+  double last_t_ms_ = 0.0;
+};
 
 }  // namespace
 
@@ -158,6 +264,9 @@ int main(int argc, char** argv) {
   const std::string chrome_trace_path =
       arg_value(argc, argv, "--chrome-trace=");
   const std::int64_t warmup = int_arg(argc, argv, "--warmup=", 0);
+  const std::int64_t stats_every_ms =
+      int_arg(argc, argv, "--stats-every-ms=", 0);
+  const std::string stats_out = arg_value(argc, argv, "--stats-out=");
   opts.vm = !has_flag(argc, argv, "--no-vm");
   opts.vm_in_flight = static_cast<int>(int_arg(argc, argv, "--in-flight=", 2));
   opts.vm_capture = !chrome_trace_path.empty();
@@ -240,6 +349,11 @@ int main(int argc, char** argv) {
   // each window all at once, which makes coalescing -- and therefore
   // the launch count and cycle totals -- deterministic run to run. The
   // CI host gate diffs cycles at zero tolerance on top of this.
+  StatsStream stats_stream;
+  if (stats_every_ms > 0) {
+    stats_stream.start(&session, stats_every_ms, stats_out);
+  }
+  std::int64_t first_trace_id = -1, last_trace_id = -1;
   const auto t0 = std::chrono::steady_clock::now();
   try {
     std::size_t window = 0;
@@ -250,8 +364,12 @@ int main(int argc, char** argv) {
       sub.deadline_us =
           e.deadline_us > 0 ? e.deadline_us : default_deadline_us;
       sub.prio = e.prio;
+      std::int64_t trace_id = -1;
+      sub.trace_id = &trace_id;
       lines[request_line[r]].futures.push_back(
           session.submit(e.op, requests[r].inputs(), sub));
+      if (first_trace_id < 0) first_trace_id = trace_id;
+      last_trace_id = trace_id;
       if (++window == static_cast<std::size_t>(opts.queue_depth)) {
         session.resume();
         session.drain();
@@ -265,6 +383,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "davinci_serve: submit failed: %s\n", e.what());
     return 4;
   }
+  if (stats_every_ms > 0) stats_stream.finish();
 
   MetricsRegistry registry;
   std::printf("davinci_serve: %zu requests from %s (%s)\n", requests.size(),
@@ -370,10 +489,20 @@ int main(int argc, char** argv) {
               s.plan_cache.hit_rate() * 100.0, s.plan_cache_size,
               s.plan_cache_capacity,
               static_cast<long long>(s.plan_cache.evictions));
-  std::printf("latency       p50 %.1fus p90 %.1fus p99 %.1fus max %.1fus "
-              "(queue wait p50 %.1fus)\n",
-              s.latency.p50, s.latency.p90, s.latency.p99, s.latency.max,
-              s.queue_wait.p50);
+  std::printf("latency       p50 %.1fus p90 %.1fus p99 %.1fus p999 %.1fus "
+              "max %.1fus (queue wait p50 %.1fus)\n",
+              s.latency.p50, s.latency.p90, s.latency.p99, s.latency.p999,
+              s.latency.max, s.queue_wait.p50);
+  if (opts.request_trace_capacity > 0) {
+    std::printf("trace         %lld lifecycle events (%lld dropped, ring "
+                "capacity %lld), request ids %lld..%lld\n",
+                static_cast<long long>(s.request_trace.recorded),
+                static_cast<long long>(s.request_trace.dropped),
+                static_cast<long long>(
+                    static_cast<std::int64_t>(s.request_trace.capacity)),
+                static_cast<long long>(first_trace_id),
+                static_cast<long long>(last_trace_id));
+  }
   std::printf("queue         peak depth %lld / %zu, %lld backpressure "
               "waits\n",
               static_cast<long long>(s.peak_queue_depth), opts.queue_depth,
@@ -449,10 +578,14 @@ int main(int argc, char** argv) {
     registry.write(metrics_path);
   }
   if (!chrome_trace_path.empty()) {
-    write_vm_chrome_trace(chrome_trace_path, session.vm_stream());
-    std::printf("chrome-trace: wrote %s (%zu placed launches)\n",
+    // One file, two layers: the VM's per-launch device tracks plus one
+    // "serve requests" row per traced request on the same timeline.
+    session.write_unified_chrome_trace(chrome_trace_path);
+    std::printf("chrome-trace: wrote %s (%zu placed launches, %lld request "
+                "events)\n",
                 chrome_trace_path.c_str(),
-                session.vm_stream().placements().size());
+                session.vm_stream().placements().size(),
+                static_cast<long long>(s.request_trace.recorded));
   }
   return (failed_requests + expired_requests + shed_requests) > 0 ? 4 : 0;
 }
