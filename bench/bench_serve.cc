@@ -62,7 +62,7 @@ ModeResult run_mode(const nets::PoolLayer& layer, bool batching, bool db,
   opts.double_buffer = db;
   opts.vm = vm;
   opts.vm_in_flight = in_flight;
-  serve::Session session(opts);
+  serve::Session session(serve::Cluster{}, opts);
 
   const std::int64_t c1 = c1_of(layer.c);
   std::vector<TensorF16> inputs;
@@ -215,7 +215,7 @@ int main(int argc, char** argv) {
   {
     serve::SessionOptions opts;
     opts.double_buffer = db;
-    serve::Session session(opts);
+    serve::Session session(serve::Cluster{}, opts);
     std::vector<TensorF16> inputs;
     std::vector<std::future<kernels::PoolResult>> futures;
     for (const auto& layer : nets::inception_v3_fig7_layers()) {

@@ -171,7 +171,7 @@ int main(int argc, char** argv) {
     opts.resilience = res;
 
     {
-      serve::Session session(opts);
+      serve::Session session(serve::Cluster{}, opts);
       std::vector<std::future<kernels::PoolResult>> futures;
       futures.reserve(requests.size());
       for (std::size_t r = 0; r < requests.size(); ++r) {

@@ -1,0 +1,383 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace davinci::serve {
+
+namespace {
+
+using kernels::PoolInputs;
+using kernels::PoolOp;
+using kernels::PoolResult;
+
+std::int64_t tensor_bytes(const TensorF16& t) {
+  return t.shape().rank() > 0
+             ? t.size() * static_cast<std::int64_t>(sizeof(Float16))
+             : 0;
+}
+
+// Copies [begin, begin + len) of `src` along `axis` (0 = N, 1 = C1) into
+// a fresh tensor. Axis 0 slices are contiguous (N is outermost in
+// NC1HWC0); axis 1 slices are one contiguous chunk per image.
+TensorF16 slice_axis(const TensorF16& src, int axis, std::int64_t begin,
+                     std::int64_t len) {
+  Shape dims = src.shape();
+  dims.set_dim(axis, len);
+  TensorF16 out{dims, kUninitialized};  // fully overwritten just below
+  const std::int64_t stride = src.shape().stride(axis);
+  if (axis == 0) {
+    std::memcpy(out.data(), src.data() + begin * stride,
+                static_cast<std::size_t>(len * stride) * sizeof(Float16));
+    return out;
+  }
+  const std::int64_t n = src.shape()[0];
+  const std::int64_t src_row = src.shape().stride(0);
+  const std::int64_t dst_row = out.shape().stride(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * dst_row,
+                src.data() + i * src_row + begin * stride,
+                static_cast<std::size_t>(len * stride) * sizeof(Float16));
+  }
+  return out;
+}
+
+// The inverse of slice_axis: pastes `part` into `dst` at `begin` along
+// `axis`.
+void paste_axis(TensorF16* dst, const TensorF16& part, int axis,
+                std::int64_t begin) {
+  const std::int64_t stride = dst->shape().stride(axis);
+  const std::int64_t len = part.shape()[axis];
+  if (axis == 0) {
+    std::memcpy(dst->data() + begin * stride, part.data(),
+                static_cast<std::size_t>(len * stride) * sizeof(Float16));
+    return;
+  }
+  const std::int64_t n = dst->shape()[0];
+  const std::int64_t dst_row = dst->shape().stride(0);
+  const std::int64_t src_row = part.shape().stride(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(dst->data() + i * dst_row + begin * stride,
+                part.data() + i * src_row,
+                static_cast<std::size_t>(len * stride) * sizeof(Float16));
+  }
+}
+
+// One shard's sliced input tensors (empty when the shard borrows the
+// caller's tensors whole).
+struct ShardInputs {
+  TensorF16 in, mask, grad;
+  PoolInputs view;
+  std::int64_t bytes = 0;  // bytes the shard's device reads
+};
+
+ShardInputs make_shard_inputs(const PoolInputs& in, int axis,
+                              std::int64_t begin, std::int64_t len,
+                              bool whole) {
+  ShardInputs s;
+  s.view = in;  // carries ih/iw and any tensors left unsliced
+  if (whole) {
+    if (in.in != nullptr) s.bytes += tensor_bytes(*in.in);
+    if (in.mask != nullptr) s.bytes += tensor_bytes(*in.mask);
+    if (in.grad != nullptr) s.bytes += tensor_bytes(*in.grad);
+    return s;
+  }
+  if (in.in != nullptr) {
+    s.in = slice_axis(*in.in, axis, begin, len);
+    s.view.in = &s.in;
+    s.bytes += tensor_bytes(s.in);
+  }
+  if (in.mask != nullptr) {
+    s.mask = slice_axis(*in.mask, axis, begin, len);
+    s.view.mask = &s.mask;
+    s.bytes += tensor_bytes(s.mask);
+  }
+  if (in.grad != nullptr) {
+    s.grad = slice_axis(*in.grad, axis, begin, len);
+    s.view.grad = &s.grad;
+    s.bytes += tensor_bytes(s.grad);
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kData:
+      return "data";
+    case Placement::kModel:
+      return "model";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterOptions opts) : opts_(opts), link_cost_(opts.cost) {
+  DV_CHECK_GE(opts_.devices, 1);
+  DV_CHECK_GE(opts_.link_bytes_per_cycle, 1);
+  DV_CHECK_GE(opts_.link_latency_cycles, 0);
+  for (int d = 0; d < opts_.devices; ++d) {
+    devices_.push_back(std::make_unique<Device>(opts_.arch, opts_.cost));
+  }
+  link_cost_.mte_bytes_per_cycle = opts_.link_bytes_per_cycle;
+  link_cost_.mte_startup_cycles = opts_.link_latency_cycles;
+  stats_.devices.resize(static_cast<std::size_t>(opts_.devices));
+  stats_.links.resize(
+      static_cast<std::size_t>(opts_.devices) *
+      static_cast<std::size_t>(opts_.devices));
+}
+
+Cluster::Cluster(Cluster&& other) noexcept
+    : opts_(std::move(other.opts_)),
+      devices_(std::move(other.devices_)),
+      link_cost_(other.link_cost_),
+      stats_(std::move(other.stats_)) {}
+
+Cluster& Cluster::operator=(Cluster&& other) noexcept {
+  opts_ = std::move(other.opts_);
+  devices_ = std::move(other.devices_);
+  link_cost_ = other.link_cost_;
+  stats_ = std::move(other.stats_);
+  return *this;
+}
+
+int Cluster::total_cores() const {
+  return num_devices() * devices_.front()->num_cores();
+}
+
+void Cluster::set_double_buffer(bool on) {
+  for (auto& d : devices_) d->set_double_buffer(on);
+}
+
+void Cluster::set_resilience(const ResilienceOptions& opts) {
+  for (auto& d : devices_) d->set_resilience(opts);
+}
+
+void Cluster::set_vm_stream(int device, vm::VmStream* stream) {
+  devices_.at(static_cast<std::size_t>(device))->set_vm_stream(stream);
+}
+
+std::int64_t Cluster::link_cycles(std::int64_t bytes) const {
+  return link_cost_.mte_copy(bytes);
+}
+
+std::vector<Cluster::Shard> Cluster::plan_shards(std::int64_t axis_len,
+                                                 int pin) const {
+  std::vector<Shard> shards;
+  if (pin >= 0) {
+    shards.push_back(Shard{pin, 0, axis_len});
+    return shards;
+  }
+  const std::int64_t devices = num_devices();
+  const std::int64_t base = axis_len / devices;
+  const std::int64_t rem = axis_len % devices;
+  std::int64_t begin = 0;
+  for (std::int64_t d = 0; d < devices; ++d) {
+    const std::int64_t len = base + (d < rem ? 1 : 0);
+    if (len == 0) continue;
+    shards.push_back(Shard{static_cast<int>(d), begin, len});
+    begin += len;
+  }
+  return shards;
+}
+
+Cluster::Launch Cluster::run_pool(const PoolOp& op, const PoolInputs& in,
+                                  int pin) {
+  if (pin >= num_devices()) {
+    throw Error("cluster: shard " + std::to_string(pin) +
+                " out of range [0, " + std::to_string(num_devices()) + ")");
+  }
+  const int axis = opts_.placement == Placement::kData ? 0 : 1;
+  const TensorF16* primary = kernels::is_backward(op.kind) ? in.grad : in.in;
+  DV_CHECK(primary != nullptr) << op.to_string() << ": missing input tensor";
+  DV_CHECK_GE(primary->shape().rank(), 2);
+  const std::int64_t axis_len = primary->shape()[axis];
+  const std::int64_t n_total = primary->shape()[0];
+  const std::int64_t c1_total = primary->shape()[1];
+  const std::vector<Shard> shards = plan_shards(axis_len, pin);
+  DV_CHECK_GE(shards.size(), 1u);
+
+  Launch launch;
+  launch.shards = static_cast<int>(shards.size());
+
+  struct ShardRun {
+    Shard shard;
+    PoolResult res;
+    std::int64_t in_bytes = 0;
+    std::int64_t out_bytes = 0;
+  };
+  std::vector<ShardRun> runs;
+  runs.reserve(shards.size());
+
+  for (const Shard& shard : shards) {
+    const bool whole = shard.length == axis_len;
+    const ShardInputs si =
+        make_shard_inputs(in, axis, shard.begin, shard.length, whole);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.devices[static_cast<std::size_t>(shard.device)]
+          .inflight_shards += 1;
+    }
+    struct InflightScope {
+      Cluster* c;
+      int device;
+      ~InflightScope() {
+        std::lock_guard<std::mutex> lock(c->mu_);
+        c->stats_.devices[static_cast<std::size_t>(device)].inflight_shards -=
+            1;
+      }
+    } scope{this, shard.device};
+    ShardRun r;
+    r.shard = shard;
+    r.res = kernels::run_pool(device(shard.device), op, si.view);
+    if (shard.device != 0) {
+      r.in_bytes = si.bytes;
+      r.out_bytes = tensor_bytes(r.res.out) + tensor_bytes(r.res.mask) +
+                    tensor_bytes(r.res.grad_in);
+    }
+    runs.push_back(std::move(r));
+  }
+
+  // Redistribution accounting: scatter transfers (0 -> d) ride distinct
+  // links concurrently, as do the gathers (d -> 0), so each leg costs
+  // the slowest single transfer while every link's busy time accrues its
+  // own transfers serially.
+  std::int64_t scatter_leg = 0, gather_leg = 0;
+  std::int64_t redist_transfers = 0;
+  for (const ShardRun& r : runs) {
+    if (r.shard.device == 0) continue;
+    if (r.in_bytes > 0) {
+      scatter_leg = std::max(scatter_leg, link_cycles(r.in_bytes));
+      redist_transfers += 1;
+    }
+    if (r.out_bytes > 0) {
+      gather_leg = std::max(gather_leg, link_cycles(r.out_bytes));
+      redist_transfers += 1;
+    }
+    launch.redistribution_bytes += r.in_bytes + r.out_bytes;
+  }
+  launch.redistribution_cycles = scatter_leg + gather_leg;
+
+  // The slowest shard bounds the compute leg; its run carries the
+  // launch's attribution/profile while summable counters aggregate over
+  // all shards.
+  std::size_t critical = 0;
+  std::int64_t compute_max = 0, serial_max = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Device::RunResult& rr = runs[i].res.run;
+    if (rr.device_cycles > compute_max) {
+      compute_max = rr.device_cycles;
+      critical = i;
+    }
+    serial_max = std::max(serial_max, rr.device_cycles_serial);
+  }
+  launch.cycles = launch.redistribution_cycles + compute_max;
+
+  if (runs.size() == 1) {
+    launch.result = std::move(runs[0].res);
+    launch.result.run.device_cycles = launch.cycles;
+    launch.result.run.device_cycles_serial =
+        launch.redistribution_cycles + serial_max;
+  } else {
+    PoolResult full;
+    const PoolResult& first = runs[0].res;
+    auto assemble = [&](TensorF16 PoolResult::*field) {
+      if (((first).*field).shape().rank() == 0) return;
+      Shape dims = (first.*field).shape();
+      dims.set_dim(axis, axis == 0 ? n_total : c1_total);
+      (full.*field) = TensorF16(dims, kUninitialized);
+      for (const ShardRun& r : runs) {
+        paste_axis(&(full.*field), r.res.*field, axis, r.shard.begin);
+      }
+    };
+    assemble(&PoolResult::out);
+    assemble(&PoolResult::mask);
+    assemble(&PoolResult::grad_in);
+    Device::RunResult agg = runs[critical].res.run;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (i == critical) continue;
+      const Device::RunResult& rr = runs[i].res.run;
+      agg.aggregate += rr.aggregate;
+      agg.profile += rr.profile;
+      agg.faults += rr.faults;
+      agg.host_ns += rr.host_ns;
+      agg.host_alloc_ns += rr.host_alloc_ns;
+      agg.host_plan_ns += rr.host_plan_ns;
+      agg.host_validate_ns += rr.host_validate_ns;
+      agg.host_execute_ns += rr.host_execute_ns;
+      agg.cores_used += rr.cores_used;
+      agg.busiest_unit_cycles =
+          std::max(agg.busiest_unit_cycles, rr.busiest_unit_cycles);
+      if (rr.vm_end > 0) {
+        agg.vm_start = agg.vm_end > 0 ? std::min(agg.vm_start, rr.vm_start)
+                                      : rr.vm_start;
+        agg.vm_end = std::max(agg.vm_end, rr.vm_end);
+      }
+    }
+    agg.device_cycles = launch.cycles;
+    agg.device_cycles_serial = launch.redistribution_cycles + serial_max;
+    full.run = agg;
+    launch.result = std::move(full);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.launches += 1;
+    if (runs.size() >= 2) stats_.sharded_launches += 1;
+    stats_.redistribution_transfers += redist_transfers;
+    stats_.redistribution_bytes += launch.redistribution_bytes;
+    stats_.redistribution_cycles += launch.redistribution_cycles;
+    const std::size_t d_count = static_cast<std::size_t>(num_devices());
+    for (const ShardRun& r : runs) {
+      DeviceStats& ds = stats_.devices[static_cast<std::size_t>(
+          r.shard.device)];
+      ds.launches += 1;
+      ds.blocks += axis == 0 ? r.shard.length * c1_total
+                             : n_total * r.shard.length;
+      ds.cycles += r.res.run.device_cycles;
+      if (r.shard.device != 0) {
+        if (r.in_bytes > 0) {
+          LinkStats& fwd =
+              stats_.links[0 * d_count +
+                           static_cast<std::size_t>(r.shard.device)];
+          fwd.transfers += 1;
+          fwd.bytes += r.in_bytes;
+          fwd.cycles += link_cycles(r.in_bytes);
+        }
+        if (r.out_bytes > 0) {
+          LinkStats& back =
+              stats_.links[static_cast<std::size_t>(r.shard.device) *
+                               d_count +
+                           0];
+          back.transfers += 1;
+          back.bytes += r.out_bytes;
+          back.cycles += link_cycles(r.out_bytes);
+        }
+      }
+    }
+  }
+  return launch;
+}
+
+Cluster::Stats Cluster::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  for (const LinkStats& l : s.links) {
+    s.link_busy_cycles = std::max(s.link_busy_cycles, l.cycles);
+  }
+  return s;
+}
+
+void Cluster::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t devices = stats_.devices.size();
+  const std::size_t links = stats_.links.size();
+  stats_ = {};
+  stats_.devices.resize(devices);
+  stats_.links.resize(links);
+}
+
+}  // namespace davinci::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <utility>
 
 #include "common/check.h"
@@ -61,25 +62,29 @@ const char* to_string(OverloadPolicy policy) {
   return "?";
 }
 
-Session::Session(SessionOptions opts)
-    : Session(ArchConfig::ascend910(), opts) {}
+Session::Session(SessionOptions opts) : Session(Cluster(), opts) {}
 
 Session::Session(ArchConfig arch, SessionOptions opts)
+    : Session(Cluster(ClusterOptions{.arch = arch}), opts) {}
+
+Session::Session(Cluster cluster, SessionOptions opts)
     : opts_(opts),
-      device_(arch),
+      cluster_(std::move(cluster)),
       plans_(opts.plan_cache_capacity),
-      vm_stream_(
-          vm::VmStreamOptions{opts.vm_in_flight, opts.vm_capture}),
       req_trace_(opts.request_trace_capacity) {
   DV_CHECK_GE(opts_.queue_depth, 1u);
   DV_CHECK_GE(opts_.max_batch, 1u);
   DV_CHECK_GE(opts_.ub_waves, 1);
   DV_CHECK_GE(opts_.watchdog_timeout_us, 0);
   DV_CHECK_GE(opts_.vm_in_flight, 1);
-  device_.set_double_buffer(opts_.double_buffer);
-  if (opts_.vm) device_.set_vm_stream(&vm_stream_);
+  cluster_.set_double_buffer(opts_.double_buffer);
   if (opts_.resilience.has_value()) {
-    device_.set_resilience(*opts_.resilience);
+    cluster_.set_resilience(*opts_.resilience);
+  }
+  for (int d = 0; d < cluster_.num_devices(); ++d) {
+    vm_streams_.push_back(std::make_unique<vm::VmStream>(
+        vm::VmStreamOptions{opts_.vm_in_flight, opts_.vm_capture}));
+    if (opts_.vm) cluster_.set_vm_stream(d, vm_streams_.back().get());
   }
   worker_ = std::thread([this] { worker_loop(); });
   if (opts_.watchdog_timeout_us > 0) {
@@ -124,6 +129,7 @@ void Session::enqueue_locked(Pending p, std::unique_lock<std::mutex>& lock) {
 std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in,
                                         SubmitOptions sub) {
   DV_CHECK_GE(sub.deadline_us, 0);
+  DV_CHECK_GE(sub.shard, -1);
   Pending p;
   p.op = std::move(op);
   p.in = in;
@@ -132,6 +138,7 @@ std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in,
     p.deadline = p.submitted + std::chrono::microseconds(sub.deadline_us);
   }
   p.prio = sub.prio;
+  p.shard = sub.shard;
   std::future<PoolResult> f = p.promise.get_future();
   std::optional<Pending> shed;
   {
@@ -200,6 +207,7 @@ std::future<PoolResult> Session::submit(PoolOp op, PoolInputs in,
 bool Session::try_submit(PoolOp op, PoolInputs in,
                          std::future<PoolResult>* out, SubmitOptions sub) {
   DV_CHECK_GE(sub.deadline_us, 0);
+  DV_CHECK_GE(sub.shard, -1);
   Pending p;
   p.op = std::move(op);
   p.in = in;
@@ -208,6 +216,7 @@ bool Session::try_submit(PoolOp op, PoolInputs in,
     p.deadline = p.submitted + std::chrono::microseconds(sub.deadline_us);
   }
   p.prio = sub.prio;
+  p.shard = sub.shard;
   std::future<PoolResult> f = p.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -254,8 +263,13 @@ void Session::resume() {
 }
 
 std::int64_t Session::max_blocks_locked() const {
+  // The block cap scales with the whole cluster: a coalesced launch is
+  // sharded across the devices, so each device still sees at most
+  // healthy-cores x ub_waves blocks. Quarantine observed on any shard
+  // shrinks the cap cluster-wide (conservative -- a suspect core caps
+  // every device's wave budget equally).
   const int healthy =
-      std::max(1, device_.num_cores() - stats_.quarantined_cores);
+      std::max(1, cluster_.total_cores() - stats_.quarantined_cores);
   return static_cast<std::int64_t>(healthy) * opts_.ub_waves;
 }
 
@@ -311,12 +325,17 @@ void Session::watchdog_loop() {
 
 void Session::process(std::vector<Pending> taken) {
   // Screen each request alone so a malformed one (wrong rank, missing
-  // tensor) fails only its own future -- its takemates keep going.
-  std::vector<std::size_t> taken_of;  // view index -> taken index
-  std::vector<RequestView> views;
+  // tensor, out-of-range placement hint) fails only its own future --
+  // its takemates keep going.
+  std::vector<std::size_t> screened;  // taken indices that passed
   for (std::size_t i = 0; i < taken.size(); ++i) {
     try {
       (void)batch_key(taken[i].op, taken[i].in);
+      if (taken[i].shard >= cluster_.num_devices()) {
+        throw Error("shard " + std::to_string(taken[i].shard) +
+                    " out of range [0, " +
+                    std::to_string(cluster_.num_devices()) + ")");
+      }
     } catch (...) {
       taken[i].promise.set_exception(std::current_exception());
       req_trace_.record(taken[i].id, ReqEventKind::kFailed);
@@ -324,22 +343,38 @@ void Session::process(std::vector<Pending> taken) {
       stats_.failed += 1;
       continue;
     }
-    taken_of.push_back(i);
-    views.push_back(RequestView{&taken[i].op, &taken[i].in});
+    screened.push_back(i);
   }
 
-  std::vector<Batch> batches;
-  if (!views.empty()) {
+  // Partition the take by placement hint: auto (-1) requests shard
+  // through the router; pinned ones launch on their device, so a pinned
+  // request never coalesces with a differently-pinned one. Hint groups
+  // launch in ascending hint order (auto first); within a group the
+  // pre-cluster behavior is unchanged -- an all-auto take is one group,
+  // identical to the single-partition path this generalizes.
+  std::map<int, std::vector<std::size_t>> groups;  // hint -> taken indices
+  for (std::size_t i : screened) groups[taken[i].shard].push_back(i);
+
+  for (auto& [shard, group] : groups) {
+    std::vector<std::size_t> taken_of;  // view index -> taken index
+    std::vector<RequestView> views;
+    taken_of.reserve(group.size());
+    views.reserve(group.size());
+    for (std::size_t i : group) {
+      taken_of.push_back(i);
+      views.push_back(RequestView{&taken[i].op, &taken[i].in});
+    }
+
     std::int64_t max_blocks = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       max_blocks = max_blocks_locked();
     }
     const std::size_t max_requests = opts_.batching ? opts_.max_batch : 1u;
-    batches = form_batches(views, max_requests, max_blocks);
+    std::vector<Batch> batches = form_batches(views, max_requests, max_blocks);
 
     // Deadline-aware launch order: batches with the most urgent member
-    // go first (earliest-deadline-first across the take; submission
+    // go first (earliest-deadline-first across the group; submission
     // order within a batch and among deadline-free batches).
     auto urgency = [&](const Batch& b) {
       Clock::time_point earliest = Clock::time_point::max();
@@ -355,10 +390,10 @@ void Session::process(std::vector<Pending> taken) {
                      [&](const Batch& a, const Batch& b) {
                        return urgency(a) < urgency(b);
                      });
-  }
 
-  for (const Batch& b : batches) {
-    execute_members(taken, views, taken_of, b.members);
+    for (const Batch& b : batches) {
+      execute_members(taken, views, taken_of, b.members, shard);
+    }
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -369,7 +404,7 @@ void Session::process(std::vector<Pending> taken) {
 void Session::execute_members(std::vector<Pending>& taken,
                               const std::vector<RequestView>& views,
                               const std::vector<std::size_t>& taken_of,
-                              std::vector<std::size_t> members) {
+                              std::vector<std::size_t> members, int shard) {
   // In-queue expiry: a lapsed deadline fails the request here, before
   // any coalescing or launch, and drops it from the batch -- batchmates
   // launch without it.
@@ -399,7 +434,7 @@ void Session::execute_members(std::vector<Pending>& taken,
   std::exception_ptr err;
   bool bisectable = false;
   try {
-    launch_members(taken, views, taken_of, live);
+    launch_members(taken, views, taken_of, live, shard);
     return;
   } catch (const CoreFailed&) {
     err = std::current_exception();
@@ -432,8 +467,8 @@ void Session::execute_members(std::vector<Pending>& taken,
                                 live.begin() + static_cast<long>(mid));
     std::vector<std::size_t> hi(live.begin() + static_cast<long>(mid),
                                 live.end());
-    execute_members(taken, views, taken_of, std::move(lo));
-    execute_members(taken, views, taken_of, std::move(hi));
+    execute_members(taken, views, taken_of, std::move(lo), shard);
+    execute_members(taken, views, taken_of, std::move(hi), shard);
     return;
   }
 
@@ -455,20 +490,22 @@ void Session::execute_members(std::vector<Pending>& taken,
 void Session::launch_members(std::vector<Pending>& taken,
                              const std::vector<RequestView>& views,
                              const std::vector<std::size_t>& taken_of,
-                             const std::vector<std::size_t>& members) {
+                             const std::vector<std::size_t>& members,
+                             int shard) {
   // Resolve the launch descriptor: the first member's op with the cached
   // tiling plan attached (all members share the PlanKey by construction
-  // of the BatchKey).
+  // of the BatchKey). Plans are keyed on per-block geometry, never N or
+  // C1, so one cached plan serves every shard of the launch.
   PoolOp op = taken[taken_of[members.front()]].op;
   const PoolInputs& first_in = taken[taken_of[members.front()]].in;
   const RequestGeometry g = request_geometry(op, first_in);
   const std::optional<PlanKey> key =
-      plan_key_for(op, g.ih, g.iw, device_.double_buffer());
+      plan_key_for(op, g.ih, g.iw, cluster_.device(0).double_buffer());
   std::int64_t plan_hit = -1;  // -1: no plan lookup for this launch
   if (key.has_value() && !op.plan.has_value()) {
     std::unique_lock<std::mutex> lock(mu_);
     const std::int64_t hits_before = plans_.stats().hits;
-    op.plan = plans_.get(device_.arch(), *key);
+    op.plan = plans_.get(cluster_.device(0).arch(), *key);
     plan_hit = plans_.stats().hits > hits_before ? 1 : 0;
   }
   if (plan_hit >= 0) {
@@ -510,26 +547,27 @@ void Session::launch_members(std::vector<Pending>& taken,
   int cores_lost = 0;
   std::int64_t vm_start = 0, vm_end = 0;
   if (members.size() == 1) {
-    // Singleton fast path: run on the caller's tensors directly.
-    PoolResult r = kernels::run_pool(device_, op, first_in);
-    launch_cycles = r.cycles();
-    launch_faults = r.run.faults;
-    cores_lost = static_cast<int>(r.run.faults.cores_quarantined);
-    vm_start = r.run.vm_start;
-    vm_end = r.run.vm_end;
-    taken[taken_of[members.front()]].promise.set_value(std::move(r));
+    // Singleton fast path: run on the caller's tensors directly, routed
+    // through the cluster (identity on one device or a pinned shard).
+    Cluster::Launch lr = cluster_.run_pool(op, first_in, shard);
+    launch_cycles = lr.cycles;
+    launch_faults = lr.result.run.faults;
+    cores_lost = static_cast<int>(lr.result.run.faults.cores_quarantined);
+    vm_start = lr.result.run.vm_start;
+    vm_end = lr.result.run.vm_end;
+    taken[taken_of[members.front()]].promise.set_value(std::move(lr.result));
   } else {
     Batch b;
     b.key = batch_key(op, first_in);
     b.members = members;
     const CoalescedInputs c = coalesce(views, b);
-    const PoolResult batched = kernels::run_pool(device_, op, c.inputs());
-    launch_cycles = batched.cycles();
-    launch_faults = batched.run.faults;
-    cores_lost = static_cast<int>(batched.run.faults.cores_quarantined);
-    vm_start = batched.run.vm_start;
-    vm_end = batched.run.vm_end;
-    std::vector<PoolResult> parts = split_result(b, c, batched);
+    Cluster::Launch lr = cluster_.run_pool(op, c.inputs(), shard);
+    launch_cycles = lr.cycles;
+    launch_faults = lr.result.run.faults;
+    cores_lost = static_cast<int>(lr.result.run.faults.cores_quarantined);
+    vm_start = lr.result.run.vm_start;
+    vm_end = lr.result.run.vm_end;
+    std::vector<PoolResult> parts = split_result(b, c, lr.result);
     for (std::size_t m = 0; m < members.size(); ++m) {
       taken[taken_of[members[m]]].promise.set_value(std::move(parts[m]));
     }
@@ -579,7 +617,50 @@ SessionStats Session::stats() const {
   s.queue_wait_exact = stats::summarize(queue_wait_exact_);
   s.queue_depth = static_cast<std::int64_t>(queue_.size());
   s.request_trace = req_trace_.stats();
-  s.vm = vm_stream_.stats();
+  s.devices = cluster_.num_devices();
+  s.placement = cluster_.placement();
+  s.cluster = cluster_.stats();
+  // One device reports its stream verbatim (bit-for-bit the pre-cluster
+  // numbers). Multiple devices aggregate: makespan is the busiest
+  // device's (the compute leg of the roofline), additive counters and
+  // per-pipe buckets sum, and overlap is recomputed against the
+  // aggregate makespan. The busy+wait+flag+idle == makespan * tracks
+  // invariant holds per device, not for the aggregate.
+  s.vm = vm_streams_.front()->stats();
+  s.vm_makespan_per_device.reserve(vm_streams_.size());
+  s.vm_makespan_per_device.push_back(s.vm.makespan);
+  for (std::size_t d = 1; d < vm_streams_.size(); ++d) {
+    const vm::VmStream::Stats ds = vm_streams_[d]->stats();
+    s.vm_makespan_per_device.push_back(ds.makespan);
+    s.vm.launches += ds.launches;
+    s.vm.serial_sum += ds.serial_sum;
+    s.vm.window_stalls += ds.window_stalls;
+    s.vm.hazard_stalls += ds.hazard_stalls;
+    s.vm.makespan = std::max(s.vm.makespan, ds.makespan);
+    for (int pi = 0; pi < PipeScheduler::kNumPipes; ++pi) {
+      vm::VmStream::PipeStream& agg = s.vm.streams[pi];
+      const vm::VmStream::PipeStream& ps = ds.streams[pi];
+      agg.tracks += ps.tracks;
+      agg.busy += ps.busy;
+      agg.wait += ps.wait;
+      agg.flag += ps.flag;
+      agg.idle += ps.idle;
+    }
+  }
+  if (vm_streams_.size() > 1) {
+    s.vm.overlap_cycles = s.vm.serial_sum - s.vm.makespan;
+    for (int pi = 0; pi < PipeScheduler::kNumPipes; ++pi) {
+      vm::VmStream::PipeStream& agg = s.vm.streams[pi];
+      const std::int64_t total = agg.busy + agg.wait + agg.flag + agg.idle;
+      agg.occupancy =
+          total > 0 ? static_cast<double>(agg.busy) / static_cast<double>(total)
+                    : 0.0;
+    }
+  }
+  // Cluster roofline: the stream is bounded below by its busiest
+  // device's compute and its busiest link's cumulative transfer time.
+  // Identical to vm.makespan on one device (no links).
+  s.cluster_makespan = std::max(s.vm.makespan, s.cluster.link_busy_cycles);
   s.avg_batch = s.launches > 0
                     ? static_cast<double>(batch_members_total_) /
                           static_cast<double>(s.launches)
@@ -606,7 +687,8 @@ void Session::reset_stats() {
   alarmed_seq_ = 0;
   req_trace_.reset();
   plans_.reset_stats();
-  vm_stream_.reset();
+  for (const std::unique_ptr<vm::VmStream>& s : vm_streams_) s->reset();
+  cluster_.reset_stats();
 }
 
 std::string Session::serve_json() const {
@@ -677,6 +759,59 @@ std::string Session::serve_json() const {
     }
   }
   j += "}}";
+  // Schema v7: the placement router's view of the stream. "makespan" is
+  // the cluster roofline (max of the busiest device's VM makespan and
+  // the busiest link's busy time; equals vm.makespan on one device).
+  // per_device rows carry each device's share plus its own VM makespan;
+  // links lists only directed links that carried traffic.
+  j += ",\"cluster\":{\"devices\":" +
+       num(static_cast<std::int64_t>(s.devices)) + ",\"placement\":\"" +
+       std::string(to_string(s.placement)) +
+       "\",\"link_bytes_per_cycle\":" +
+       num(cluster_.options().link_bytes_per_cycle) +
+       ",\"link_latency_cycles\":" +
+       num(cluster_.options().link_latency_cycles) +
+       ",\"launches\":" + num(s.cluster.launches) +
+       ",\"sharded_launches\":" + num(s.cluster.sharded_launches) +
+       ",\"redistribution\":{\"transfers\":" +
+       num(s.cluster.redistribution_transfers) +
+       ",\"bytes\":" + num(s.cluster.redistribution_bytes) +
+       ",\"cycles\":" + num(s.cluster.redistribution_cycles) + "}" +
+       ",\"link_busy_cycles\":" + num(s.cluster.link_busy_cycles) +
+       ",\"makespan\":" + num(s.cluster_makespan) + ",\"per_device\":[";
+  for (std::size_t d = 0; d < s.cluster.devices.size(); ++d) {
+    const Cluster::DeviceStats& ds = s.cluster.devices[d];
+    if (d > 0) j += ",";
+    j += "{\"device\":" + num(static_cast<std::int64_t>(d)) +
+         ",\"launches\":" + num(ds.launches) +
+         ",\"blocks\":" + num(ds.blocks) + ",\"cycles\":" + num(ds.cycles) +
+         ",\"inflight_shards\":" + num(ds.inflight_shards) +
+         ",\"vm_makespan\":" +
+         num(d < s.vm_makespan_per_device.size()
+                 ? s.vm_makespan_per_device[d]
+                 : 0) +
+         "}";
+  }
+  j += "],\"links\":[";
+  {
+    bool first = true;
+    const int d_count = s.devices;
+    for (int src = 0; src < d_count; ++src) {
+      for (int dst = 0; dst < d_count; ++dst) {
+        const Cluster::LinkStats& ls =
+            s.cluster.links[static_cast<std::size_t>(src * d_count + dst)];
+        if (ls.transfers == 0) continue;
+        if (!first) j += ",";
+        first = false;
+        j += "{\"src\":" + num(static_cast<std::int64_t>(src)) +
+             ",\"dst\":" + num(static_cast<std::int64_t>(dst)) +
+             ",\"transfers\":" + num(ls.transfers) +
+             ",\"bytes\":" + num(ls.bytes) + ",\"cycles\":" + num(ls.cycles) +
+             "}";
+      }
+    }
+  }
+  j += "]}";
   j += ",\"overload_policy\":\"" + std::string(to_string(opts_.overload)) +
        "\"";
   j += ",\"watchdog_alarms\":" + num(s.watchdog_alarms);
@@ -721,13 +856,16 @@ std::string Session::serve_json() const {
 }
 
 std::string Session::unified_chrome_trace() const {
-  return unified_chrome_trace_json(vm_stream_,
+  // The unified trace exports device 0's stream timeline (the ingress
+  // device); on a multi-device cluster the other devices' schedules are
+  // summarized in serve_json()'s "cluster" object instead.
+  return unified_chrome_trace_json(*vm_streams_.front(),
                                    build_request_spans(req_trace_.snapshot()));
 }
 
 void Session::write_unified_chrome_trace(const std::string& path) const {
   davinci::write_unified_chrome_trace(
-      path, vm_stream_, build_request_spans(req_trace_.snapshot()));
+      path, *vm_streams_.front(), build_request_spans(req_trace_.snapshot()));
 }
 
 void Session::add_metrics(MetricsRegistry& reg) const {

@@ -1,14 +1,17 @@
-// The serving session: one Device serving concurrent pooling requests
-// (docs/SERVING.md).
+// The serving session: a device cluster serving concurrent pooling
+// requests (docs/SERVING.md, docs/CLUSTER.md).
 //
-// A Session owns the simulated device and a worker thread. Callers
-// submit PoolOp descriptors plus input tensors and get a future back;
-// the worker drains the admission queue, coalesces same-geometry
-// requests into multi-N launches (serve/batcher.h), resolves each
-// launch's tiling plan through an LRU cache (serve/plan_cache.h) and
-// completes the futures with per-request slices of the batched result.
+// A Session owns a serve::Cluster (one or more simulated devices behind
+// a placement router) and a worker thread. Callers submit PoolOp
+// descriptors plus input tensors and get a future back; the worker
+// drains the admission queue, coalesces same-geometry requests into
+// multi-N launches (serve/batcher.h), resolves each launch's tiling
+// plan through an LRU cache (serve/plan_cache.h), routes the launch
+// through the cluster -- sharded over N (data placement) or C1 (model
+// placement) with explicitly-costed redistribution -- and completes the
+// futures with per-request slices of the batched result.
 //
-//   serve::Session session(opts);
+//   serve::Session session(serve::Cluster(), opts);   // one device
 //   auto f = session.submit(op, inputs);   // blocks when the queue is full
 //   PoolResult r = f.get();                // bit-identical to run_pool
 //
@@ -59,6 +62,7 @@
 #include "common/percentile.h"
 #include "kernels/pooling.h"
 #include "serve/batcher.h"
+#include "serve/cluster.h"
 #include "serve/plan_cache.h"
 #include "serve/request_trace.h"
 #include "sim/device.h"
@@ -165,6 +169,12 @@ struct SubmitOptions {
   // key for correlating the future with ring events and the unified
   // Chrome trace's request rows.
   std::int64_t* trace_id = nullptr;
+  // Placement hint: -1 (the default) lets the cluster router shard the
+  // launch over the placement axis; 0 <= shard < devices pins the whole
+  // launch to that device (requests sharing a take coalesce only with
+  // same-hint requests). A hint >= the device count fails the future
+  // with Error before any launch.
+  int shard = -1;
 };
 
 // Host-side latency distribution in microseconds (the shared summary
@@ -188,12 +198,27 @@ struct SessionStats {
   std::int64_t peak_queue_depth = 0;
   std::int64_t backpressure_waits = 0;   // submit() calls that blocked
   std::int64_t device_cycles_total = 0;  // sum of per-launch makespans
-  // Cross-launch VM schedule (all-zero with SessionOptions::vm off):
-  // vm.makespan is the overlapped device time of everything served so
-  // far; vm.serial_sum equals device_cycles_total; the per-pipe streams
-  // carry busy/wait/flag/idle with busy+wait+flag+idle ==
-  // makespan * tracks exactly (docs/ASYNC_VM.md).
+  // Cross-launch VM schedule (all-zero with SessionOptions::vm off). On
+  // one device, vm.makespan is the overlapped device time of everything
+  // served so far, vm.serial_sum equals device_cycles_total, and the
+  // per-pipe streams carry busy/wait/flag/idle with
+  // busy+wait+flag+idle == makespan * tracks exactly (docs/ASYNC_VM.md).
+  // On a multi-device cluster the session runs one stream per device
+  // and this aggregates them: makespan is the max over devices, sums
+  // are summed, and the per-device bucket invariant holds per stream
+  // (not for the aggregate, whose makespans differ).
   vm::VmStream::Stats vm;
+  // Multi-device cluster surface (schema v7, docs/CLUSTER.md). For a
+  // one-device session: devices == 1, cluster counters show one device
+  // and no links, and cluster_makespan == vm.makespan.
+  int devices = 1;
+  Placement placement = Placement::kData;
+  Cluster::Stats cluster;
+  std::vector<std::int64_t> vm_makespan_per_device;
+  // The cluster roofline: max(busiest device's VM makespan, busiest
+  // link's cumulative busy cycles) -- the QPS denominator under
+  // sharding. Equals vm.makespan on one device.
+  std::int64_t cluster_makespan = 0;
   // Robustness counters (resilient launch path + watchdog).
   std::int64_t degraded_launches = 0;   // completed with faults absorbed
   std::int64_t bisections = 0;          // failed launches split in two
@@ -223,8 +248,25 @@ struct SessionStats {
 
 class Session {
  public:
+  // The session API: hand the session its device cluster. A
+  // default-constructed Cluster is one Ascend-910 device, so the
+  // single-device session reads
+  //
+  //   serve::Session session(serve::Cluster(), opts);
+  //
+  // and a sharded one builds ClusterOptions first (devices, placement,
+  // link model). The session applies its own double-buffer/resilience/VM
+  // options to every device; per-device state installed on the cluster
+  // beforehand (e.g. fault plans on one device) is preserved unless the
+  // corresponding SessionOptions field overrides it.
+  explicit Session(Cluster cluster, SessionOptions opts = {});
+
+  // Deprecated shims (docs/API.md): the pre-cluster constructors, kept
+  // for out-of-tree callers. Equivalent to Session(Cluster(...), opts);
+  // in-tree use is lint-guarded in CI like the PR-5 run_pool migration.
   explicit Session(SessionOptions opts = {});
   Session(ArchConfig arch, SessionOptions opts);
+
   // Graceful shutdown: cancels still-queued requests (futures fail with
   // Cancelled), completes in-flight work, joins the threads.
   ~Session();
@@ -262,11 +304,21 @@ class Session {
   void pause();
   void resume();
 
-  Device& device() { return device_; }
+  // The ingress device (device 0) -- where requests arrive and where
+  // unsharded launches run. Kept for the wide pre-cluster caller base.
+  Device& device() { return cluster_.device(0); }
+  // The device cluster behind the session.
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
   const SessionOptions& options() const { return opts_; }
-  // The session's instruction-stream VM (valid for the session's
-  // lifetime; a no-op empty stream when SessionOptions::vm is off).
-  const vm::VmStream& vm_stream() const { return vm_stream_; }
+  // Device 0's instruction-stream VM (valid for the session's lifetime;
+  // a no-op empty stream when SessionOptions::vm is off). Per-device
+  // streams back a multi-device session; this accessor -- and the
+  // Chrome trace built on it -- shows the ingress device's stream.
+  const vm::VmStream& vm_stream() const { return *vm_streams_.front(); }
+  const vm::VmStream& vm_stream(int device) const {
+    return *vm_streams_.at(static_cast<std::size_t>(device));
+  }
 
   SessionStats stats() const;
   // Forgets everything measured so far -- counters, latency histograms,
@@ -277,9 +329,9 @@ class Session {
   // only while idle (after drain()); resetting mid-launch would tear
   // the accounting.
   void reset_stats();
-  // The schema-v6 "serve" JSON object for MetricsRegistry::set_serve.
+  // The schema-v7 "serve" JSON object for MetricsRegistry::set_serve.
   std::string serve_json() const;
-  // Attaches serve_json() to `reg` (top-level "serve", schema v6).
+  // Attaches serve_json() to `reg` (top-level "serve", schema v7).
   void add_metrics(MetricsRegistry& reg) const;
 
   // The request lifecycle ring (serve/request_trace.h).
@@ -305,6 +357,7 @@ class Session {
     // Absolute expiry (submitted + deadline_us); nullopt = no deadline.
     std::optional<std::chrono::steady_clock::time_point> deadline;
     int prio = 0;
+    int shard = -1;       // placement hint (SubmitOptions::shard)
     std::int64_t id = 0;  // session-assigned trace id
   };
 
@@ -312,29 +365,31 @@ class Session {
   void watchdog_loop();
   void process(std::vector<Pending> taken);
   // Launches `members` (indices into `views`; views[j] belongs to
-  // taken[taken_of[j]]) as one batch, bisecting on resilient-launch
-  // failure. Expired members are failed before the launch.
+  // taken[taken_of[j]]) as one batch with placement hint `shard`,
+  // bisecting on resilient-launch failure. Expired members are failed
+  // before the launch.
   void execute_members(std::vector<Pending>& taken,
                        const std::vector<RequestView>& views,
                        const std::vector<std::size_t>& taken_of,
-                       std::vector<std::size_t> members);
-  // One device launch for `members`; completes their futures on success,
-  // throws on failure. Returns the launch's device cycles.
+                       std::vector<std::size_t> members, int shard);
+  // One cluster launch for `members`; completes their futures on
+  // success, throws on failure.
   void launch_members(std::vector<Pending>& taken,
                       const std::vector<RequestView>& views,
                       const std::vector<std::size_t>& taken_of,
-                      const std::vector<std::size_t>& members);
+                      const std::vector<std::size_t>& members, int shard);
   void enqueue_locked(Pending p, std::unique_lock<std::mutex>& lock);
   // The block cap for form_batches given the quarantines observed so far.
   std::int64_t max_blocks_locked() const;
 
   SessionOptions opts_;
-  Device device_;
+  Cluster cluster_;
   PlanCache plans_;
-  // The cross-launch VM stream; attached to device_ when opts_.vm. Has
-  // its own mutex (enqueues come from the worker inside launches, which
-  // run outside mu_).
-  vm::VmStream vm_stream_;
+  // One cross-launch VM stream per device; attached when opts_.vm. Each
+  // stream has its own mutex (enqueues come from the worker inside
+  // launches, which run outside mu_). unique_ptr keeps the streams'
+  // addresses stable across vector growth -- devices hold raw pointers.
+  std::vector<std::unique_ptr<vm::VmStream>> vm_streams_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   // queue non-empty / stop

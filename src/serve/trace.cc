@@ -134,6 +134,8 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
         e.deadline_us = parse_int(val, lineno, key);
       } else if (key == "prio") {
         e.prio = static_cast<int>(parse_int(val, lineno, key));
+      } else if (key == "shard") {
+        e.shard = static_cast<int>(parse_int(val, lineno, key));
       } else {
         throw Error("trace line " + std::to_string(lineno) +
                     ": unknown key '" + key + "'");
@@ -153,6 +155,12 @@ std::vector<TraceEntry> parse_trace(const std::string& text) {
     if (e.deadline_us < 0) {
       throw Error("trace line " + std::to_string(lineno) +
                   ": deadline_us must be >= 0");
+    }
+    // The upper bound (device count) is the session's to enforce --
+    // the trace format does not know the cluster size.
+    if (seen.count("shard") != 0 && e.shard < 0) {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": shard must be >= 0");
     }
     if (impl_auto) e.op.fwd = akg::select_fwd_impl(e.op.window);
     entries.push_back(std::move(e));
@@ -193,6 +201,7 @@ std::string to_line(const TraceEntry& e) {
     out += " deadline_us=" + std::to_string(e.deadline_us);
   }
   if (e.prio != 0) out += " prio=" + std::to_string(e.prio);
+  if (e.shard >= 0) out += " shard=" + std::to_string(e.shard);
   return out;
 }
 

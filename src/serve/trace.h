@@ -17,9 +17,10 @@
 // for akg::select_fwd_impl), `merge` (backward merge step), `x`
 // (how many identical requests this line expands to, default 1),
 // `deadline_us` (per-request completion budget, 0 = none -- feeds
-// serve::SubmitOptions::deadline_us) and `prio` (shed priority, feeds
-// SubmitOptions::prio). Unknown keys and a key repeated on one line are
-// errors.
+// serve::SubmitOptions::deadline_us), `prio` (shed priority, feeds
+// SubmitOptions::prio) and `shard` (device pin, feeds
+// SubmitOptions::shard; absent = route automatically). Unknown keys and
+// a key repeated on one line are errors.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +39,7 @@ struct TraceEntry {
   int repeat = 1;
   std::int64_t deadline_us = 0;  // 0 = no deadline
   int prio = 0;                  // shed priority (higher sheds later)
+  int shard = -1;                // device pin; -1 = auto placement
 };
 
 // Parses trace text; throws davinci::Error with a line number on

@@ -1,0 +1,144 @@
+#include "serve/tracegen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace davinci::serve {
+
+namespace {
+
+using kernels::MergeImpl;
+using kernels::PoolOpKind;
+
+// One entry of the geometry pool: NC1HWC0 sizes plus the pooling window.
+// The pool is drawn from the known-good serving smoke geometries (CNN
+// backbone stages from 147x147 stem planes down to an 8x8 global-pool
+// head), so every generated line replays on the simulator as-is.
+struct ShapeTemplate {
+  std::int64_t c1, ih, iw, k, s;
+  bool global = false;  // global_avgpool head: no window
+};
+
+constexpr ShapeTemplate kShapePool[] = {
+    {4, 147, 147, 3, 2}, {12, 71, 71, 3, 2}, {18, 35, 35, 3, 2},
+    {4, 56, 56, 2, 2},   {4, 56, 56, 3, 2},  {8, 28, 28, 3, 2},
+    {16, 14, 14, 3, 1},  {64, 8, 8, 0, 0, /*global=*/true},
+};
+constexpr int kShapePoolSize =
+    static_cast<int>(sizeof(kShapePool) / sizeof(kShapePool[0]));
+
+// Knuth's product method; exact for the small means used here.
+int poisson(Xoshiro256& rng, double mean) {
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    k += 1;
+    p *= rng.next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+std::vector<TraceEntry> generate_trace(const TracegenOptions& opts) {
+  DV_CHECK_GE(opts.requests, 1);
+  DV_CHECK(opts.hot_fraction >= 0.0 && opts.hot_fraction <= 1.0)
+      << "hot_fraction must be in [0, 1]";
+  DV_CHECK_GE(opts.hot_shapes, 1);
+  DV_CHECK_GE(opts.burst_mean, 0.0);
+  DV_CHECK(opts.backward_fraction >= 0.0 && opts.backward_fraction <= 1.0)
+      << "backward_fraction must be in [0, 1]";
+  DV_CHECK(opts.deadline_fraction >= 0.0 && opts.deadline_fraction <= 1.0)
+      << "deadline_fraction must be in [0, 1]";
+  DV_CHECK_GE(opts.deadline_us, 0);
+  DV_CHECK_GE(opts.max_n, 1);
+
+  Xoshiro256 rng(opts.seed);
+
+  // Seeded shuffle of the pool; the first hot_shapes entries become the
+  // hot set, the rest the cold tail.
+  std::vector<ShapeTemplate> pool(kShapePool, kShapePool + kShapePoolSize);
+  for (std::size_t i = pool.size() - 1; i > 0; --i) {
+    std::swap(pool[i], pool[rng.next_below(i + 1)]);
+  }
+  const int hot =
+      std::min(opts.hot_shapes, static_cast<int>(pool.size()) - 1);
+
+  std::vector<TraceEntry> entries;
+  std::int64_t emitted = 0;
+  while (emitted < opts.requests) {
+    const bool from_hot = rng.next_double() < opts.hot_fraction;
+    const ShapeTemplate& t =
+        from_hot
+            ? pool[rng.next_below(static_cast<std::uint64_t>(hot))]
+            : pool[hot + static_cast<std::int64_t>(rng.next_below(
+                             static_cast<std::uint64_t>(pool.size()) -
+                             static_cast<std::uint64_t>(hot)))];
+
+    TraceEntry e;
+    e.n = 1 + static_cast<std::int64_t>(
+                  rng.next_below(static_cast<std::uint64_t>(opts.max_n)));
+    e.c1 = t.c1;
+    e.ih = t.ih;
+    e.iw = t.iw;
+    if (t.global) {
+      // The global head has no window (and no backward kernel in tree);
+      // the kind draw below is skipped.
+      e.op.kind = PoolOpKind::kGlobalAvg;
+    } else {
+      e.op.window = Window2d::pool(t.k, t.s);
+      if (rng.next_double() < opts.backward_fraction) {
+        e.op.kind = rng.next_below(2) == 0 ? PoolOpKind::kMaxBwd
+                                           : PoolOpKind::kAvgBwd;
+        // Lean on the paper's col2im merge, with a vadd minority so
+        // both merge paths stay exercised.
+        e.op.merge =
+            rng.next_below(3) < 2 ? MergeImpl::kCol2im : MergeImpl::kVadd;
+      } else {
+        switch (rng.next_below(4)) {
+          case 0:
+            e.op.kind = PoolOpKind::kMaxFwd;
+            break;
+          case 1:
+            e.op.kind = PoolOpKind::kAvgFwd;
+            break;
+          case 2:
+            e.op.kind = PoolOpKind::kMinFwd;
+            break;
+          default:
+            e.op.kind = PoolOpKind::kMaxMaskFwd;
+            break;
+        }
+        e.op.fwd = akg::select_fwd_impl(e.op.window);
+      }
+    }
+    if (opts.deadline_us > 0 &&
+        rng.next_double() < opts.deadline_fraction) {
+      e.deadline_us = opts.deadline_us;
+    }
+
+    // Burst length rides the repeat count; the final burst is trimmed
+    // so the expanded request total lands exactly on opts.requests.
+    std::int64_t burst = 1 + poisson(rng, opts.burst_mean);
+    burst = std::min<std::int64_t>(burst, opts.requests - emitted);
+    e.repeat = static_cast<int>(burst);
+    emitted += burst;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string trace_text(const std::vector<TraceEntry>& entries) {
+  std::string out;
+  for (const TraceEntry& e : entries) {
+    out += to_line(e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace davinci::serve

@@ -1,0 +1,62 @@
+// Synthetic serving-trace generator (docs/SERVING.md, docs/CLUSTER.md).
+//
+// Produces a seeded, reproducible request stream with the statistical
+// shape of production pooling traffic:
+//
+//   * hot-shape skew -- a small hot set of geometries receives most of
+//     the requests (hot_fraction), the remaining mass spreads over a
+//     cold tail, so plan caches and batch coalescing see realistic
+//     repetition;
+//   * bursts -- each emitted line's `x=` repeat count is 1 + a
+//     Poisson-distributed burst length (Knuth's product method), the
+//     trace-file analogue of Poisson arrivals: the line grammar carries
+//     no timestamps, so the arrival process shows up as geometrically
+//     interleaved burst runs rather than inter-arrival gaps;
+//   * a backward fraction -- maxpool_bwd/avgpool_bwd (col2im merges)
+//     mixed into the forward stream;
+//   * optional deadlines on a fraction of requests.
+//
+// Every draw comes from one Xoshiro256 stream, so a (options, seed)
+// pair yields the identical trace on every platform -- the CI cluster
+// gate replays the same generated trace at several device counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/trace.h"
+
+namespace davinci::serve {
+
+struct TracegenOptions {
+  // Total requests after `x=` expansion; the last burst is trimmed to
+  // land exactly on this count.
+  int requests = 256;
+  std::uint64_t seed = 1;
+  // Probability a burst draws its geometry from the hot set (the first
+  // `hot_shapes` of a seeded shuffle of the shape pool) instead of the
+  // cold tail.
+  double hot_fraction = 0.8;
+  int hot_shapes = 3;
+  // Mean burst length: each line expands to 1 + Poisson(burst_mean)
+  // requests.
+  double burst_mean = 3.0;
+  // Fraction of bursts that are backward ops (col2im merge path).
+  double backward_fraction = 0.2;
+  // Deadline assignment: `deadline_fraction` of bursts carry
+  // deadline_us = `deadline_us` (0 disables).
+  std::int64_t deadline_us = 0;
+  double deadline_fraction = 0.0;
+  // Batch-axis size per request, uniform in [1, max_n].
+  std::int64_t max_n = 4;
+};
+
+// Generates the trace as parsed entries (repeat counts encode bursts).
+std::vector<TraceEntry> generate_trace(const TracegenOptions& opts);
+
+// Serializes entries to trace-file text (one to_line per entry);
+// parse_trace(trace_text(g)) round-trips exactly.
+std::string trace_text(const std::vector<TraceEntry>& entries);
+
+}  // namespace davinci::serve

@@ -37,8 +37,15 @@
 // with a "complete" flag for cross-checking the histogram), and the
 // top-level "serve" adds "queue_depth" plus a "request_trace" object
 // (lifecycle ring capacity / recorded / dropped / by_kind counters;
-// serve/request_trace.h). Version-1..5 documents are still accepted by
-// all in-tree consumers; they simply lack those keys.
+// serve/request_trace.h). Version 7 extends "serve" with a "cluster"
+// object (serve/cluster.h): device count, placement, link parameters,
+// sharded-launch and redistribution counters, "per_device" rows
+// (launches / blocks / cycles / inflight_shards / vm_makespan) and a
+// sparse "links" array of non-zero src->dst transfer totals, plus the
+// top-level "makespan" roofline (max of busiest device VM makespan and
+// busiest link busy cycles; docs/CLUSTER.md). Version-1..6 documents
+// are still accepted by all in-tree consumers; they simply lack those
+// keys.
 //
 // Consumers (tools/davinci_prof.cc, CI) key on schema/schema_version;
 // any breaking field change must bump kSchemaVersion. The critical path
@@ -58,7 +65,7 @@ namespace davinci {
 
 class MetricsRegistry {
  public:
-  static constexpr int kSchemaVersion = 6;
+  static constexpr int kSchemaVersion = 7;
   // Critical-path segments serialized verbatim before head-truncation.
   static constexpr std::size_t kMaxPathSegments = 1024;
 

@@ -111,10 +111,10 @@ void render_metrics_entry(const json::Value& e, std::string* out) {
   }
 }
 
-// Schema-v6 "serve" object (serve::Session::add_metrics). The v3
-// robustness keys, the v5 "vm" object and the v6 p999 / hist /
-// request_trace keys are all optional, so v2..v5 documents still
-// render.
+// Schema-v7 "serve" object (serve::Session::add_metrics). The v3
+// robustness keys, the v5 "vm" object, the v6 p999 / hist /
+// request_trace keys and the v7 "cluster" object are all optional, so
+// v2..v6 documents still render.
 void render_serve(const json::Value& s, std::string* out) {
   *out += "serve: " + std::to_string(int_or(s, "requests", 0)) +
           " requests in " + std::to_string(int_or(s, "launches", 0)) +
@@ -233,6 +233,46 @@ void render_serve(const json::Value& s, std::string* out) {
                       static_cast<long long>(int_or(b, "idle", 0)),
                       occ * 100.0);
         *out += line;
+      }
+    }
+  }
+  if (const json::Value* c = s.get("cluster")) {
+    const std::int64_t devices = int_or(*c, "devices", 1);
+    *out += "  cluster: " + std::to_string(devices) + " device" +
+            (devices == 1 ? "" : "s");
+    if (const json::Value* p = c->get("placement")) {
+      *out += " (" + p->as_string() + " parallel)";
+    }
+    *out += ", " + std::to_string(int_or(*c, "sharded_launches", 0)) + "/" +
+            std::to_string(int_or(*c, "launches", 0)) +
+            " launches sharded, makespan " +
+            std::to_string(int_or(*c, "makespan", 0)) + "\n";
+    if (const json::Value* r = c->get("redistribution")) {
+      *out += "    redistribution: " +
+              std::to_string(int_or(*r, "transfers", 0)) + " transfers, " +
+              std::to_string(int_or(*r, "bytes", 0)) + " bytes, " +
+              std::to_string(int_or(*r, "cycles", 0)) +
+              " cycles (busiest link " +
+              std::to_string(int_or(*c, "link_busy_cycles", 0)) +
+              " busy cycles)\n";
+    }
+    if (const json::Value* pd = c->get("per_device")) {
+      if (devices > 1) {
+        char line[160];
+        std::snprintf(line, sizeof(line), "    %-6s %9s %9s %14s %12s\n",
+                      "device", "launches", "blocks", "cycles",
+                      "vm_makespan");
+        *out += line;
+        for (const json::Value& row : pd->as_array()) {
+          std::snprintf(line, sizeof(line),
+                        "    %-6lld %9lld %9lld %14lld %12lld\n",
+                        static_cast<long long>(int_or(row, "device", 0)),
+                        static_cast<long long>(int_or(row, "launches", 0)),
+                        static_cast<long long>(int_or(row, "blocks", 0)),
+                        static_cast<long long>(int_or(row, "cycles", 0)),
+                        static_cast<long long>(int_or(row, "vm_makespan", 0)));
+          *out += line;
+        }
       }
     }
   }

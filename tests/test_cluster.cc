@@ -1,0 +1,362 @@
+// serve::Cluster -- the placement router must be invisible in the
+// numerics: every launch sharded over N (data parallel) or C1 (model
+// parallel) produces bit-identical tensors to a lone single-device run,
+// with VM streams on or off and with faults injected on one device. The
+// redistribution accounting must match the analytic slice volume
+// exactly, and the Session's placement hints must route (and fail)
+// per-request.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/session.h"
+#include "serve/trace.h"
+#include "sim/fault.h"
+#include "tensor/fractal.h"
+
+namespace davinci::serve {
+namespace {
+
+using kernels::PoolInputs;
+using kernels::PoolOp;
+using kernels::PoolOpKind;
+using kernels::PoolResult;
+
+void expect_same_tensor(const TensorF16& a, const TensorF16& b) {
+  ASSERT_EQ(a.shape().to_string(), b.shape().to_string());
+  if (a.shape().rank() == 0) return;  // absent tensor: no data to compare
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a.flat(i) == b.flat(i)) << "element " << i;
+  }
+}
+
+void expect_same_result(const PoolResult& got, const PoolResult& want) {
+  expect_same_tensor(got.out, want.out);
+  expect_same_tensor(got.mask, want.mask);
+  expect_same_tensor(got.grad_in, want.grad_in);
+}
+
+// A mixed trace covering every kind the cluster must shard: forward max /
+// avg with different lowerings, the mask variant, both backward merges,
+// and the global head. N and C1 are deliberately not divisible by the
+// device counts used below, so uneven shards are always exercised.
+constexpr const char* kMixedTrace =
+    "op=maxpool n=5 c1=3 ih=21 iw=21 k=3 s=2 impl=im2col x=3\n"
+    "op=avgpool n=2 c1=5 ih=21 iw=21 k=3 s=2 impl=direct\n"
+    "op=maxpool_mask n=3 c1=2 ih=19 iw=19 k=3 s=2 impl=im2col\n"
+    "op=maxpool_bwd n=4 c1=3 ih=19 iw=19 k=3 s=2 merge=col2im x=2\n"
+    "op=avgpool_bwd n=2 c1=4 ih=19 iw=19 k=2 s=2 merge=vadd\n"
+    "op=global_avgpool n=6 c1=4 ih=8 iw=8\n";
+
+// Replays `entries` through a Session owning `cluster` (all requests in
+// one paused admission window, so coalescing is deterministic) and
+// returns each request's result in submission order.
+std::vector<PoolResult> replay(Cluster cluster,
+                               const std::vector<TraceEntry>& entries,
+                               SessionOptions opts,
+                               SessionStats* stats_out = nullptr) {
+  Session session(std::move(cluster), opts);
+  std::vector<MaterializedRequest> requests;
+  std::vector<const TraceEntry*> lines;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (int r = 0; r < entries[i].repeat; ++r) {
+      requests.push_back(
+          materialize(entries[i], i * 1000 + static_cast<std::uint64_t>(r)));
+      lines.push_back(&entries[i]);
+    }
+  }
+  session.pause();
+  std::vector<std::future<PoolResult>> futures;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    futures.push_back(session.submit(lines[r]->op, requests[r].inputs()));
+  }
+  session.resume();
+  session.drain();
+  std::vector<PoolResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  if (stats_out != nullptr) *stats_out = session.stats();
+  return results;
+}
+
+TEST(Cluster, OneDeviceIsIdentity) {
+  Cluster cluster;
+  const TensorF16 in = [&] {
+    TensorF16 t(Shape{2, 3, 21, 21, kC0});
+    t.fill_random_ints(1);
+    return t;
+  }();
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  const Cluster::Launch lr = cluster.run_pool(op, PoolInputs{.in = &in});
+
+  Device lone;
+  lone.set_double_buffer(cluster.device(0).double_buffer());
+  const PoolResult want = kernels::run_pool(lone, op, PoolInputs{.in = &in});
+  expect_same_result(lr.result, want);
+  // Identity extends to the cycle model: no slicing, no link charges.
+  EXPECT_EQ(lr.result.run.device_cycles, want.run.device_cycles);
+  EXPECT_EQ(lr.shards, 1);
+  EXPECT_EQ(lr.redistribution_bytes, 0);
+  EXPECT_EQ(lr.redistribution_cycles, 0);
+  const Cluster::Stats s = cluster.stats();
+  EXPECT_EQ(s.launches, 1);
+  EXPECT_EQ(s.sharded_launches, 0);
+  EXPECT_EQ(s.redistribution_bytes, 0);
+  EXPECT_EQ(s.link_busy_cycles, 0);
+}
+
+TEST(Cluster, ShardedLaunchesBitIdenticalBothPlacements) {
+  const TensorF16 in = [&] {
+    TensorF16 t(Shape{5, 3, 21, 21, kC0});
+    t.fill_random_ints(2);
+    return t;
+  }();
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  Device lone;
+  lone.set_double_buffer(true);
+  const PoolResult want = kernels::run_pool(lone, op, PoolInputs{.in = &in});
+
+  for (const Placement p : {Placement::kData, Placement::kModel}) {
+    Cluster cluster(ClusterOptions{.devices = 3, .placement = p});
+    const Cluster::Launch lr = cluster.run_pool(op, PoolInputs{.in = &in});
+    SCOPED_TRACE(to_string(p));
+    expect_same_result(lr.result, want);
+    EXPECT_EQ(lr.shards, 3);
+    EXPECT_GT(lr.redistribution_bytes, 0);
+    const Cluster::Stats s = cluster.stats();
+    EXPECT_EQ(s.sharded_launches, 1);
+    // Work lands on every device: blocks sum to the full N x C1 grid.
+    std::int64_t blocks = 0;
+    for (const Cluster::DeviceStats& d : s.devices) {
+      EXPECT_GT(d.blocks, 0);
+      blocks += d.blocks;
+    }
+    EXPECT_EQ(blocks, 5 * 3);
+  }
+}
+
+TEST(Cluster, RedistributionBytesMatchAnalyticSliceVolume) {
+  // Model parallel over C1: shard d's transfer volume is its C1-slice of
+  // the input crossing 0->d plus its slice of the output crossing d->0,
+  // both fp16 NC1HWC0 volumes. Device 0's chunk is local: never counted.
+  const std::int64_t n = 2, c1 = 5, ih = 21, iw = 21;
+  const int devices = 3;
+  const TensorF16 in = [&] {
+    TensorF16 t(Shape{n, c1, ih, iw, kC0});
+    t.fill_random_ints(3);
+    return t;
+  }();
+  const Window2d w = Window2d::pool(3, 2);
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd, .window = w,
+                  .fwd = akg::PoolImpl::kIm2col};
+  Cluster cluster(
+      ClusterOptions{.devices = devices, .placement = Placement::kModel});
+  (void)cluster.run_pool(op, PoolInputs{.in = &in});
+
+  const std::int64_t oh = w.out_h(ih), ow = w.out_w(iw);
+  const std::int64_t base = c1 / devices, rem = c1 % devices;
+  std::int64_t expected = 0;
+  std::vector<std::int64_t> in_bytes(devices, 0), out_bytes(devices, 0);
+  for (int d = 1; d < devices; ++d) {
+    const std::int64_t len = base + (d < rem ? 1 : 0);
+    in_bytes[d] = n * len * ih * iw * kC0 * 2;
+    out_bytes[d] = n * len * oh * ow * kC0 * 2;
+    expected += in_bytes[d] + out_bytes[d];
+  }
+  const Cluster::Stats s = cluster.stats();
+  EXPECT_EQ(s.redistribution_bytes, expected);
+  // Per-link attribution: input slices ride 0->d, output slices d->0.
+  for (int d = 1; d < devices; ++d) {
+    EXPECT_EQ(s.links[static_cast<std::size_t>(d)].bytes, in_bytes[d])
+        << "link 0->" << d;
+    EXPECT_EQ(s.links[static_cast<std::size_t>(d * devices)].bytes,
+              out_bytes[d])
+        << "link " << d << "->0";
+  }
+}
+
+TEST(Cluster, PinRunsWholeLaunchOnOneDevice) {
+  const TensorF16 in = [&] {
+    TensorF16 t(Shape{4, 2, 21, 21, kC0});
+    t.fill_random_ints(4);
+    return t;
+  }();
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  Cluster cluster(ClusterOptions{.devices = 3});
+  const Cluster::Launch lr = cluster.run_pool(op, PoolInputs{.in = &in}, 2);
+  EXPECT_EQ(lr.shards, 1);
+  EXPECT_GT(lr.redistribution_bytes, 0);  // whole launch crosses 0->2
+  const Cluster::Stats s = cluster.stats();
+  EXPECT_EQ(s.devices[2].launches, 1);
+  EXPECT_EQ(s.devices[0].launches, 0);
+  EXPECT_EQ(s.devices[1].launches, 0);
+
+  Device lone;
+  lone.set_double_buffer(true);
+  expect_same_result(lr.result,
+                     kernels::run_pool(lone, op, PoolInputs{.in = &in}));
+
+  EXPECT_THROW((void)cluster.run_pool(op, PoolInputs{.in = &in}, 3), Error);
+}
+
+TEST(ClusterServe, TraceReplayBitIdenticalAcrossDeviceCounts) {
+  const auto entries = parse_trace(kMixedTrace);
+  SessionOptions opts;
+  const std::vector<PoolResult> want = replay(Cluster{}, entries, opts);
+  for (const Placement p : {Placement::kData, Placement::kModel}) {
+    for (const bool vm : {true, false}) {
+      SCOPED_TRACE(std::string(to_string(p)) + (vm ? " vm" : " no-vm"));
+      SessionOptions o = opts;
+      o.vm = vm;
+      SessionStats stats;
+      const std::vector<PoolResult> got = replay(
+          Cluster(ClusterOptions{.devices = 3, .placement = p}), entries, o,
+          &stats);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE("request " + std::to_string(i));
+        expect_same_result(got[i], want[i]);
+      }
+      EXPECT_EQ(stats.devices, 3);
+      EXPECT_EQ(stats.placement, p);
+      EXPECT_GT(stats.cluster.sharded_launches, 0);
+      EXPECT_GT(stats.cluster.redistribution_bytes, 0);
+      // The roofline never reports less than the busiest link.
+      EXPECT_GE(stats.cluster_makespan, stats.cluster.link_busy_cycles);
+      if (vm) {
+        ASSERT_EQ(stats.vm_makespan_per_device.size(), 3u);
+        for (const std::int64_t m : stats.vm_makespan_per_device) {
+          EXPECT_GE(stats.cluster_makespan, m);
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusterServe, FaultsOnOneDeviceAbsorbedBitIdentically) {
+  const auto entries = parse_trace(kMixedTrace);
+  SessionOptions opts;
+  const std::vector<PoolResult> want = replay(Cluster{}, entries, opts);
+
+  // Detected transient faults on device 1 only: its shards retry and
+  // absorb, devices 0/2 run clean, and every output still matches the
+  // fault-free single-device run bit for bit.
+  Cluster cluster(ClusterOptions{.devices = 3});
+  ResilienceOptions res;
+  res.plan = FaultPlan::parse("vec_fault:2e-3", 7);
+  res.max_retries = 8;
+  cluster.device(1).set_resilience(res);
+  SessionStats stats;
+  const std::vector<PoolResult> got =
+      replay(std::move(cluster), entries, opts, &stats);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    expect_same_result(got[i], want[i]);
+  }
+  EXPECT_EQ(stats.completed, static_cast<std::int64_t>(want.size()));
+  EXPECT_EQ(stats.failed, 0);
+  // The injected stream actually fired (and was absorbed per shard).
+  EXPECT_GT(stats.faults.faults_detected, 0);
+  EXPECT_GT(stats.faults.retries, 0);
+}
+
+TEST(ClusterServe, ShardHintPinsAndOutOfRangeFails) {
+  Cluster cluster(ClusterOptions{.devices = 3});
+  Session session(std::move(cluster), SessionOptions{});
+  const TensorF16 in = [&] {
+    TensorF16 t(Shape{2, 2, 21, 21, kC0});
+    t.fill_random_ints(5);
+    return t;
+  }();
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+
+  auto pinned = session.submit(op, PoolInputs{.in = &in},
+                               SubmitOptions{.shard = 1});
+  auto bad = session.submit(op, PoolInputs{.in = &in},
+                            SubmitOptions{.shard = 3});
+  session.drain();
+  EXPECT_GT(pinned.get().out.size(), 0);
+  EXPECT_THROW(bad.get(), Error);
+
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_EQ(s.cluster.devices[1].launches, 1);
+  EXPECT_EQ(s.cluster.devices[0].launches, 0);
+}
+
+TEST(ClusterServe, DifferentlyPinnedRequestsNeverCoalesce) {
+  // Same geometry, different pins: the worker must partition the take by
+  // hint, so each pin launches alone on its device.
+  Cluster cluster(ClusterOptions{.devices = 2});
+  Session session(std::move(cluster), SessionOptions{});
+  const TensorF16 in = [&] {
+    TensorF16 t(Shape{1, 2, 21, 21, kC0});
+    t.fill_random_ints(6);
+    return t;
+  }();
+  const PoolOp op{.kind = PoolOpKind::kMaxFwd,
+                  .window = Window2d::pool(3, 2),
+                  .fwd = akg::PoolImpl::kIm2col};
+  session.pause();
+  auto f0 = session.submit(op, PoolInputs{.in = &in},
+                           SubmitOptions{.shard = 0});
+  auto f1 = session.submit(op, PoolInputs{.in = &in},
+                           SubmitOptions{.shard = 1});
+  session.resume();
+  session.drain();
+  expect_same_tensor(f0.get().out, f1.get().out);
+  const SessionStats s = session.stats();
+  EXPECT_EQ(s.launches, 2);  // one per pin, no cross-pin batch
+  EXPECT_EQ(s.cluster.devices[0].launches, 1);
+  EXPECT_EQ(s.cluster.devices[1].launches, 1);
+}
+
+TEST(ClusterServe, DeprecatedShimsStillServe) {
+  // The lint-guarded constructor shims must stay functional for
+  // out-of-tree callers until removal: both resolve to a one-device
+  // cluster and produce the primary constructor's exact outputs.
+  const auto entries = parse_trace("op=maxpool n=2 c1=2 ih=21 iw=21 k=3 "
+                                   "s=2 impl=im2col x=2\n");
+  SessionOptions opts;
+  const std::vector<PoolResult> want = replay(Cluster{}, entries, opts);
+
+  Session via_default{SessionOptions{}};
+  Session via_arch(ArchConfig::ascend910(), SessionOptions{});
+  for (Session* session : {&via_default, &via_arch}) {
+    std::vector<MaterializedRequest> reqs;
+    std::vector<std::future<PoolResult>> futures;
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (int k = 0; k < entries[i].repeat; ++k) {
+        reqs.push_back(
+            materialize(entries[i], i * 1000 + static_cast<std::uint64_t>(k)));
+      }
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (int k = 0; k < entries[i].repeat; ++k, ++r) {
+        futures.push_back(session->submit(entries[i].op, reqs[r].inputs()));
+      }
+    }
+    session->drain();
+    ASSERT_EQ(futures.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_same_result(futures[i].get(), want[i]);
+    }
+    EXPECT_EQ(session->cluster().num_devices(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace davinci::serve

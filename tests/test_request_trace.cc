@@ -124,7 +124,7 @@ TEST(RequestTraceRing, JsonSummaryListsNonZeroKinds) {
 // --- End-to-end lifecycle through a session ------------------------------
 
 TEST(RequestTraceSession, CompletedRequestRecordsTheFullLifecycle) {
-  Session session;
+  Session session(Cluster{});
   const TensorF16 in = make_input(1, 15, 15, 3);
   SubmitOptions sub;
   std::int64_t id = -1;
@@ -165,7 +165,7 @@ TEST(RequestTraceSession, CompletedRequestRecordsTheFullLifecycle) {
 }
 
 TEST(RequestTraceSession, TraceIdsAreMonotonicAcrossSubmitAndTrySubmit) {
-  Session session;
+  Session session(Cluster{});
   const TensorF16 in = make_input(1, 15, 15, 4);
   std::vector<std::future<kernels::PoolResult>> fs;
   std::int64_t prev = -1;
@@ -189,7 +189,7 @@ TEST(RequestTraceSession, TraceIdsAreMonotonicAcrossSubmitAndTrySubmit) {
 }
 
 TEST(RequestTraceSession, ExpiredRequestRecordsExpiry) {
-  Session session;
+  Session session(Cluster{});
   const TensorF16 in = make_input(1, 15, 15, 5);
   session.pause();
   SubmitOptions sub;
@@ -213,7 +213,7 @@ TEST(RequestTraceSession, ShedVictimRecordsShed) {
   SessionOptions opts;
   opts.queue_depth = 1;
   opts.overload = OverloadPolicy::kShedOldest;
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const TensorF16 in = make_input(1, 15, 15, 6);
   session.pause();
   std::int64_t first = -1, second = -1;
@@ -237,7 +237,7 @@ TEST(RequestTraceSession, RejectedRequestRecordsRejection) {
   SessionOptions opts;
   opts.queue_depth = 1;
   opts.overload = OverloadPolicy::kRejectNew;
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const TensorF16 in = make_input(1, 15, 15, 7);
   session.pause();
   std::int64_t first = -1, second = -1;
@@ -256,7 +256,7 @@ TEST(RequestTraceSession, RejectedRequestRecordsRejection) {
 }
 
 TEST(RequestTraceSession, ResetStatsClearsTheRing) {
-  Session session;
+  Session session(Cluster{});
   const TensorF16 in = make_input(1, 15, 15, 8);
   session.submit(max3x2(), PoolInputs{.in = &in}).get();
   session.drain();
@@ -326,7 +326,7 @@ TEST(RequestSpans, FailureOutcomesRenderAsInstantEvents) {
 TEST(UnifiedTrace, ContainsHostSpansAndVmTracksInOneValidDocument) {
   SessionOptions opts;
   opts.vm_capture = true;
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const TensorF16 in = make_input(1, 15, 15, 9);
   std::vector<std::future<kernels::PoolResult>> fs;
   for (int i = 0; i < 3; ++i) {
@@ -372,7 +372,7 @@ TEST(UnifiedTrace, ContainsHostSpansAndVmTracksInOneValidDocument) {
 }
 
 TEST(UnifiedTrace, HostOnlyTraceIsValidWithVmCaptureOff) {
-  Session session;  // vm_capture off: no placements
+  Session session(Cluster{});  // vm_capture off: no placements
   const TensorF16 in = make_input(1, 15, 15, 10);
   session.submit(max3x2(), PoolInputs{.in = &in}).get();
   session.drain();
@@ -393,7 +393,7 @@ TEST(RequestTraceSession, HistogramPercentilesCrossCheckAgainstExact) {
   // The in-session version of the CI gate: with every sample retained
   // (count <= latency_sample_cap), histogram p50/p99 must land within 5%
   // of the exact-sample percentiles.
-  Session session;
+  Session session(Cluster{});
   const TensorF16 in = make_input(1, 15, 15, 11);
   std::vector<std::future<kernels::PoolResult>> fs;
   for (int i = 0; i < 24; ++i) {

@@ -43,7 +43,7 @@ void expect_same_tensor(const TensorF16& a, const TensorF16& b) {
 
 TEST(ServeSession, CoalescedResultsBitIdenticalToLoneRuns) {
   SessionOptions opts;
-  Session session(opts);
+  Session session(Cluster{}, opts);
 
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
@@ -83,7 +83,7 @@ TEST(ServeSession, CoalescedResultsBitIdenticalToLoneRuns) {
 }
 
 TEST(ServeSession, MixedGeometriesStaySeparateAndCorrect) {
-  Session session;
+  Session session(Cluster{});
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -106,7 +106,7 @@ TEST(ServeSession, MixedGeometriesStaySeparateAndCorrect) {
 }
 
 TEST(ServeSession, BackwardAndMaskKindsServeCorrectly) {
-  Session session;
+  Session session(Cluster{});
   const Window2d w = Window2d::pool(3, 2);
   const std::int64_t h = 19;
   const TensorF16 in = make_input(2, h, h, 7);
@@ -137,7 +137,7 @@ TEST(ServeSession, BackwardAndMaskKindsServeCorrectly) {
 TEST(ServeSession, TrySubmitRefusesWhenQueueFull) {
   SessionOptions opts;
   opts.queue_depth = 2;
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -166,7 +166,7 @@ TEST(ServeSession, TrySubmitRefusesWhenQueueFull) {
 }
 
 TEST(ServeSession, PlanCacheHitsAcrossWaves) {
-  Session session;
+  Session session(Cluster{});
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -184,7 +184,7 @@ TEST(ServeSession, PlanCacheHitsAcrossWaves) {
 }
 
 TEST(ServeSession, KernelErrorsSurfaceThroughFutureNotTerminate) {
-  Session session;
+  Session session(Cluster{});
   // Rank-4 input: the batcher's geometry check must reject it, fail the
   // future, and leave the worker alive for the next (valid) request.
   TensorF16 bad(Shape{1, 2, 9, 9});
@@ -203,8 +203,8 @@ TEST(ServeSession, KernelErrorsSurfaceThroughFutureNotTerminate) {
   EXPECT_EQ(session.stats().completed, 1);
 }
 
-TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV6) {
-  Session session;
+TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV7) {
+  Session session(Cluster{});
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -215,7 +215,7 @@ TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV6) {
   MetricsRegistry reg;
   session.add_metrics(reg);
   const std::string json = reg.to_json();
-  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":7"), std::string::npos);
   // The v4 host-phase buckets are per-entry fields; the host_ns bucket
   // invariant itself is covered in test_metrics.cc. The v5 "vm" object
   // and its stream buckets are covered in test_vm.cc.
@@ -239,12 +239,18 @@ TEST(ServeSession, ServeJsonLandsInMetricsRegistryAsSchemaV6) {
   EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
   EXPECT_NE(json.find("\"request_trace\""), std::string::npos);
   EXPECT_NE(json.find("\"by_kind\""), std::string::npos);
+  // The v7 surface: cluster topology, per-device rows and the link
+  // roofline (deep coverage lives in test_cluster.cc).
+  EXPECT_NE(json.find("\"cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"placement\":\"data\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_device\""), std::string::npos);
+  EXPECT_NE(json.find("\"redistribution\""), std::string::npos);
 }
 
 // --- Deadlines -----------------------------------------------------------
 
 TEST(ServeDeadline, ExpiredRequestFailsWithoutDeviceLaunch) {
-  Session session;
+  Session session(Cluster{});
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -266,7 +272,7 @@ TEST(ServeDeadline, ExpiredRequestFailsWithoutDeviceLaunch) {
 }
 
 TEST(ServeDeadline, ExpiredRequestNeverFailsItsBatchmates) {
-  Session session;
+  Session session(Cluster{});
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -297,7 +303,7 @@ TEST(ServeDeadline, ExpiredRequestNeverFailsItsBatchmates) {
 }
 
 TEST(ServeDeadline, GenerousDeadlineCompletesNormally) {
-  Session session;
+  Session session(Cluster{});
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -315,7 +321,7 @@ TEST(ServeOverload, RejectNewFailsTheNewRequest) {
   SessionOptions opts;
   opts.queue_depth = 2;
   opts.overload = OverloadPolicy::kRejectNew;
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -341,7 +347,7 @@ TEST(ServeOverload, ShedOldestDropsTheOldestLowestPriority) {
   SessionOptions opts;
   opts.queue_depth = 2;
   opts.overload = OverloadPolicy::kShedOldest;
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -378,7 +384,7 @@ TEST(ServeResilience, BisectionIsolatesThePoisonedRequest) {
     res.plan.core_failures.push_back(CoreFailTrigger{c, 4});
   }
   opts.resilience = res;
-  Session session(ArchConfig::ascend910(), opts);
+  Session session(Cluster(ClusterOptions{.arch = ArchConfig::ascend910()}), opts);
   ASSERT_EQ(session.device().num_cores(), 32);
 
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
@@ -422,7 +428,7 @@ TEST(ServeResilience, QuarantineShrinksTheBatchCapAndCountsDegraded) {
   ResilienceOptions res;
   res.plan = FaultPlan::parse("core_fail@2", 7);  // core 2 dies on block 2
   opts.resilience = res;
-  Session session(ArchConfig::ascend910(), opts);
+  Session session(Cluster(ClusterOptions{.arch = ArchConfig::ascend910()}), opts);
 
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
@@ -451,7 +457,7 @@ TEST(ServeResilience, QuarantineShrinksTheBatchCapAndCountsDegraded) {
 TEST(ServeWatchdog, SlowLaunchRaisesAnAlarm) {
   SessionOptions opts;
   opts.watchdog_timeout_us = 1;  // every real launch overruns this
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -463,7 +469,7 @@ TEST(ServeWatchdog, SlowLaunchRaisesAnAlarm) {
 }
 
 TEST(ServeDrain, BoundedDrainTimesOutThenSucceeds) {
-  Session session;
+  Session session(Cluster{});
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -491,7 +497,7 @@ TEST(ServeTeardown, QueuedRequestsAreCancelledAndEveryFutureResolves) {
   const TensorF16 in = make_input(1, 15, 15, 1);
   std::vector<std::future<PoolResult>> futures;
   {
-    Session session;
+    Session session(Cluster{});
     session.pause();  // everything stays queued: destruction must cancel
     for (int i = 0; i < 6; ++i) {
       futures.push_back(session.submit(op, PoolInputs{.in = &in}));
@@ -510,7 +516,7 @@ TEST(ServeTeardown, InFlightWorkCompletesAndEveryFutureResolves) {
   const TensorF16 in = make_input(1, 15, 15, 2);
   std::vector<std::future<PoolResult>> futures;
   {
-    Session session;  // not paused: the worker races the destructor
+    Session session(Cluster{});  // not paused: the worker races the destructor
     for (int i = 0; i < 8; ++i) {
       futures.push_back(session.submit(op, PoolInputs{.in = &in}));
     }
@@ -531,7 +537,7 @@ TEST(ServeTeardown, InFlightWorkCompletesAndEveryFutureResolves) {
 TEST(ServeStress, ManyProducersMixingSubmitAndTrySubmit) {
   SessionOptions opts;
   opts.queue_depth = 4;  // small: the queue genuinely fills under load
-  Session session(opts);
+  Session session(Cluster{}, opts);
   const PoolOp op{.kind = PoolOpKind::kMaxFwd,
                   .window = Window2d::pool(3, 2),
                   .fwd = akg::PoolImpl::kIm2col};
@@ -617,6 +623,24 @@ TEST(ServeTrace, DeadlineAndPriorityFieldsParse) {
                Error);
 }
 
+TEST(ServeTrace, ShardFieldParses) {
+  const auto entries = parse_trace(
+      "op=maxpool c1=2 ih=21 iw=21 k=3 s=2 shard=3\n"
+      "op=avgpool c1=2 ih=21 iw=21 k=3 s=2\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].shard, 3);
+  EXPECT_EQ(entries[1].shard, -1);  // optional: auto placement
+
+  // Malformed values and a negative pin are errors (the device-count
+  // upper bound is enforced by the session, not the parser).
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 shard=first\n"),
+               Error);
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 shard=-1\n"),
+               Error);
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 shard=-7\n"),
+               Error);
+}
+
 TEST(ServeTrace, DuplicateAndUnknownKeysAreErrors) {
   // A key repeated on one line is ambiguous -- reject, don't last-wins.
   EXPECT_THROW(parse_trace("op=maxpool op=avgpool ih=9 iw=9 k=3 s=2\n"),
@@ -625,6 +649,8 @@ TEST(ServeTrace, DuplicateAndUnknownKeysAreErrors) {
   EXPECT_THROW(
       parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 deadline_us=1 deadline_us=2\n"),
       Error);
+  EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 shard=0 shard=1\n"),
+               Error);
   // Unknown keys stay an error (no silent typo tolerance).
   EXPECT_THROW(parse_trace("op=maxpool ih=9 iw=9 k=3 s=2 deadline=5\n"),
                Error);
@@ -647,7 +673,7 @@ TEST(ServeTrace, TruncatedLinesAreErrors) {
 TEST(ServeTrace, ToLineRoundTripsThroughParse) {
   const auto entries = parse_trace(
       "op=maxpool n=2 c1=4 ih=35 iw=35 kh=3 kw=2 sh=2 sw=1 pt=1 pb=0 pl=1 "
-      "pr=0 impl=im2col x=3 deadline_us=500 prio=2\n"
+      "pr=0 impl=im2col x=3 deadline_us=500 prio=2 shard=1\n"
       "op=avgpool c1=2 ih=21 iw=21 k=3 s=2 p=1 impl=expansion\n"
       "op=maxpool_bwd c1=2 ih=19 iw=19 k=3 s=2 merge=col2im\n"
       "op=avgpool_bwd c1=2 ih=19 iw=19 k=2 s=2 merge=vadd\n"
@@ -677,6 +703,7 @@ TEST(ServeTrace, ToLineRoundTripsThroughParse) {
     EXPECT_EQ(a.repeat, b.repeat) << "line " << i;
     EXPECT_EQ(a.deadline_us, b.deadline_us) << "line " << i;
     EXPECT_EQ(a.prio, b.prio) << "line " << i;
+    EXPECT_EQ(a.shard, b.shard) << "line " << i;
   }
 }
 
@@ -684,7 +711,7 @@ TEST(ServeTrace, MaterializedRequestsServeEndToEnd) {
   const auto entries = parse_trace(
       "op=maxpool c1=2 ih=21 iw=21 k=3 s=2 impl=auto\n"
       "op=avgpool_bwd c1=2 ih=19 iw=19 k=3 s=2 merge=vadd\n");
-  Session session;
+  Session session(Cluster{});
   std::vector<MaterializedRequest> reqs;
   std::vector<std::future<PoolResult>> futures;
   for (std::size_t i = 0; i < entries.size(); ++i) {

@@ -84,7 +84,7 @@ void soak_one(const std::string& spec, std::uint64_t seed) {
   std::int64_t completed = 0, failed = 0;
   SessionStats stats;
   {
-    Session session(opts);
+    Session session(Cluster{}, opts);
     std::vector<std::future<PoolResult>> futures;
     for (std::size_t r = 0; r < requests.size(); ++r) {
       const TraceEntry& e = entries[request_entry[r]];

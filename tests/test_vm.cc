@@ -288,7 +288,7 @@ ReplayResult replay_smoke(const SessionOptions& opts) {
     }
   }
 
-  Session session(opts);
+  Session session(Cluster{}, opts);
   session.pause();
   std::vector<std::future<kernels::PoolResult>> futures;
   for (std::size_t r = 0; r < requests.size(); ++r) {
@@ -385,7 +385,7 @@ TEST(ServeVm, InFlightWindowOfOneDisablesCrossBatchOverlap) {
 TEST(ServeVm, ResetStatsRezeroesTheStreamClock) {
   const auto entries = parse_trace("op=maxpool c1=2 ih=21 iw=21 k=3 s=2\n");
   MaterializedRequest req = materialize(entries[0], 1);
-  Session session;
+  Session session(Cluster{});
   session.submit(entries[0].op, req.inputs()).get();
   session.drain();
   ASSERT_GT(session.stats().vm.makespan, 0);

@@ -5,6 +5,9 @@
 //
 // Options:
 //   --sequential         disable batching (every request launches alone)
+//   --devices=N          simulated devices behind the placement router
+//                        (default 1; see docs/CLUSTER.md)
+//   --placement=P        sharding axis: data (batch N) | model (C1)
 //   --queue=N            admission-queue depth           (default 64)
 //   --max-batch=N        requests per coalesced launch   (default 16)
 //   --ub-waves=N         launch block cap, in waves      (default 4)
@@ -37,8 +40,11 @@
 //                        emit one JSON line every N ms (interval qps,
 //                        latency p50/p99/p999, queue depth, failure
 //                        counters, plan-cache hit rate, VM overlap,
-//                        trace-ring drops); a final line always flushes
-//                        at the end of the replay
+//                        trace-ring drops; at --devices>1 also a
+//                        per_device array with each device's launch /
+//                        block counters, in-flight shard depth and
+//                        interval launch rate); a final line always
+//                        flushes at the end of the replay
 //   --stats-out=path     write the telemetry lines to a file (default
 //                        stdout)
 //   --json=<path>        machine-readable report ({"bench","rows"}); the
@@ -112,6 +118,7 @@ std::string geom_string(const serve::TraceEntry& e) {
 int usage() {
   std::fprintf(stderr,
                "usage: davinci_serve <trace-file> [--sequential] "
+               "[--devices=N] [--placement=data|model] "
                "[--queue=N] [--max-batch=N] [--ub-waves=N] [--plan-cache=N] "
                "[--no-double-buffer] [--policy=block|reject|shed] "
                "[--deadline-us=N] [--watchdog-us=N] [--inject=SPEC] "
@@ -179,7 +186,7 @@ class StatsStream {
         dt_s > 0.0
             ? static_cast<double>(s.completed - last_completed_) / dt_s
             : 0.0;
-    const std::string j =
+    std::string j =
         "{\"t_ms\":" + json::number(t_ms) + ",\"qps\":" + json::number(qps) +
         ",\"completed\":" + std::to_string(s.completed) +
         ",\"p50_us\":" + json::number(s.latency.p50) +
@@ -192,8 +199,34 @@ class StatsStream {
         ",\"poisoned\":" + std::to_string(s.poisoned_requests) +
         ",\"plan_cache_hit_rate\":" + json::number(s.plan_cache.hit_rate()) +
         ",\"vm_overlap_cycles\":" + std::to_string(s.vm.overlap_cycles) +
-        ",\"trace_dropped\":" + std::to_string(s.request_trace.dropped) +
-        "}\n";
+        ",\"trace_dropped\":" + std::to_string(s.request_trace.dropped);
+    if (s.devices > 1) {
+      // Per-device telemetry so the live stream stays truthful under
+      // sharding: queue_depth is shards dispatched to the device and not
+      // yet completed, qps the device's interval shard-launch rate.
+      if (last_device_launches_.size() !=
+          static_cast<std::size_t>(s.devices)) {
+        last_device_launches_.assign(static_cast<std::size_t>(s.devices), 0);
+      }
+      j += ",\"per_device\":[";
+      for (std::size_t d = 0; d < s.cluster.devices.size(); ++d) {
+        const serve::Cluster::DeviceStats& ds = s.cluster.devices[d];
+        const double dqps =
+            dt_s > 0.0 ? static_cast<double>(ds.launches -
+                                             last_device_launches_[d]) /
+                             dt_s
+                       : 0.0;
+        if (d > 0) j += ",";
+        j += "{\"device\":" + std::to_string(d) +
+             ",\"launches\":" + std::to_string(ds.launches) +
+             ",\"blocks\":" + std::to_string(ds.blocks) +
+             ",\"queue_depth\":" + std::to_string(ds.inflight_shards) +
+             ",\"qps\":" + json::number(dqps) + "}";
+        last_device_launches_[d] = ds.launches;
+      }
+      j += "]";
+    }
+    j += "}\n";
     std::fwrite(j.data(), 1, j.size(), out_);
     std::fflush(out_);
     last_completed_ = s.completed;
@@ -209,6 +242,7 @@ class StatsStream {
   bool stop_ = false;
   std::chrono::steady_clock::time_point t0_;
   std::int64_t last_completed_ = 0;
+  std::vector<std::int64_t> last_device_launches_;
   double last_t_ms_ = 0.0;
 };
 
@@ -219,6 +253,22 @@ int main(int argc, char** argv) {
   const std::string trace_path = argv[1];
   if (has_flag(argc, argv, "--no-arena")) {
     TensorArena::global().set_enabled(false);
+  }
+
+  serve::ClusterOptions cluster_opts;
+  cluster_opts.devices =
+      static_cast<int>(int_arg(argc, argv, "--devices=", 1));
+  if (cluster_opts.devices < 1) {
+    std::fprintf(stderr, "davinci_serve: --devices must be >= 1\n");
+    return usage();
+  }
+  const std::string placement = arg_value(argc, argv, "--placement=");
+  if (placement == "model") {
+    cluster_opts.placement = serve::Placement::kModel;
+  } else if (!placement.empty() && placement != "data") {
+    std::fprintf(stderr, "davinci_serve: unknown --placement '%s'\n",
+                 placement.c_str());
+    return usage();
   }
 
   serve::SessionOptions opts;
@@ -300,7 +350,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  serve::Session session(opts);
+  serve::Session session(serve::Cluster(cluster_opts), opts);
   std::vector<LineRuns> lines(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) lines[i].entry = i;
 
@@ -321,6 +371,7 @@ int main(int argc, char** argv) {
         sub.deadline_us =
             e.deadline_us > 0 ? e.deadline_us : default_deadline_us;
         sub.prio = e.prio;
+        sub.shard = e.shard;
         warm.push_back(session.submit(e.op, requests[r].inputs(), sub));
         if (++window == static_cast<std::size_t>(opts.queue_depth)) {
           session.resume();
@@ -364,6 +415,7 @@ int main(int argc, char** argv) {
       sub.deadline_us =
           e.deadline_us > 0 ? e.deadline_us : default_deadline_us;
       sub.prio = e.prio;
+      sub.shard = e.shard;
       std::int64_t trace_id = -1;
       sub.trace_id = &trace_id;
       lines[request_line[r]].futures.push_back(
@@ -461,6 +513,28 @@ int main(int argc, char** argv) {
               "req/launch, max %zu)\n",
               static_cast<long long>(s.launches),
               static_cast<long long>(s.batches), s.avg_batch, s.max_batch);
+  if (s.devices > 1) {
+    std::printf("cluster       %d devices (%s placement), %lld sharded "
+                "launches, redistribution %lld bytes / %lld cycles, busiest "
+                "link %lld cycles\n",
+                s.devices, serve::to_string(s.placement),
+                static_cast<long long>(s.cluster.sharded_launches),
+                static_cast<long long>(s.cluster.redistribution_bytes),
+                static_cast<long long>(s.cluster.redistribution_cycles),
+                static_cast<long long>(s.cluster.link_busy_cycles));
+    for (std::size_t d = 0; d < s.cluster.devices.size(); ++d) {
+      const serve::Cluster::DeviceStats& ds = s.cluster.devices[d];
+      std::printf("  device %-4zu %lld launches, %lld blocks, %lld compute "
+                  "cycles, vm makespan %lld\n",
+                  d, static_cast<long long>(ds.launches),
+                  static_cast<long long>(ds.blocks),
+                  static_cast<long long>(ds.cycles),
+                  static_cast<long long>(
+                      d < s.vm_makespan_per_device.size()
+                          ? s.vm_makespan_per_device[d]
+                          : 0));
+    }
+  }
   std::printf("device cycles %lld total -> %.2f requests/Mcycle\n",
               static_cast<long long>(s.device_cycles_total),
               s.device_cycles_total > 0
@@ -532,15 +606,28 @@ int main(int argc, char** argv) {
     }
     // json::number, not snprintf("%.4f"): the latter consults LC_NUMERIC
     // and writes ',' decimals under comma-decimal locales -- invalid JSON.
-    // With the VM on, the gated "cycles" metric IS the cross-batch
-    // overlapped makespan -- the quantity the serving path actually
-    // spends on the device; the plain per-launch sum stays visible as
-    // the non-gated "cycles_sum".
+    // With the VM on, the gated "cycles" metric IS the cluster makespan:
+    // the max of the busiest device's cross-batch overlapped makespan
+    // and the busiest link's busy time -- the quantity the serving path
+    // actually spends on the cluster (identical to the single VM
+    // makespan at --devices=1, so the 1-device baselines are unchanged);
+    // the plain per-launch sum stays visible as the non-gated
+    // "cycles_sum".
     const std::int64_t gated_cycles =
-        opts.vm ? s.vm.makespan : s.device_cycles_total;
+        opts.vm ? s.cluster_makespan : s.device_cycles_total;
     j += "{\"name\":\"total\",\"requests\":" + std::to_string(s.completed) +
          ",\"cycles\":" + std::to_string(gated_cycles) +
          ",\"cycles_sum\":" + std::to_string(s.device_cycles_total) +
+         ",\"devices\":" + std::to_string(s.devices) +
+         ",\"placement\":\"" + serve::to_string(s.placement) + "\"" +
+         ",\"sharded_launches\":" +
+         std::to_string(s.cluster.sharded_launches) +
+         ",\"redistribution_bytes\":" +
+         std::to_string(s.cluster.redistribution_bytes) +
+         ",\"redistribution_cycles\":" +
+         std::to_string(s.cluster.redistribution_cycles) +
+         ",\"link_busy_cycles\":" +
+         std::to_string(s.cluster.link_busy_cycles) +
          ",\"vm\":" + (opts.vm ? std::string("true") : std::string("false")) +
          ",\"in_flight\":" + std::to_string(s.vm.in_flight) +
          ",\"overlap_cycles\":" + std::to_string(s.vm.overlap_cycles) +
